@@ -1,0 +1,277 @@
+// Package tpuising's repository-level benchmarks regenerate every table and
+// figure of the paper's evaluation section (via the internal/harness package)
+// and additionally time the real execution of each update kernel on the host,
+// so `go test -bench=. -benchmem` doubles as the reproduction harness and as
+// a performance regression suite for the simulator itself.
+//
+// The custom metrics reported via b.ReportMetric carry the paper's units:
+// model_flips/ns for modelled TPU throughput, host_flips/ns for the actual
+// simulator throughput on the machine running the benchmark, and model_ms for
+// modelled step times.
+package tpuising
+
+import (
+	"strconv"
+	"testing"
+
+	"tpuising/internal/harness"
+	"tpuising/internal/ising"
+	"tpuising/internal/ising/checkerboard"
+	"tpuising/internal/ising/gpusim"
+	"tpuising/internal/ising/tpu"
+	"tpuising/internal/perf"
+	"tpuising/internal/rng"
+	"tpuising/internal/tensor"
+)
+
+// reportCell parses a numeric table cell and attaches it to the benchmark as
+// a custom metric.
+func reportCell(b *testing.B, tab *harness.Table, row, col int, metric string) {
+	b.Helper()
+	v, err := strconv.ParseFloat(tab.Cell(row, col), 64)
+	if err != nil {
+		b.Fatalf("cell (%d,%d) of %s is not numeric: %v", row, col, tab.ID, err)
+	}
+	b.ReportMetric(v, metric)
+}
+
+// --- Table and figure regeneration benchmarks -------------------------------
+
+// BenchmarkTable1SingleCore regenerates Table 1 (single-core throughput and
+// energy vs lattice size) and reports the saturated single-core throughput.
+func BenchmarkTable1SingleCore(b *testing.B) {
+	m := perf.DefaultModel()
+	var tab *harness.Table
+	for i := 0; i < b.N; i++ {
+		tab = harness.Table1(m)
+	}
+	reportCell(b, tab, 5, 1, "model_flips/ns")
+	reportCell(b, tab, 5, 2, "model_nJ/flip")
+}
+
+// BenchmarkTable2WeakScaling regenerates Table 2 (weak scaling to 512 cores)
+// and reports the 512-core throughput and step time.
+func BenchmarkTable2WeakScaling(b *testing.B) {
+	m := perf.DefaultModel()
+	var tab *harness.Table
+	for i := 0; i < b.N; i++ {
+		tab = harness.Table2(m)
+	}
+	reportCell(b, tab, 4, 3, "model_flips/ns")
+	reportCell(b, tab, 4, 2, "model_step_ms")
+}
+
+// BenchmarkTable3Breakdown regenerates Table 3 (step-time breakdown) and
+// reports the MXU share at 512 cores.
+func BenchmarkTable3Breakdown(b *testing.B) {
+	m := perf.DefaultModel()
+	var tab *harness.Table
+	for i := 0; i < b.N; i++ {
+		tab = harness.Table3(m)
+	}
+	reportCell(b, tab, 4, 1, "model_mxu_%")
+}
+
+// BenchmarkTable4CommTime regenerates Table 4 (step and collective-permute
+// time vs per-core size and pod size) and reports the largest configuration's
+// collective-permute time.
+func BenchmarkTable4CommTime(b *testing.B) {
+	m := perf.DefaultModel()
+	var tab *harness.Table
+	for i := 0; i < b.N; i++ {
+		tab = harness.Table4(m)
+	}
+	reportCell(b, tab, 6, 3, "model_comm_ms")
+}
+
+// BenchmarkTable5Roofline regenerates Table 5 (roofline and peak utilisation)
+// and reports the achieved TFLOPS.
+func BenchmarkTable5Roofline(b *testing.B) {
+	m := perf.DefaultModel()
+	var tab *harness.Table
+	for i := 0; i < b.N; i++ {
+		tab = harness.Table5(m)
+	}
+	reportCell(b, tab, 0, 1, "model_TFLOPS")
+	reportCell(b, tab, 0, 2, "model_roofline_%")
+}
+
+// BenchmarkTable6WeakScalingConv regenerates Table 6 (weak scaling of the
+// conv-based implementation) and reports the largest dense configuration.
+func BenchmarkTable6WeakScalingConv(b *testing.B) {
+	m := perf.DefaultModel()
+	var tab *harness.Table
+	for i := 0; i < b.N; i++ {
+		tab = harness.Table6(m)
+	}
+	reportCell(b, tab, 19, 4, "model_flips/ns")
+}
+
+// BenchmarkTable7StrongScaling regenerates Table 7 (strong scaling of the
+// conv-based implementation) and reports the 2048-core throughput.
+func BenchmarkTable7StrongScaling(b *testing.B) {
+	m := perf.DefaultModel()
+	var tab *harness.Table
+	for i := 0; i < b.N; i++ {
+		tab = harness.Table7(m)
+	}
+	reportCell(b, tab, 8, 3, "model_flips/ns")
+	reportCell(b, tab, 8, 4, "model_efficiency")
+}
+
+// BenchmarkAblationAlgorithms regenerates the update-kernel ablation (the
+// Algorithm 1 vs Algorithm 2 vs conv comparison of Section 3 / the appendix)
+// and reports the modelled Algorithm-2-over-Algorithm-1 speedup.
+func BenchmarkAblationAlgorithms(b *testing.B) {
+	m := perf.DefaultModel()
+	var tab *harness.Table
+	for i := 0; i < b.N; i++ {
+		tab = harness.AlgorithmAblation(m, 896, 448)
+	}
+	naive, err1 := strconv.ParseFloat(tab.Cell(0, 2), 64)
+	optim, err2 := strconv.ParseFloat(tab.Cell(2, 2), 64)
+	if err1 != nil || err2 != nil {
+		b.Fatal("non-numeric ablation cells")
+	}
+	b.ReportMetric(naive/optim, "model_alg2_speedup")
+}
+
+// BenchmarkFigure8Comparison regenerates the cross-system throughput
+// comparison of Figure 8.
+func BenchmarkFigure8Comparison(b *testing.B) {
+	m := perf.DefaultModel()
+	var tab *harness.Table
+	for i := 0; i < b.N; i++ {
+		tab = harness.Figure8(m)
+	}
+	if len(tab.Rows) == 0 {
+		b.Fatal("empty figure")
+	}
+}
+
+// BenchmarkFigure9StrongScalingCurve regenerates Figure 9.
+func BenchmarkFigure9StrongScalingCurve(b *testing.B) {
+	m := perf.DefaultModel()
+	var tab *harness.Table
+	for i := 0; i < b.N; i++ {
+		tab = harness.Figure9(m)
+	}
+	reportCell(b, tab, 8, 3, "model_efficiency")
+}
+
+// BenchmarkFigure4Point runs one real Monte-Carlo measurement point of the
+// Figure 4 correctness study (one lattice size, one temperature, both
+// precisions) per iteration. The full figure is generated by cmd/correctness.
+func BenchmarkFigure4Point(b *testing.B) {
+	cfg := harness.CorrectnessConfig{
+		Sizes:        []int{32},
+		TileSize:     8,
+		Temperatures: []float64{ising.CriticalTemperature()},
+		BurnIn:       100,
+		Samples:      100,
+		Seed:         1,
+	}
+	for i := 0; i < b.N; i++ {
+		tab := harness.Figure4(cfg)
+		if len(tab.Rows) != 2 {
+			b.Fatal("unexpected figure shape")
+		}
+	}
+}
+
+// BenchmarkFigure7Point is the conv-based counterpart of BenchmarkFigure4Point.
+func BenchmarkFigure7Point(b *testing.B) {
+	cfg := harness.CorrectnessConfig{
+		Sizes:        []int{32},
+		TileSize:     8,
+		Temperatures: []float64{ising.CriticalTemperature()},
+		BurnIn:       100,
+		Samples:      100,
+		Seed:         1,
+	}
+	for i := 0; i < b.N; i++ {
+		tab := harness.Figure7(cfg)
+		if len(tab.Rows) != 2 {
+			b.Fatal("unexpected figure shape")
+		}
+	}
+}
+
+// --- Real-execution benchmarks of the simulator itself ----------------------
+
+// benchSweep times real sweeps of one update kernel on the host and reports
+// the host-level throughput in flips/ns.
+func benchSweep(b *testing.B, alg tpu.Algorithm, size, tile int, dtype tensor.DType) {
+	sim := tpu.NewSimulator(tpu.Config{
+		Rows: size, Cols: size, Temperature: 2.5,
+		TileSize: tile, DType: dtype, Algorithm: alg, Seed: 1,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Sweep()
+	}
+	b.StopTimer()
+	spins := float64(size) * float64(size) * float64(b.N)
+	b.ReportMetric(spins/float64(b.Elapsed().Nanoseconds()), "host_flips/ns")
+}
+
+func BenchmarkSweepOptim256(b *testing.B) { benchSweep(b, tpu.AlgOptim, 256, 32, tensor.BFloat16) }
+func BenchmarkSweepOptim512(b *testing.B) { benchSweep(b, tpu.AlgOptim, 512, 64, tensor.BFloat16) }
+func BenchmarkSweepOptimF32(b *testing.B) { benchSweep(b, tpu.AlgOptim, 256, 32, tensor.Float32) }
+func BenchmarkSweepNaive256(b *testing.B) { benchSweep(b, tpu.AlgNaive, 256, 32, tensor.BFloat16) }
+func BenchmarkSweepConv256(b *testing.B)  { benchSweep(b, tpu.AlgConv, 256, 0, tensor.BFloat16) }
+
+// BenchmarkSweepDistributed2x2 times real sweeps of the 4-core distributed
+// simulator, including the goroutine-level halo exchange.
+func BenchmarkSweepDistributed2x2(b *testing.B) {
+	d := tpu.NewDistSimulator(tpu.DistConfig{
+		PodX: 2, PodY: 2, CoreRows: 128, CoreCols: 128,
+		Temperature: 2.5, TileSize: 32, DType: tensor.BFloat16, Seed: 1,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Sweep()
+	}
+	b.StopTimer()
+	spins := float64(256) * 256 * float64(b.N)
+	b.ReportMetric(spins/float64(b.Elapsed().Nanoseconds()), "host_flips/ns")
+}
+
+// BenchmarkSweepCPUCheckerboard times the plain CPU checkerboard baseline.
+func BenchmarkSweepCPUCheckerboard256(b *testing.B) {
+	l := ising.NewLattice(256, 256)
+	sk := rng.NewSiteKeyed(1)
+	beta := ising.Beta(2.5)
+	var step uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step = checkerboard.Sweep(l, beta, sk, step)
+	}
+	b.StopTimer()
+	spins := float64(256) * 256 * float64(b.N)
+	b.ReportMetric(spins/float64(b.Elapsed().Nanoseconds()), "host_flips/ns")
+}
+
+// BenchmarkSweepGPUStyleParallel times the multi-threaded GPU-style baseline.
+func BenchmarkSweepGPUStyleParallel256(b *testing.B) {
+	s := gpusim.NewSampler(ising.NewLattice(256, 256), 2.5, 1, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sweep()
+	}
+	b.StopTimer()
+	spins := float64(256) * 256 * float64(b.N)
+	b.ReportMetric(spins/float64(b.Elapsed().Nanoseconds()), "host_flips/ns")
+}
+
+// BenchmarkEstimateSweepCounts times the analytic work estimator at paper
+// scale (it must stay trivially cheap, since every table row calls it).
+func BenchmarkEstimateSweepCounts(b *testing.B) {
+	spec := perf.SweepSpec{
+		Rows: 896 * 128, Cols: 448 * 128, Tile: 128,
+		DType: tensor.BFloat16, Algorithm: perf.AlgOptim, Halo: true, PodX: 32, PodY: 16,
+	}
+	for i := 0; i < b.N; i++ {
+		_ = perf.EstimateSweepCounts(spec)
+	}
+}

@@ -1,0 +1,84 @@
+// Command correctness regenerates the paper's correctness study (Figures 4
+// and 7): the average magnetisation and Binder parameter as functions of
+// T/Tc for several lattice sizes, in float32 and bfloat16, using Algorithm 2
+// (Figure 4) and the conv-based update (Figure 7). It also runs the paired
+// precision comparison.
+//
+// Usage:
+//
+//	correctness [-out results] [-sizes 32,64,128] [-burnin 1000] [-samples 2000] [-quick]
+//
+// The defaults take a few minutes on a workstation; -quick reduces the chains
+// to a smoke-test length.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"tpuising/internal/harness"
+	"tpuising/internal/sweep"
+)
+
+func main() {
+	out := flag.String("out", "results", "directory for the generated .txt and .csv files")
+	sizes := flag.String("sizes", "32,64,128", "comma-separated square lattice sides")
+	burnin := flag.Int("burnin", 1000, "sweeps discarded before measuring")
+	samples := flag.Int("samples", 2000, "measurements per temperature")
+	temps := flag.Int("temps", 13, "number of temperatures in the T/Tc window [0.8, 1.2]")
+	quick := flag.Bool("quick", false, "shrink everything to a fast smoke test")
+	seed := flag.Uint64("seed", 2019, "random seed")
+	flag.Parse()
+
+	cfg := harness.CorrectnessConfig{
+		TileSize:     16,
+		Temperatures: sweep.CriticalWindow(0.2, *temps),
+		BurnIn:       *burnin,
+		Samples:      *samples,
+		Seed:         *seed,
+	}
+	for _, s := range strings.Split(*sizes, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			log.Fatalf("bad -sizes entry %q: %v", s, err)
+		}
+		cfg.Sizes = append(cfg.Sizes, v)
+	}
+	if *quick {
+		cfg.Sizes = []int{16, 32}
+		cfg.TileSize = 8
+		cfg.Temperatures = sweep.CriticalWindow(0.2, 5)
+		cfg.BurnIn = 200
+		cfg.Samples = 300
+	}
+
+	if err := run(*out, cfg); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(outDir string, cfg harness.CorrectnessConfig) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return fmt.Errorf("creating %s: %w", outDir, err)
+	}
+	tables := []*harness.Table{
+		harness.Figure4(cfg),
+		harness.Figure7(cfg),
+		harness.PrecisionComparison(cfg.Sizes[len(cfg.Sizes)-1], cfg.TileSize, cfg.BurnIn, cfg.Samples, cfg.Seed),
+	}
+	for _, tab := range tables {
+		fmt.Println(tab.Text())
+		if err := os.WriteFile(filepath.Join(outDir, tab.ID+".txt"), []byte(tab.Text()), 0o644); err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(outDir, tab.ID+".csv"), []byte(tab.CSV()), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,261 @@
+// Command isingtpu runs one checkerboard Ising simulation on the simulated
+// TPU backend and reports its observables, step-time profile and modelled
+// performance. It is the general-purpose CLI over the library.
+//
+// Examples:
+//
+//	isingtpu -size 256 -temp 2.269 -sweeps 2000
+//	isingtpu -size 512 -algorithm conv -dtype float32 -sweeps 500
+//	isingtpu -size 256 -pod 2x2 -sweeps 1000 -profile
+//	isingtpu -size 114688x57344 -tile 128 -estimate      # model-only, paper scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"tpuising/internal/device/metrics"
+	"tpuising/internal/ising"
+	"tpuising/internal/ising/tpu"
+	"tpuising/internal/perf"
+	"tpuising/internal/tensor"
+)
+
+func main() {
+	size := flag.String("size", "256", "lattice size: side or ROWSxCOLS")
+	temp := flag.Float64("temp", ising.CriticalTemperature(), "temperature in units of J/kB")
+	sweeps := flag.Int("sweeps", 1000, "number of whole-lattice updates")
+	burnin := flag.Int("burnin", 0, "sweeps discarded before the profile/observable report")
+	tile := flag.Int("tile", 0, "MXU tile size (default 128, smaller for small lattices)")
+	algorithm := flag.String("algorithm", "optim", "update kernel: optim, naive or conv")
+	dtype := flag.String("dtype", "bfloat16", "storage precision: bfloat16 or float32")
+	pod := flag.String("pod", "", "pod core grid as NXxNY (empty = single core)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	profile := flag.Bool("profile", false, "print the device work counters and the modelled step breakdown")
+	estimate := flag.Bool("estimate", false, "do not run: report the modelled performance for this configuration")
+	flag.Parse()
+
+	rows, cols, err := parseSize(*size)
+	if err != nil {
+		log.Fatal(err)
+	}
+	alg, perfAlg, err := parseAlgorithm(*algorithm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dt, err := parseDType(*dtype)
+	if err != nil {
+		log.Fatal(err)
+	}
+	podX, podY, err := parsePod(*pod)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tileSize := *tile
+	if tileSize == 0 {
+		tileSize = defaultTile(rows, cols)
+	}
+
+	if *estimate {
+		runEstimate(rows, cols, tileSize, dt, perfAlg, podX, podY)
+		return
+	}
+	if podX*podY > 1 {
+		runPod(rows, cols, tileSize, dt, podX, podY, *temp, *seed, *sweeps, *burnin, *profile)
+		return
+	}
+	runSingle(rows, cols, tileSize, dt, alg, perfAlg, *temp, *seed, *sweeps, *burnin, *profile)
+}
+
+func parseSize(s string) (rows, cols int, err error) {
+	parts := strings.SplitN(strings.ToLower(s), "x", 2)
+	rows, err = strconv.Atoi(parts[0])
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad -size %q: %v", s, err)
+	}
+	cols = rows
+	if len(parts) == 2 {
+		cols, err = strconv.Atoi(parts[1])
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad -size %q: %v", s, err)
+		}
+	}
+	return rows, cols, nil
+}
+
+func parseAlgorithm(s string) (tpu.Algorithm, perf.Algorithm, error) {
+	switch strings.ToLower(s) {
+	case "optim", "algorithm2", "2":
+		return tpu.AlgOptim, perf.AlgOptim, nil
+	case "naive", "algorithm1", "1":
+		return tpu.AlgNaive, perf.AlgNaive, nil
+	case "conv":
+		return tpu.AlgConv, perf.AlgConv, nil
+	}
+	return 0, 0, fmt.Errorf("unknown -algorithm %q (want optim, naive or conv)", s)
+}
+
+func parseDType(s string) (tensor.DType, error) {
+	switch strings.ToLower(s) {
+	case "bfloat16", "bf16":
+		return tensor.BFloat16, nil
+	case "float32", "f32":
+		return tensor.Float32, nil
+	}
+	return 0, fmt.Errorf("unknown -dtype %q (want bfloat16 or float32)", s)
+}
+
+func parsePod(s string) (x, y int, err error) {
+	if s == "" {
+		return 1, 1, nil
+	}
+	parts := strings.SplitN(strings.ToLower(s), "x", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("bad -pod %q: want NXxNY", s)
+	}
+	x, err = strconv.Atoi(parts[0])
+	if err == nil {
+		y, err = strconv.Atoi(parts[1])
+	}
+	if err != nil || x <= 0 || y <= 0 {
+		return 0, 0, fmt.Errorf("bad -pod %q: want positive NXxNY", s)
+	}
+	return x, y, nil
+}
+
+// defaultTile picks the largest power-of-two tile (up to 128) that divides
+// half of both lattice dimensions, so small demo lattices work out of the box.
+func defaultTile(rows, cols int) int {
+	for _, t := range []int{128, 64, 32, 16, 8, 4, 2} {
+		if rows%(2*t) == 0 && cols%(2*t) == 0 {
+			return t
+		}
+	}
+	return 2
+}
+
+func runSingle(rows, cols, tile int, dt tensor.DType, alg tpu.Algorithm, perfAlg perf.Algorithm,
+	temp float64, seed uint64, sweeps, burnin int, profile bool) {
+	sim := tpu.NewSimulator(tpu.Config{
+		Rows: rows, Cols: cols, Temperature: temp, TileSize: tile,
+		DType: dt, Algorithm: alg, Seed: seed,
+	})
+	fmt.Printf("single core: %dx%d lattice, T=%.4f (T/Tc=%.3f), %v, tile %d\n",
+		rows, cols, temp, temp/ising.CriticalTemperature(), alg, tile)
+	sim.Run(burnin)
+	sim.ResetCounts()
+	sim.Run(sweeps)
+	fmt.Printf("after %d sweeps: m = %+.5f, |m| = %.5f, E/spin = %.5f\n",
+		burnin+sweeps, sim.Magnetization(), abs(sim.Magnetization()), sim.Energy())
+	if profile {
+		perSweep := perSweepCounts(sim.Counts(), sweeps)
+		model := perf.DefaultModel()
+		if perfAlg == perf.AlgConv {
+			model = model.ForConv()
+		}
+		b := model.StepBreakdown(perSweep, 1)
+		fmt.Printf("device work per sweep: %v\n", perSweep)
+		fmt.Printf("modelled TPU v3 step: %.3f ms (MXU %.1f%%, VPU %.1f%%, format %.1f%%)\n",
+			b.StepSec()*1e3, pct(b.MXUSec, b.StepSec()), pct(b.VPUSec, b.StepSec()), pct(b.FormatSec, b.StepSec()))
+		fmt.Printf("modelled throughput: %.2f flips/ns\n",
+			perf.Throughput(float64(rows)*float64(cols), b.StepSec()))
+	}
+}
+
+func runPod(rows, cols, tile int, dt tensor.DType, podX, podY int,
+	temp float64, seed uint64, sweeps, burnin int, profile bool) {
+	cfg := tpu.DistConfig{
+		PodX: podX, PodY: podY,
+		CoreRows: rows / podY, CoreCols: cols / podX,
+		Temperature: temp, TileSize: tile, DType: dt, Seed: seed,
+	}
+	if cfg.CoreRows*podY != rows || cfg.CoreCols*podX != cols {
+		log.Fatalf("lattice %dx%d does not decompose over a %dx%d pod", rows, cols, podX, podY)
+	}
+	d := tpu.NewDistSimulator(cfg)
+	fmt.Printf("pod %dx%d (%d cores): global %dx%d lattice, per-core %dx%d, T=%.4f\n",
+		podX, podY, d.NumCores(), rows, cols, cfg.CoreRows, cfg.CoreCols, temp)
+	d.Run(burnin)
+	d.ResetCounts()
+	d.Run(sweeps)
+	fmt.Printf("after %d sweeps: m = %+.5f, E/spin = %.5f\n", burnin+sweeps, d.Magnetization(), d.Energy())
+	if profile {
+		perCore, total := d.Counts()
+		perSweep := perSweepCounts(perCore, sweeps)
+		b := perf.DefaultModel().StepBreakdown(perSweep, d.NumCores())
+		fmt.Printf("per-core work per sweep: %v\n", perSweep)
+		fmt.Printf("pod-total ops: %d\n", total.Ops)
+		fmt.Printf("modelled step: %.3f ms, collective permute %.3f ms, throughput %.2f flips/ns\n",
+			b.StepSec()*1e3, b.CommSec*1e3,
+			perf.Throughput(float64(rows)*float64(cols), b.StepSec()))
+	}
+}
+
+func runEstimate(rows, cols, tile int, dt tensor.DType, alg perf.Algorithm, podX, podY int) {
+	halo := podX*podY > 1
+	counts := perf.EstimateSweepCounts(perf.SweepSpec{
+		Rows: rows, Cols: cols, Tile: tile, DType: dt, Algorithm: alg,
+		Halo: halo, PodX: podX, PodY: podY,
+	})
+	model := perf.DefaultModel()
+	if alg == perf.AlgConv {
+		model = model.ForConv()
+	}
+	cores := podX * podY
+	b := model.StepBreakdown(counts, cores)
+	spins := float64(rows) * float64(cols) * float64(cores)
+	tput := perf.Throughput(spins, b.StepSec())
+	fmt.Printf("estimate for %v on %d core(s), per-core %dx%d %s:\n", alg, cores, rows, cols, dtName(dt))
+	fmt.Printf("  per-core work per sweep: %v\n", counts)
+	fmt.Printf("  step time: %.3f ms (MXU %.1f%%, VPU %.1f%%, format %.1f%%, comm %.3f%%)\n",
+		b.StepSec()*1e3, pct(b.MXUSec, b.StepSec()), pct(b.VPUSec, b.StepSec()),
+		pct(b.FormatSec, b.StepSec()), pct(b.CommSec, b.StepSec()))
+	fmt.Printf("  throughput: %.2f flips/ns  (%.2f per core)\n", tput, tput/float64(cores))
+	fmt.Printf("  energy: %.2f nJ/flip\n", model.EnergyPerFlip(tput/float64(cores)))
+	r := model.RooflineAnalysis(counts, b.StepSec())
+	fmt.Printf("  roofline: %.2f TFLOPS achieved, %.1f%% of roofline, %.1f%% of peak\n",
+		r.AchievedFLOPS/1e12, r.PctOfRoofline, r.PctOfPeak)
+}
+
+func dtName(d tensor.DType) string {
+	if d == tensor.BFloat16 {
+		return "bfloat16"
+	}
+	return "float32"
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func pct(part, whole float64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * part / whole
+}
+
+// perSweepCounts divides the accumulated counters of a run by the number of
+// sweeps, giving the per-sweep work the performance model expects.
+func perSweepCounts(c metrics.Counts, sweeps int) metrics.Counts {
+	if sweeps <= 1 {
+		return c
+	}
+	n := int64(sweeps)
+	return metrics.Counts{
+		MXUMacs:     c.MXUMacs / n,
+		VPUOps:      c.VPUOps / n,
+		FormatBytes: c.FormatBytes / n,
+		HBMBytes:    c.HBMBytes / n,
+		CommBytes:   c.CommBytes / n,
+		CommEvents:  c.CommEvents / n,
+		CommHops:    c.CommHops / n,
+		Ops:         c.Ops / n,
+	}
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"testing"
+
+	"tpuising/internal/device/metrics"
+	"tpuising/internal/ising/tpu"
+	"tpuising/internal/perf"
+	"tpuising/internal/tensor"
+)
+
+func TestParseSize(t *testing.T) {
+	if r, c, err := parseSize("256"); err != nil || r != 256 || c != 256 {
+		t.Fatalf("parseSize(256) = %d,%d,%v", r, c, err)
+	}
+	if r, c, err := parseSize("128x64"); err != nil || r != 128 || c != 64 {
+		t.Fatalf("parseSize(128x64) = %d,%d,%v", r, c, err)
+	}
+	for _, bad := range []string{"", "abc", "12xq"} {
+		if _, _, err := parseSize(bad); err == nil {
+			t.Fatalf("parseSize(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseAlgorithm(t *testing.T) {
+	cases := map[string]struct {
+		alg  tpu.Algorithm
+		perf perf.Algorithm
+	}{
+		"optim": {tpu.AlgOptim, perf.AlgOptim},
+		"2":     {tpu.AlgOptim, perf.AlgOptim},
+		"naive": {tpu.AlgNaive, perf.AlgNaive},
+		"conv":  {tpu.AlgConv, perf.AlgConv},
+	}
+	for in, want := range cases {
+		alg, pa, err := parseAlgorithm(in)
+		if err != nil || alg != want.alg || pa != want.perf {
+			t.Fatalf("parseAlgorithm(%q) = %v,%v,%v", in, alg, pa, err)
+		}
+	}
+	if _, _, err := parseAlgorithm("quantum"); err == nil {
+		t.Fatal("unknown algorithm should fail")
+	}
+}
+
+func TestParseDTypeAndPod(t *testing.T) {
+	if d, err := parseDType("bf16"); err != nil || d != tensor.BFloat16 {
+		t.Fatalf("parseDType(bf16) = %v,%v", d, err)
+	}
+	if d, err := parseDType("float32"); err != nil || d != tensor.Float32 {
+		t.Fatalf("parseDType(float32) = %v,%v", d, err)
+	}
+	if _, err := parseDType("fp8"); err == nil {
+		t.Fatal("unknown dtype should fail")
+	}
+	if x, y, err := parsePod(""); err != nil || x != 1 || y != 1 {
+		t.Fatalf("parsePod('') = %d,%d,%v", x, y, err)
+	}
+	if x, y, err := parsePod("4x2"); err != nil || x != 4 || y != 2 {
+		t.Fatalf("parsePod(4x2) = %d,%d,%v", x, y, err)
+	}
+	for _, bad := range []string{"4", "0x2", "ax2"} {
+		if _, _, err := parsePod(bad); err == nil {
+			t.Fatalf("parsePod(%q) should fail", bad)
+		}
+	}
+}
+
+func TestDefaultTile(t *testing.T) {
+	if got := defaultTile(256, 256); got != 128 {
+		t.Fatalf("defaultTile(256,256) = %d", got)
+	}
+	if got := defaultTile(64, 96); got != 16 {
+		t.Fatalf("defaultTile(64,96) = %d", got)
+	}
+	if got := defaultTile(10, 10); got != 2 {
+		t.Fatalf("defaultTile(10,10) = %d", got)
+	}
+}
+
+func TestPerSweepCounts(t *testing.T) {
+	c := metrics.Counts{MXUMacs: 100, VPUOps: 50, FormatBytes: 40, HBMBytes: 30, CommBytes: 20, CommEvents: 10, CommHops: 8, Ops: 6}
+	half := perSweepCounts(c, 2)
+	if half.MXUMacs != 50 || half.Ops != 3 || half.CommEvents != 5 {
+		t.Fatalf("perSweepCounts halved wrong: %+v", half)
+	}
+	if perSweepCounts(c, 1) != c || perSweepCounts(c, 0) != c {
+		t.Fatal("sweeps <= 1 should return the counts unchanged")
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if abs(-2) != 2 || abs(3) != 3 {
+		t.Fatal("abs")
+	}
+	if pct(1, 4) != 25 || pct(1, 0) != 0 {
+		t.Fatal("pct")
+	}
+	if dtName(tensor.BFloat16) != "bfloat16" || dtName(tensor.Float32) != "float32" {
+		t.Fatal("dtName")
+	}
+}

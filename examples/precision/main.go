@@ -1,0 +1,54 @@
+// Precision: the paper's bfloat16 claim. Two chains with identical seeds are
+// run side by side, one storing the spins, acceptance ratios and random
+// numbers in float32 and one in bfloat16, at a temperature below, at, and
+// above the critical point. The observables must agree within statistical
+// error even though bfloat16 carries only 8 bits of mantissa.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"tpuising/internal/ising"
+	"tpuising/internal/ising/tpu"
+	"tpuising/internal/stats"
+	"tpuising/internal/tensor"
+)
+
+func run(size int, dtype tensor.DType, temperature float64, burnin, samples int) (absM, binder float64) {
+	sim := tpu.NewSimulator(tpu.Config{
+		Rows: size, Cols: size, Temperature: temperature,
+		TileSize: 16, DType: dtype, Algorithm: tpu.AlgOptim, Seed: 99,
+	})
+	sim.Run(burnin)
+	ms := make([]float64, 0, samples)
+	abs := make([]float64, 0, samples)
+	for i := 0; i < samples; i++ {
+		sim.Sweep()
+		m := sim.Magnetization()
+		ms = append(ms, m)
+		abs = append(abs, math.Abs(m))
+	}
+	return stats.Mean(abs), stats.Binder(ms)
+}
+
+func main() {
+	const (
+		size    = 64
+		burnin  = 800
+		samples = 1500
+	)
+	tc := ising.CriticalTemperature()
+	fmt.Printf("%dx%d lattice, %d samples per point, identical seeds for both precisions\n\n",
+		size, size, samples)
+	fmt.Println("  T/Tc      |m| f32    |m| bf16    delta      U4 f32    U4 bf16    delta")
+	for _, frac := range []float64{0.85, 1.0, 1.15} {
+		temperature := frac * tc
+		mF32, uF32 := run(size, tensor.Float32, temperature, burnin, samples)
+		mBF16, uBF16 := run(size, tensor.BFloat16, temperature, burnin, samples)
+		fmt.Printf("%6.2f   %9.4f  %9.4f  %+8.4f   %8.4f   %8.4f  %+8.4f\n",
+			frac, mF32, mBF16, mF32-mBF16, uF32, uBF16, uF32-uBF16)
+	}
+	fmt.Println("\nbfloat16 halves the memory footprint (larger lattices per core) and feeds the")
+	fmt.Println("MXU at full rate, while leaving the physics unchanged — the paper's Section 4.1 claim.")
+}

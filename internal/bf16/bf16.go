@@ -1,0 +1,118 @@
+// Package bf16 implements the bfloat16 floating-point format used by the TPU
+// matrix unit (MXU): 1 sign bit, 8 exponent bits, 7 mantissa bits.
+//
+// The TPU stores activations and MXU inputs in bfloat16 and accumulates in
+// float32.  This package provides the conversion (round-to-nearest-even, the
+// hardware behaviour), and helpers to round float32 values and slices
+// "through" bfloat16, which is how the tensor package emulates bfloat16
+// storage on top of float32 host arithmetic.
+package bf16
+
+import "math"
+
+// BF16 is a bfloat16 value stored in its 16-bit wire format (the upper half
+// of the equivalent IEEE-754 float32 bit pattern).
+type BF16 uint16
+
+// FromFloat32 converts a float32 to bfloat16 using round-to-nearest-even,
+// matching TPU hardware and the TensorFlow bfloat16 conversion.
+// NaN inputs are canonicalised to a quiet NaN so that they never round to
+// infinity.
+func FromFloat32(f float32) BF16 {
+	bits := math.Float32bits(f)
+	if isNaN32(bits) {
+		// Quiet NaN with the sign preserved.
+		return BF16(uint16(bits>>16) | 0x0040)
+	}
+	// Round to nearest even: add half of a ULP of the low 16 bits, plus the
+	// LSB of the retained part to break ties toward even.
+	lsb := (bits >> 16) & 1
+	rounded := bits + 0x7FFF + lsb
+	return BF16(rounded >> 16)
+}
+
+// Truncate converts a float32 to bfloat16 by truncation (round toward zero).
+// The MXU documentation describes input rounding as "rounds down to
+// bfloat16"; Truncate is provided so both behaviours can be compared, but
+// FromFloat32 (round-to-nearest-even) is the default used by the tensor
+// package because it matches the TensorFlow cast used in the paper's code.
+func Truncate(f float32) BF16 {
+	bits := math.Float32bits(f)
+	if isNaN32(bits) {
+		return BF16(uint16(bits>>16) | 0x0040)
+	}
+	return BF16(bits >> 16)
+}
+
+// Float32 converts a bfloat16 value back to float32 (exact).
+func (b BF16) Float32() float32 {
+	return math.Float32frombits(uint32(b) << 16)
+}
+
+// Round rounds a float32 through bfloat16 and back, i.e. it returns the
+// nearest representable bfloat16 value as a float32.
+func Round(f float32) float32 {
+	return FromFloat32(f).Float32()
+}
+
+// RoundSlice rounds every element of dst through bfloat16 in place.
+func RoundSlice(dst []float32) {
+	for i, v := range dst {
+		dst[i] = Round(v)
+	}
+}
+
+// FromSlice converts a float32 slice into a newly allocated bfloat16 slice.
+func FromSlice(src []float32) []BF16 {
+	out := make([]BF16, len(src))
+	for i, v := range src {
+		out[i] = FromFloat32(v)
+	}
+	return out
+}
+
+// ToSlice converts a bfloat16 slice into a newly allocated float32 slice.
+func ToSlice(src []BF16) []float32 {
+	out := make([]float32, len(src))
+	for i, v := range src {
+		out[i] = v.Float32()
+	}
+	return out
+}
+
+// Add returns the bfloat16 rounding of a+b computed in float32, which is the
+// behaviour of a bf16 vector add with float32 internal precision.
+func Add(a, b BF16) BF16 { return FromFloat32(a.Float32() + b.Float32()) }
+
+// Mul returns the bfloat16 rounding of a*b computed in float32.
+func Mul(a, b BF16) BF16 { return FromFloat32(a.Float32() * b.Float32()) }
+
+// IsNaN reports whether b is a NaN.
+func (b BF16) IsNaN() bool {
+	return b&0x7F80 == 0x7F80 && b&0x007F != 0
+}
+
+// IsInf reports whether b is an infinity.
+func (b BF16) IsInf() bool {
+	return b&0x7FFF == 0x7F80
+}
+
+// Epsilon is the machine epsilon of bfloat16 (2^-7): the difference between
+// 1.0 and the next larger representable value.
+const Epsilon float32 = 0.0078125
+
+// MaxValue is the largest finite bfloat16 value.
+var MaxValue = BF16(0x7F7F).Float32()
+
+// SmallestNormal is the smallest positive normal bfloat16 value (2^-126).
+var SmallestNormal = BF16(0x0080).Float32()
+
+func isNaN32(bits uint32) bool {
+	return bits&0x7F800000 == 0x7F800000 && bits&0x007FFFFF != 0
+}
+
+// Bits returns the raw 16-bit representation.
+func (b BF16) Bits() uint16 { return uint16(b) }
+
+// FromBits builds a BF16 from a raw 16-bit representation.
+func FromBits(u uint16) BF16 { return BF16(u) }

@@ -1,0 +1,228 @@
+package bf16
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExactSmallIntegers(t *testing.T) {
+	// All integers up to 256 are exactly representable in bfloat16
+	// (8-bit significand including the hidden bit).
+	for i := -256; i <= 256; i++ {
+		f := float32(i)
+		if got := Round(f); got != f {
+			t.Fatalf("Round(%v) = %v, want exact", f, got)
+		}
+	}
+}
+
+func TestSpinValuesExact(t *testing.T) {
+	// The paper's claim: binary spin values are encoded in bfloat16 without
+	// loss. Check +-1, 0, +-2, +-4 (nearest-neighbour sums are in [-4, 4]).
+	for _, f := range []float32{-4, -3, -2, -1, 0, 1, 2, 3, 4} {
+		if got := Round(f); got != f {
+			t.Fatalf("Round(%v) = %v, want exact", f, got)
+		}
+	}
+}
+
+func TestRoundTripIdempotent(t *testing.T) {
+	f := func(u uint32) bool {
+		x := math.Float32frombits(u)
+		if math.IsNaN(float64(x)) {
+			// NaN handled separately.
+			return true
+		}
+		once := Round(x)
+		twice := Round(once)
+		return once == twice || (math.IsNaN(float64(once)) && math.IsNaN(float64(twice)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	// For normal values the relative rounding error is at most 2^-8.
+	f := func(u uint32) bool {
+		x := math.Float32frombits(u&0x007FFFFF | 0x3F800000) // force exponent so x in [1,2)
+		r := Round(x)
+		rel := math.Abs(float64(r-x)) / math.Abs(float64(x))
+		return rel <= 1.0/256.0+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundToNearestEven(t *testing.T) {
+	cases := []struct {
+		in   uint32
+		want uint16
+	}{
+		// 1.0 + exactly half a bf16 ULP rounds to even (stays 1.0).
+		{0x3F808000, 0x3F80},
+		// 1.0 + half ULP + 1 rounds up.
+		{0x3F808001, 0x3F81},
+		// 1.0078125 (one bf16 ULP above 1) + half ULP rounds up to even.
+		{0x3F818000, 0x3F82},
+		// Just below half ULP rounds down.
+		{0x3F807FFF, 0x3F80},
+	}
+	for _, c := range cases {
+		got := FromFloat32(math.Float32frombits(c.in)).Bits()
+		if got != c.want {
+			t.Errorf("FromFloat32(%#08x) = %#04x, want %#04x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNaNPreserved(t *testing.T) {
+	n := float32(math.NaN())
+	b := FromFloat32(n)
+	if !b.IsNaN() {
+		t.Fatalf("FromFloat32(NaN) = %#04x, not NaN", b.Bits())
+	}
+	if !math.IsNaN(float64(b.Float32())) {
+		t.Fatal("round-trip of NaN is not NaN")
+	}
+	if Truncate(n).IsNaN() == false {
+		t.Fatal("Truncate(NaN) is not NaN")
+	}
+}
+
+func TestInfinities(t *testing.T) {
+	pinf := float32(math.Inf(1))
+	ninf := float32(math.Inf(-1))
+	if got := Round(pinf); !math.IsInf(float64(got), 1) {
+		t.Errorf("Round(+Inf) = %v", got)
+	}
+	if got := Round(ninf); !math.IsInf(float64(got), -1) {
+		t.Errorf("Round(-Inf) = %v", got)
+	}
+	if !FromFloat32(pinf).IsInf() {
+		t.Error("IsInf(+Inf) = false")
+	}
+	// Overflow: values beyond MaxValue round to infinity.
+	if got := Round(math.MaxFloat32); !math.IsInf(float64(got), 1) {
+		t.Errorf("Round(MaxFloat32) = %v, want +Inf", got)
+	}
+}
+
+func TestTruncateNeverIncreasesMagnitude(t *testing.T) {
+	f := func(u uint32) bool {
+		x := math.Float32frombits(u)
+		if math.IsNaN(float64(x)) || math.IsInf(float64(x), 0) {
+			return true
+		}
+		tr := Truncate(x).Float32()
+		return math.Abs(float64(tr)) <= math.Abs(float64(x))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundIsNearest(t *testing.T) {
+	// Round must never be farther from x than Truncate's neighbour pair.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		x := float32(rng.NormFloat64())
+		r := Round(x)
+		lo := Truncate(x).Float32()
+		// next representable above lo
+		hi := FromBits(Truncate(x).Bits() + 1).Float32()
+		if x >= 0 {
+			if r != lo && r != hi {
+				t.Fatalf("Round(%v)=%v not one of neighbours %v,%v", x, r, lo, hi)
+			}
+			dr := math.Abs(float64(r - x))
+			dn := math.Min(math.Abs(float64(lo-x)), math.Abs(float64(hi-x)))
+			if dr > dn+1e-12 {
+				t.Fatalf("Round(%v)=%v not nearest (%v vs %v)", x, r, dr, dn)
+			}
+		}
+	}
+}
+
+func TestSliceHelpers(t *testing.T) {
+	src := []float32{1, 2.00390625, -3.5, 0.1}
+	b := FromSlice(src)
+	back := ToSlice(b)
+	if len(back) != len(src) {
+		t.Fatal("length mismatch")
+	}
+	for i := range src {
+		if back[i] != Round(src[i]) {
+			t.Errorf("ToSlice[%d] = %v, want %v", i, back[i], Round(src[i]))
+		}
+	}
+	cp := append([]float32(nil), src...)
+	RoundSlice(cp)
+	for i := range cp {
+		if cp[i] != Round(src[i]) {
+			t.Errorf("RoundSlice[%d] = %v, want %v", i, cp[i], Round(src[i]))
+		}
+	}
+}
+
+func TestAddMul(t *testing.T) {
+	a, b := FromFloat32(1.5), FromFloat32(2.25)
+	if got := Add(a, b).Float32(); got != 3.75 {
+		t.Errorf("Add = %v, want 3.75", got)
+	}
+	if got := Mul(a, b).Float32(); got != Round(3.375) {
+		t.Errorf("Mul = %v, want %v", got, Round(3.375))
+	}
+}
+
+func TestConstants(t *testing.T) {
+	if Round(1+Epsilon) == 1 {
+		t.Error("Epsilon too small: 1+eps rounds to 1")
+	}
+	if Round(1+Epsilon/4) != 1 {
+		t.Error("Epsilon too large: 1+eps/4 does not round to 1")
+	}
+	if MaxValue <= 3e38 || math.IsInf(float64(MaxValue), 1) {
+		t.Errorf("MaxValue = %v out of expected range", MaxValue)
+	}
+	if SmallestNormal <= 0 {
+		t.Errorf("SmallestNormal = %v", SmallestNormal)
+	}
+}
+
+func TestUniformRandomPrecision(t *testing.T) {
+	// The acceptance-ratio comparison uses uniforms in [0,1). In bfloat16
+	// these have only 7 mantissa bits; check the quantisation step near 1 is
+	// 2^-8..2^-7 as expected (relevant to the precision study in the paper).
+	x := float32(0.99609375) // largest bf16 value below 1
+	if Round(x) != x {
+		t.Errorf("%v not representable", x)
+	}
+	if Round(0.998) != 1.0 && Round(0.998) != x {
+		t.Errorf("Round(0.998) = %v", Round(0.998))
+	}
+}
+
+func BenchmarkRound(b *testing.B) {
+	x := float32(1.2345)
+	var s float32
+	for i := 0; i < b.N; i++ {
+		s += Round(x)
+	}
+	_ = s
+}
+
+func BenchmarkRoundSlice(b *testing.B) {
+	buf := make([]float32, 16384)
+	for i := range buf {
+		buf[i] = float32(i) * 0.001
+	}
+	b.SetBytes(int64(len(buf) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RoundSlice(buf)
+	}
+}

@@ -1,0 +1,119 @@
+// Package hbm models the high-bandwidth memory attached to a TensorCore: its
+// capacity, its 2-D tiling layout, and the traffic flowing through it.
+//
+// The paper stresses that arrays on TPU are tiled in two dimensions (one
+// dimension padded to a multiple of 8, the other to a multiple of 128) and
+// that programs operating on shapes that do not conform waste memory and
+// bandwidth; Tiled footprints therefore differ from logical footprints and
+// the memory-capacity experiment ("we can simulate lattices up to (656x128)^2
+// on a single core") depends on this padding.
+package hbm
+
+import (
+	"fmt"
+
+	"tpuising/internal/device/spec"
+	"tpuising/internal/tensor"
+)
+
+// HBM models one TensorCore's high-bandwidth memory.
+type HBM struct {
+	capacity  int64
+	allocated int64
+	peak      int64
+	reads     int64
+	writes    int64
+	allocs    map[string]int64
+}
+
+// New returns an HBM model with the given capacity in bytes.
+func New(capacity int64) *HBM {
+	return &HBM{capacity: capacity, allocs: make(map[string]int64)}
+}
+
+// NewTPUv3 returns an HBM model with the TPU v3 per-core capacity (16 GB).
+func NewTPUv3() *HBM { return New(spec.TPUv3Core().HBMBytes) }
+
+// PaddedShape returns the shape after HBM tiling: the second-minor dimension
+// is padded to a multiple of 8 and the minor dimension to a multiple of 128
+// (rank-1 shapes are padded on the single dimension to 128).
+func PaddedShape(shape []int) []int {
+	out := append([]int(nil), shape...)
+	n := len(out)
+	if n == 0 {
+		return out
+	}
+	out[n-1] = roundUp(out[n-1], spec.HBMTileCols)
+	if n >= 2 {
+		out[n-2] = roundUp(out[n-2], spec.HBMTileRows)
+	}
+	return out
+}
+
+func roundUp(x, to int) int { return (x + to - 1) / to * to }
+
+// TiledBytes returns the device memory footprint of a tensor with the given
+// logical shape and dtype after HBM tiling.
+func TiledBytes(shape []int, dtype tensor.DType) int64 {
+	padded := PaddedShape(shape)
+	n := int64(1)
+	for _, d := range padded {
+		n *= int64(d)
+	}
+	return n * int64(dtype.Bytes())
+}
+
+// TensorBytes returns the tiled footprint of an existing tensor.
+func TensorBytes(t *tensor.Tensor) int64 { return TiledBytes(t.Shape(), t.DType()) }
+
+// Alloc reserves the tiled footprint for a named tensor. It returns an error
+// when the reservation would exceed capacity.
+func (h *HBM) Alloc(name string, shape []int, dtype tensor.DType) error {
+	sz := TiledBytes(shape, dtype)
+	if h.allocated+sz > h.capacity {
+		return fmt.Errorf("hbm: allocating %q (%d bytes) exceeds capacity: %d used of %d",
+			name, sz, h.allocated, h.capacity)
+	}
+	if prev, ok := h.allocs[name]; ok {
+		h.allocated -= prev
+	}
+	h.allocs[name] = sz
+	h.allocated += sz
+	if h.allocated > h.peak {
+		h.peak = h.allocated
+	}
+	return nil
+}
+
+// Free releases a named reservation; freeing an unknown name is a no-op.
+func (h *HBM) Free(name string) {
+	if sz, ok := h.allocs[name]; ok {
+		h.allocated -= sz
+		delete(h.allocs, name)
+	}
+}
+
+// RecordRead and RecordWrite account HBM traffic in bytes.
+func (h *HBM) RecordRead(bytes int64)  { h.reads += bytes }
+func (h *HBM) RecordWrite(bytes int64) { h.writes += bytes }
+
+// Allocated returns the bytes currently reserved.
+func (h *HBM) Allocated() int64 { return h.allocated }
+
+// Peak returns the high-water mark of reserved bytes.
+func (h *HBM) Peak() int64 { return h.peak }
+
+// Capacity returns the total capacity in bytes.
+func (h *HBM) Capacity() int64 { return h.capacity }
+
+// Utilization returns the current fraction of capacity reserved.
+func (h *HBM) Utilization() float64 { return float64(h.allocated) / float64(h.capacity) }
+
+// Traffic returns the total read and written bytes recorded.
+func (h *HBM) Traffic() (reads, writes int64) { return h.reads, h.writes }
+
+// Reset clears reservations and traffic counters.
+func (h *HBM) Reset() {
+	h.allocated, h.peak, h.reads, h.writes = 0, 0, 0, 0
+	h.allocs = make(map[string]int64)
+}

@@ -1,0 +1,131 @@
+package hbm
+
+import (
+	"testing"
+
+	"tpuising/internal/tensor"
+)
+
+func TestPaddedShape(t *testing.T) {
+	cases := []struct {
+		in, want []int
+	}{
+		{[]int{128, 128}, []int{128, 128}},
+		{[]int{100, 100}, []int{104, 128}},
+		{[]int{1, 1}, []int{8, 128}},
+		{[]int{3, 5, 100, 100}, []int{3, 5, 104, 128}},
+		{[]int{60}, []int{128}},
+	}
+	for _, c := range cases {
+		got := PaddedShape(c.in)
+		if len(got) != len(c.want) {
+			t.Fatalf("PaddedShape(%v) = %v", c.in, got)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("PaddedShape(%v) = %v, want %v", c.in, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestTiledBytes(t *testing.T) {
+	// A 128x128 bf16 tile: 128*128*2 bytes, no padding.
+	if got := TiledBytes([]int{128, 128}, tensor.BFloat16); got != 128*128*2 {
+		t.Errorf("TiledBytes = %d", got)
+	}
+	// A 130x100 f32 array pads to 136x128.
+	if got := TiledBytes([]int{130, 100}, tensor.Float32); got != 136*128*4 {
+		t.Errorf("TiledBytes = %d", got)
+	}
+	tt := tensor.New(tensor.BFloat16, 8, 128)
+	if TensorBytes(tt) != 8*128*2 {
+		t.Error("TensorBytes mismatch")
+	}
+}
+
+func TestPaddingWasteForMisalignedShapes(t *testing.T) {
+	// The performance guide warns about shapes not divisible by 8/128:
+	// a 129x129 array wastes nearly half its footprint.
+	aligned := TiledBytes([]int{128, 128}, tensor.Float32)
+	misaligned := TiledBytes([]int{129, 129}, tensor.Float32)
+	if misaligned <= aligned {
+		t.Fatal("misaligned shape should cost more than aligned")
+	}
+	if float64(misaligned)/float64(aligned) < 1.9 {
+		t.Errorf("expected ~2x padding waste, got %.2fx", float64(misaligned)/float64(aligned))
+	}
+}
+
+func TestAllocFreeCapacity(t *testing.T) {
+	h := New(1 << 20) // 1 MiB
+	if err := h.Alloc("a", []int{256, 256}, tensor.Float32); err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	if h.Allocated() != 256*256*4 {
+		t.Errorf("Allocated = %d", h.Allocated())
+	}
+	if h.Utilization() <= 0 || h.Utilization() > 1 {
+		t.Errorf("Utilization = %v", h.Utilization())
+	}
+	// Second allocation exceeding capacity must fail.
+	if err := h.Alloc("b", []int{512, 512}, tensor.Float32); err == nil {
+		t.Fatal("expected capacity error")
+	}
+	// Re-allocating the same name replaces the previous reservation.
+	if err := h.Alloc("a", []int{128, 128}, tensor.Float32); err != nil {
+		t.Fatalf("realloc: %v", err)
+	}
+	if h.Allocated() != 128*128*4 {
+		t.Errorf("Allocated after realloc = %d", h.Allocated())
+	}
+	h.Free("a")
+	if h.Allocated() != 0 {
+		t.Errorf("Allocated after Free = %d", h.Allocated())
+	}
+	h.Free("missing") // no-op
+	if h.Peak() == 0 {
+		t.Error("Peak not tracked")
+	}
+}
+
+func TestTrafficAndReset(t *testing.T) {
+	h := NewTPUv3()
+	if h.Capacity() != 16<<30 {
+		t.Errorf("capacity = %d", h.Capacity())
+	}
+	h.RecordRead(100)
+	h.RecordWrite(50)
+	r, w := h.Traffic()
+	if r != 100 || w != 50 {
+		t.Errorf("traffic = %d %d", r, w)
+	}
+	h.Reset()
+	r, w = h.Traffic()
+	if r != 0 || w != 0 || h.Allocated() != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestPaperMemoryCapacityClaim(t *testing.T) {
+	// Section 4.2.1: a (656*128)^2 lattice consumes ~96% of a single core's
+	// 16 GB HBM. With the compact bfloat16 representation the four colour
+	// planes hold the whole lattice at 2 bytes/spin plus working temporaries.
+	side := 656 * 128
+	spins := int64(side) * int64(side)
+	latticeBytes := spins * 2
+	h := NewTPUv3()
+	util := float64(latticeBytes) / float64(h.Capacity())
+	if util < 0.75 || util > 1.0 {
+		t.Errorf("lattice alone uses %.2f of HBM; expected the order of the paper's 96%% claim", util)
+	}
+	// The next size up, (672*128)^2 with temporaries, must not fit.
+	side = 672 * 128
+	spins = int64(side) * int64(side)
+	// lattice + one float32 temporary for a quarter of the lattice
+	need := spins*2 + spins
+	if need <= h.Capacity() {
+		t.Errorf("expected %d bytes to exceed capacity %d", need, h.Capacity())
+	}
+}

@@ -1,0 +1,124 @@
+// Package metrics defines the hardware-independent operation counters shared
+// by the device simulators and the performance model.
+//
+// The TensorCore simulator attributes every tensor operation to one of the
+// four categories the paper profiles (Table 3): matrix-unit work, vector-unit
+// work, data formatting (on-core data movement: slicing, rolling,
+// reshaping), and inter-core communication.  The performance model
+// (internal/perf) converts these counts into modelled times using the
+// hardware spec, so instrumented execution and the analytic estimator share
+// one definition of "work".
+package metrics
+
+import "fmt"
+
+// Category identifies which functional unit (or activity) an operation
+// exercises.
+type Category int
+
+const (
+	// MXU is the matrix unit: matrix multiplications and convolutions.
+	MXU Category = iota
+	// VPU is the vector unit: element-wise arithmetic and random number
+	// generation.
+	VPU
+	// Format is on-core data movement: slicing, rolling, concatenation,
+	// reshaping, host transfers.
+	Format
+	// Comm is inter-core communication over the pod interconnect.
+	Comm
+	numCategories
+)
+
+// String returns the profiling label used in the paper's Table 3.
+func (c Category) String() string {
+	switch c {
+	case MXU:
+		return "MXU"
+	case VPU:
+		return "VPU"
+	case Format:
+		return "data formatting"
+	case Comm:
+		return "collective permute"
+	default:
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+}
+
+// Counts accumulates the device-independent work performed by a program.
+type Counts struct {
+	// MXUMacs is the number of multiply-accumulate operations issued to the
+	// matrix unit (one MAC = 2 FLOPs).
+	MXUMacs int64
+	// VPUOps is the number of (weighted) elementary vector-lane operations:
+	// transcendental and random-generation elements carry a higher weight
+	// than adds/compares (see the tensorcore op table).
+	VPUOps int64
+	// FormatBytes is the number of bytes moved by data-formatting operations
+	// (each element counted once on read and once on write).
+	FormatBytes int64
+	// HBMBytes is the total HBM traffic of all categories; it feeds the
+	// roofline model.
+	HBMBytes int64
+	// CommBytes is the number of bytes exchanged with other cores.
+	CommBytes int64
+	// CommEvents is the number of collective operations issued.
+	CommEvents int64
+	// CommHops is the total number of mesh hops traversed by all collectives
+	// (maximum over the pairs of each collective, summed over collectives).
+	CommHops int64
+	// Ops is the total number of device operations dispatched.
+	Ops int64
+}
+
+// Add accumulates o into c.
+func (c *Counts) Add(o Counts) {
+	c.MXUMacs += o.MXUMacs
+	c.VPUOps += o.VPUOps
+	c.FormatBytes += o.FormatBytes
+	c.HBMBytes += o.HBMBytes
+	c.CommBytes += o.CommBytes
+	c.CommEvents += o.CommEvents
+	c.CommHops += o.CommHops
+	c.Ops += o.Ops
+}
+
+// Sub returns c - o, useful for per-interval deltas.
+func (c Counts) Sub(o Counts) Counts {
+	return Counts{
+		MXUMacs:     c.MXUMacs - o.MXUMacs,
+		VPUOps:      c.VPUOps - o.VPUOps,
+		FormatBytes: c.FormatBytes - o.FormatBytes,
+		HBMBytes:    c.HBMBytes - o.HBMBytes,
+		CommBytes:   c.CommBytes - o.CommBytes,
+		CommEvents:  c.CommEvents - o.CommEvents,
+		CommHops:    c.CommHops - o.CommHops,
+		Ops:         c.Ops - o.Ops,
+	}
+}
+
+// Scale returns c with every counter multiplied by k (used to extrapolate a
+// measured sweep to a longer run).
+func (c Counts) Scale(k int64) Counts {
+	return Counts{
+		MXUMacs:     c.MXUMacs * k,
+		VPUOps:      c.VPUOps * k,
+		FormatBytes: c.FormatBytes * k,
+		HBMBytes:    c.HBMBytes * k,
+		CommBytes:   c.CommBytes * k,
+		CommEvents:  c.CommEvents * k,
+		CommHops:    c.CommHops * k,
+		Ops:         c.Ops * k,
+	}
+}
+
+// FLOPs returns the total floating-point operations represented by the
+// counts (2 per MAC; VPU weighted ops are counted as one FLOP each).
+func (c Counts) FLOPs() int64 { return 2*c.MXUMacs + c.VPUOps }
+
+// String summarises the counters.
+func (c Counts) String() string {
+	return fmt.Sprintf("Counts{MACs=%d VPU=%d fmtB=%d hbmB=%d commB=%d commEv=%d ops=%d}",
+		c.MXUMacs, c.VPUOps, c.FormatBytes, c.HBMBytes, c.CommBytes, c.CommEvents, c.Ops)
+}

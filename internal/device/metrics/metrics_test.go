@@ -1,0 +1,62 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddSub(t *testing.T) {
+	a := Counts{MXUMacs: 10, VPUOps: 5, FormatBytes: 3, HBMBytes: 20, CommBytes: 2, CommEvents: 1, CommHops: 4, Ops: 7}
+	b := Counts{MXUMacs: 1, VPUOps: 2, FormatBytes: 3, HBMBytes: 4, CommBytes: 5, CommEvents: 6, CommHops: 7, Ops: 8}
+	var c Counts
+	c.Add(a)
+	c.Add(b)
+	if c.MXUMacs != 11 || c.VPUOps != 7 || c.Ops != 15 || c.CommHops != 11 {
+		t.Fatalf("Add wrong: %+v", c)
+	}
+	d := c.Sub(b)
+	if d != a {
+		t.Fatalf("Sub wrong: %+v", d)
+	}
+}
+
+func TestScaleAndFLOPs(t *testing.T) {
+	a := Counts{MXUMacs: 3, VPUOps: 4}
+	s := a.Scale(10)
+	if s.MXUMacs != 30 || s.VPUOps != 40 {
+		t.Fatalf("Scale wrong: %+v", s)
+	}
+	if a.FLOPs() != 2*3+4 {
+		t.Fatalf("FLOPs = %d", a.FLOPs())
+	}
+}
+
+func TestAddSubInverseProperty(t *testing.T) {
+	f := func(m1, v1, f1, h1, c1, e1, p1, o1 int32) bool {
+		a := Counts{int64(m1), int64(v1), int64(f1), int64(h1), int64(c1), int64(e1), int64(p1), int64(o1)}
+		b := Counts{int64(o1), int64(p1), int64(e1), int64(c1), int64(h1), int64(f1), int64(v1), int64(m1)}
+		c := a
+		c.Add(b)
+		return c.Sub(b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	for _, c := range []Category{MXU, VPU, Format, Comm, Category(99)} {
+		if c.String() == "" {
+			t.Errorf("empty name for %d", int(c))
+		}
+	}
+	if MXU.String() != "MXU" || Comm.String() != "collective permute" {
+		t.Error("category labels changed")
+	}
+}
+
+func TestCountsString(t *testing.T) {
+	if (Counts{}).String() == "" {
+		t.Error("String empty")
+	}
+}

@@ -1,0 +1,121 @@
+package mxu
+
+import (
+	"testing"
+
+	"tpuising/internal/device/spec"
+	"tpuising/internal/rng"
+	"tpuising/internal/tensor"
+)
+
+func TestMatMulResultCorrect(t *testing.T) {
+	m := New()
+	p := rng.New(1)
+	a := tensor.Zeros(16, 16)
+	p.Fill(a.Data())
+	k := tensor.NeighbourKernel(tensor.Float32, 16)
+	got, cost := m.MatMul(a, k)
+	want := tensor.MatMul(a, k)
+	if !got.Equal(want) {
+		t.Fatal("MXU MatMul result differs from tensor.MatMul")
+	}
+	if cost.Macs != 16*16*16 {
+		t.Errorf("Macs = %d", cost.Macs)
+	}
+}
+
+func TestMatMulPaddingCost(t *testing.T) {
+	m := New()
+	a := tensor.Zeros(16, 16)
+	b := tensor.Zeros(16, 16)
+	_, cost := m.MatMul(a, b)
+	// Useful: 16^3; padded: 128^3 (everything rounds up to the array size).
+	if cost.Macs != 16*16*16 {
+		t.Errorf("Macs = %d", cost.Macs)
+	}
+	if cost.PaddedMacs != 128*128*128 {
+		t.Errorf("PaddedMacs = %d", cost.PaddedMacs)
+	}
+	if m.Utilization() >= 0.01 {
+		t.Errorf("utilization for tiny matmul should be <1%%, got %v", m.Utilization())
+	}
+}
+
+func TestMatMulAlignedNoPadding(t *testing.T) {
+	m := New()
+	a := tensor.Zeros(128, 128)
+	b := tensor.Zeros(128, 128)
+	_, cost := m.MatMul(a, b)
+	if cost.Macs != cost.PaddedMacs {
+		t.Errorf("aligned matmul should have no padding: %d vs %d", cost.Macs, cost.PaddedMacs)
+	}
+	if m.Utilization() != 1 {
+		t.Errorf("utilization = %v", m.Utilization())
+	}
+	// Two 128x128 MXUs retire 2*128*128 MACs per cycle -> 64 cycles.
+	if cost.Cycles != 64 {
+		t.Errorf("cycles = %d, want 64", cost.Cycles)
+	}
+}
+
+func TestBatchedCost(t *testing.T) {
+	m := New()
+	a := tensor.New(tensor.Float32, 2, 3, 128, 128)
+	k := tensor.Zeros(128, 128)
+	_, cost := m.MatMul(a, k)
+	if cost.Macs != 6*128*128*128 {
+		t.Errorf("batched Macs = %d", cost.Macs)
+	}
+	_, cost = m.MatMul(k, a)
+	if cost.Macs != 6*128*128*128 {
+		t.Errorf("batched-left Macs = %d", cost.Macs)
+	}
+}
+
+func TestConv2DWrapCost(t *testing.T) {
+	m := New()
+	in := tensor.Zeros(64, 64)
+	kr := tensor.NNConvKernel(tensor.Float32)
+	out, cost := m.Conv2DWrap(in, kr)
+	if out.Dim(0) != 64 || out.Dim(1) != 64 {
+		t.Fatalf("conv shape %v", out.Shape())
+	}
+	if cost.Macs != 64*64*4 {
+		t.Errorf("conv Macs = %d", cost.Macs)
+	}
+	if cost.Cycles <= 0 {
+		t.Error("conv cycles not positive")
+	}
+}
+
+func TestTotalsAndReset(t *testing.T) {
+	m := New()
+	a := tensor.Zeros(128, 128)
+	m.MatMul(a, a)
+	m.MatMul(a, a)
+	macs, padded, issues := m.Totals()
+	if issues != 2 || macs != 2*128*128*128 || padded != macs {
+		t.Errorf("totals = %d %d %d", macs, padded, issues)
+	}
+	m.Reset()
+	macs, _, issues = m.Totals()
+	if macs != 0 || issues != 0 {
+		t.Error("Reset incomplete")
+	}
+	if m.Utilization() != 0 {
+		t.Error("utilization after reset should be 0")
+	}
+}
+
+func TestPeakMACsPerSecond(t *testing.T) {
+	m := New()
+	peak := m.PeakMACsPerSecond(spec.TPUv3ClockHz)
+	want := float64(2*128*128) * spec.TPUv3ClockHz
+	if peak != want {
+		t.Errorf("peak = %v, want %v", peak, want)
+	}
+	// 2*peak MACs/s = peak FLOPS of the chip spec.
+	if 2*peak != spec.TPUv3Core().PeakFLOPS {
+		t.Error("MXU peak inconsistent with chip spec")
+	}
+}

@@ -1,0 +1,100 @@
+// Package spec holds the hardware descriptions used by the performance
+// model: the TPU v3 TensorCore the paper runs on, the GPU and FPGA systems it
+// compares against, and the published throughput numbers of those external
+// systems (the paper itself compares against published numbers, and so do
+// we).
+package spec
+
+// Chip describes one accelerator core/chip for the purposes of the roofline
+// and energy models.
+type Chip struct {
+	// Name is a human-readable identifier.
+	Name string
+	// ClockHz is the core clock.
+	ClockHz float64
+	// PeakFLOPS is the peak floating-point rate in FLOP/s for the matrix
+	// pipeline at the relevant precision.
+	PeakFLOPS float64
+	// HBMBytes is the high-bandwidth memory capacity in bytes.
+	HBMBytes int64
+	// HBMBandwidth is the HBM bandwidth in bytes/s.
+	HBMBandwidth float64
+	// PowerWatts is the (upper bound) average power used for the energy
+	// estimate, as in Section 4.2.1 of the paper.
+	PowerWatts float64
+}
+
+// TPU v3 TensorCore parameters. A TPU v3 chip holds two TensorCores; the
+// paper quotes 420 TFLOPS and 128 GB HBM for a 4-chip unit, i.e. ~52.5
+// TFLOPS and 16 GB per core, and estimates 200 W per chip (100 W per core).
+const (
+	// TPUv3ClockHz is the TensorCore clock frequency.
+	TPUv3ClockHz = 940e6
+	// MXUSize is the dimension of the systolic multiply-accumulate array.
+	MXUSize = 128
+	// MXUsPerCore is the number of matrix units per TensorCore (v3 has two).
+	MXUsPerCore = 2
+	// VPULanes is the number of vector lanes (8 sublanes x 128 lanes).
+	VPULanes = 8 * 128
+	// HBMTileRows and HBMTileCols are the 2-D tiling granularity of arrays in
+	// HBM: one dimension padded to a multiple of 8, the other to 128.
+	HBMTileRows = 8
+	HBMTileCols = 128
+)
+
+// TPUv3Core returns the spec of a single TPU v3 TensorCore (half a chip).
+func TPUv3Core() Chip {
+	return Chip{
+		Name:         "TPU v3 TensorCore",
+		ClockHz:      TPUv3ClockHz,
+		PeakFLOPS:    MXUsPerCore * MXUSize * MXUSize * 2 * TPUv3ClockHz, // ~61.6 TFLOPS bf16
+		HBMBytes:     16 << 30,
+		HBMBandwidth: 900e9,
+		PowerWatts:   100,
+	}
+}
+
+// TeslaV100 returns the spec of the NVIDIA Tesla V100 (PCIe) used as the
+// paper's single-GPU comparison point.
+func TeslaV100() Chip {
+	return Chip{
+		Name:         "NVIDIA Tesla V100",
+		ClockHz:      1.38e9,
+		PeakFLOPS:    15.7e12, // fp32
+		HBMBytes:     16 << 30,
+		HBMBandwidth: 900e9,
+		PowerWatts:   250,
+	}
+}
+
+// PublishedThroughput records a flips/ns number reported in the literature,
+// used as a reference row in the benchmark tables (as the paper does).
+type PublishedThroughput struct {
+	System      string
+	FlipsPerNs  float64
+	LatticeSide int64 // 0 if unspecified
+	Devices     int
+	Source      string
+}
+
+// PublishedBaselines returns the external reference points quoted in the
+// paper's Tables 1 and 2 and Figure 8.
+func PublishedBaselines() []PublishedThroughput {
+	return []PublishedThroughput{
+		{System: "GPU (Preis et al. 2009 / Block et al. 2010)", FlipsPerNs: 7.9774, Devices: 1, Source: "[23,3]"},
+		{System: "NVIDIA Tesla V100 (paper's CUDA port)", FlipsPerNs: 11.3704, Devices: 1, Source: "Table 1"},
+		{System: "FPGA (Ortega-Zamorano et al. 2016)", FlipsPerNs: 614.4, Devices: 1, Source: "[20]"},
+		{System: "64 GPUs + MPI (Block et al. 2010)", FlipsPerNs: 206, LatticeSide: 800000, Devices: 64, Source: "[3]"},
+		{System: "DGX-2 (Romero et al. 2019)", FlipsPerNs: 1829, Devices: 16, Source: "[25]"},
+		{System: "DGX-2H (Romero et al. 2019)", FlipsPerNs: 2114, Devices: 16, Source: "[25]"},
+	}
+}
+
+// EnergyPerFlip returns the upper-bound energy estimate in nanojoules per
+// flip used in Tables 1 and 2: average power divided by throughput.
+func EnergyPerFlip(powerWatts, flipsPerNs float64) float64 {
+	if flipsPerNs <= 0 {
+		return 0
+	}
+	return powerWatts / flipsPerNs
+}

@@ -1,0 +1,85 @@
+package spec
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTPUv3Core(t *testing.T) {
+	c := TPUv3Core()
+	// The paper quotes 420 TFLOPS for a 4-chip / 8-core unit, so per core the
+	// peak should be in the 50-65 TFLOPS range.
+	if c.PeakFLOPS < 50e12 || c.PeakFLOPS > 70e12 {
+		t.Errorf("TPU v3 core peak FLOPS = %e out of expected range", c.PeakFLOPS)
+	}
+	if c.HBMBytes != 16<<30 {
+		t.Errorf("HBM = %d, want 16 GiB", c.HBMBytes)
+	}
+	if c.PowerWatts != 100 {
+		t.Errorf("power = %v, want 100 W per core (200 W per chip)", c.PowerWatts)
+	}
+	if c.ClockHz != TPUv3ClockHz {
+		t.Error("clock mismatch")
+	}
+}
+
+func TestTeslaV100(t *testing.T) {
+	g := TeslaV100()
+	if g.PowerWatts != 250 {
+		t.Errorf("V100 power = %v, want 250 (PCIe max)", g.PowerWatts)
+	}
+	if g.PeakFLOPS <= 0 || g.HBMBandwidth <= 0 {
+		t.Error("V100 spec incomplete")
+	}
+}
+
+func TestPublishedBaselines(t *testing.T) {
+	bs := PublishedBaselines()
+	if len(bs) < 4 {
+		t.Fatalf("expected at least 4 published baselines, got %d", len(bs))
+	}
+	byName := map[string]float64{}
+	for _, b := range bs {
+		if b.FlipsPerNs <= 0 {
+			t.Errorf("%s has non-positive throughput", b.System)
+		}
+		byName[b.System] = b.FlipsPerNs
+	}
+	// The specific numbers quoted in the paper.
+	checks := map[string]float64{
+		"GPU (Preis et al. 2009 / Block et al. 2010)": 7.9774,
+		"NVIDIA Tesla V100 (paper's CUDA port)":       11.3704,
+		"FPGA (Ortega-Zamorano et al. 2016)":          614.4,
+		"64 GPUs + MPI (Block et al. 2010)":           206,
+	}
+	for name, want := range checks {
+		if got, ok := byName[name]; !ok || got != want {
+			t.Errorf("baseline %q = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestEnergyPerFlip(t *testing.T) {
+	// Table 1: V100 at 11.3704 flips/ns and 250 W -> 21.9869 nJ/flip.
+	got := EnergyPerFlip(250, 11.3704)
+	if math.Abs(got-21.9869) > 0.001 {
+		t.Errorf("V100 energy = %v, want 21.9869", got)
+	}
+	// TPU core at 12.9056 flips/ns and 100 W -> 7.7486 nJ/flip.
+	got = EnergyPerFlip(100, 12.9056)
+	if math.Abs(got-7.7486) > 0.001 {
+		t.Errorf("TPU energy = %v, want 7.7486", got)
+	}
+	if EnergyPerFlip(100, 0) != 0 {
+		t.Error("zero throughput should give zero energy")
+	}
+}
+
+func TestMXUConstants(t *testing.T) {
+	if MXUSize != 128 || MXUsPerCore != 2 {
+		t.Error("MXU geometry changed")
+	}
+	if HBMTileRows != 8 || HBMTileCols != 128 {
+		t.Error("HBM tiling constants changed; the performance guide mandates (8,128)")
+	}
+}

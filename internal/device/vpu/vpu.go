@@ -1,0 +1,140 @@
+// Package vpu models the TPU vector processing unit: the 8x128-lane unit
+// that performs element-wise arithmetic, comparisons, transcendental
+// functions and on-chip random number generation.
+//
+// In the paper's profile (Table 3) the VPU accounts for ~12% of the step
+// time, dominated by the generation of the uniform random tensors.  The cost
+// model assigns each element-wise operation a weight in "lane-operations";
+// random generation and transcendentals are substantially more expensive per
+// element than adds and compares.
+package vpu
+
+import (
+	"tpuising/internal/device/spec"
+	"tpuising/internal/rng"
+	"tpuising/internal/tensor"
+)
+
+// Op weights in elementary lane-operations per element.  RandomWeight
+// reflects the multi-round Philox generation plus the int->float conversion;
+// ExpWeight reflects the polynomial evaluation of the exponential.
+const (
+	AddWeight     = 1
+	MulWeight     = 1
+	CompareWeight = 1
+	SelectWeight  = 1
+	ExpWeight     = 4
+	RandomWeight  = 6
+)
+
+// VPU models the vector unit of one TensorCore.
+type VPU struct {
+	// Lanes is the number of vector lanes working in parallel.
+	Lanes int
+
+	ops    int64 // weighted lane-operations
+	elems  int64 // elements processed
+	issues int64
+}
+
+// New returns the TPU v3 vector-unit configuration.
+func New() *VPU { return &VPU{Lanes: spec.VPULanes} }
+
+// Cost describes the work of one vector-unit dispatch.
+type Cost struct {
+	// Elements is the number of tensor elements processed.
+	Elements int64
+	// LaneOps is the weighted lane-operation count.
+	LaneOps int64
+	// Cycles is the modelled occupancy of the vector unit.
+	Cycles int64
+}
+
+func (v *VPU) cost(elements int64, weight int64) Cost {
+	ops := elements * weight
+	cycles := (ops + int64(v.Lanes) - 1) / int64(v.Lanes)
+	c := Cost{Elements: elements, LaneOps: ops, Cycles: cycles}
+	v.ops += ops
+	v.elems += elements
+	v.issues++
+	return c
+}
+
+// Add executes an element-wise addition.
+func (v *VPU) Add(a, b *tensor.Tensor) (*tensor.Tensor, Cost) {
+	return tensor.Add(a, b), v.cost(int64(a.NumElements()), AddWeight)
+}
+
+// Sub executes an element-wise subtraction.
+func (v *VPU) Sub(a, b *tensor.Tensor) (*tensor.Tensor, Cost) {
+	return tensor.Sub(a, b), v.cost(int64(a.NumElements()), AddWeight)
+}
+
+// Mul executes an element-wise multiplication.
+func (v *VPU) Mul(a, b *tensor.Tensor) (*tensor.Tensor, Cost) {
+	return tensor.Mul(a, b), v.cost(int64(a.NumElements()), MulWeight)
+}
+
+// Scale executes an element-wise scale by a constant.
+func (v *VPU) Scale(a *tensor.Tensor, s float32) (*tensor.Tensor, Cost) {
+	return tensor.Scale(a, s), v.cost(int64(a.NumElements()), MulWeight)
+}
+
+// Exp executes an element-wise exponential.
+func (v *VPU) Exp(a *tensor.Tensor) (*tensor.Tensor, Cost) {
+	return tensor.Exp(a), v.cost(int64(a.NumElements()), ExpWeight)
+}
+
+// Less executes an element-wise comparison producing a 0/1 tensor.
+func (v *VPU) Less(a, b *tensor.Tensor) (*tensor.Tensor, Cost) {
+	return tensor.Less(a, b), v.cost(int64(a.NumElements()), CompareWeight)
+}
+
+// Where executes an element-wise select.
+func (v *VPU) Where(cond, a, b *tensor.Tensor) (*tensor.Tensor, Cost) {
+	return tensor.Where(cond, a, b), v.cost(int64(cond.NumElements()), SelectWeight)
+}
+
+// RandomUniform fills a new tensor of the given shape with uniforms from the
+// sequential Philox stream.
+func (v *VPU) RandomUniform(dtype tensor.DType, p *rng.Philox, shape ...int) (*tensor.Tensor, Cost) {
+	t := tensor.New(dtype, shape...)
+	p.Fill(t.Data())
+	if dtype == tensor.BFloat16 {
+		// Re-round through the dtype: Fill wrote raw float32 values.
+		tensor.CopyFrom(t, t.Clone())
+	}
+	return t, v.cost(int64(t.NumElements()), RandomWeight)
+}
+
+// RandomUniformSites fills a new [rows, cols] tensor with the site-keyed
+// uniforms of the global lattice sites (rowOff + i*rowStride,
+// colOff + j*colStride) at the given step. This is the generator used by the
+// checkerboard kernels so that domain decomposition does not change the
+// random stream.
+func (v *VPU) RandomUniformSites(dtype tensor.DType, sk *rng.SiteKeyed, step uint64,
+	rowOff, colOff, rows, cols, rowStride, colStride int) (*tensor.Tensor, Cost) {
+	t := tensor.New(dtype, rows, cols)
+	data := t.Data()
+	for i := 0; i < rows; i++ {
+		gr := rowOff + i*rowStride
+		base := i * cols
+		for j := 0; j < cols; j++ {
+			data[base+j] = sk.Uniform(step, gr, colOff+j*colStride)
+		}
+	}
+	if dtype == tensor.BFloat16 {
+		tensor.CopyFrom(t, t.Clone())
+	}
+	return t, v.cost(int64(rows)*int64(cols), RandomWeight)
+}
+
+// Totals returns the accumulated weighted lane-operations, elements and
+// dispatch count.
+func (v *VPU) Totals() (laneOps, elements, issues int64) { return v.ops, v.elems, v.issues }
+
+// PeakOpsPerSecond returns the peak lane-operation rate at the given clock.
+func (v *VPU) PeakOpsPerSecond(clockHz float64) float64 { return float64(v.Lanes) * clockHz }
+
+// Reset clears the accumulated counters.
+func (v *VPU) Reset() { v.ops, v.elems, v.issues = 0, 0, 0 }

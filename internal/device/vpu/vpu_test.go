@@ -1,0 +1,138 @@
+package vpu
+
+import (
+	"testing"
+
+	"tpuising/internal/rng"
+	"tpuising/internal/tensor"
+)
+
+func TestElementwiseResultsMatchTensorOps(t *testing.T) {
+	v := New()
+	p := rng.New(1)
+	a, b := tensor.Zeros(8, 8), tensor.Zeros(8, 8)
+	p.Fill(a.Data())
+	p.Fill(b.Data())
+
+	if got, _ := v.Add(a, b); !got.Equal(tensor.Add(a, b)) {
+		t.Error("Add mismatch")
+	}
+	if got, _ := v.Sub(a, b); !got.Equal(tensor.Sub(a, b)) {
+		t.Error("Sub mismatch")
+	}
+	if got, _ := v.Mul(a, b); !got.Equal(tensor.Mul(a, b)) {
+		t.Error("Mul mismatch")
+	}
+	if got, _ := v.Scale(a, 2.5); !got.Equal(tensor.Scale(a, 2.5)) {
+		t.Error("Scale mismatch")
+	}
+	if got, _ := v.Exp(a); !got.Equal(tensor.Exp(a)) {
+		t.Error("Exp mismatch")
+	}
+	if got, _ := v.Less(a, b); !got.Equal(tensor.Less(a, b)) {
+		t.Error("Less mismatch")
+	}
+	cond := tensor.Less(a, b)
+	if got, _ := v.Where(cond, a, b); !got.Equal(tensor.Where(cond, a, b)) {
+		t.Error("Where mismatch")
+	}
+}
+
+func TestCostWeights(t *testing.T) {
+	v := New()
+	a, b := tensor.Zeros(10, 10), tensor.Zeros(10, 10)
+	_, c := v.Add(a, b)
+	if c.LaneOps != 100*AddWeight || c.Elements != 100 {
+		t.Errorf("Add cost = %+v", c)
+	}
+	_, c = v.Exp(a)
+	if c.LaneOps != 100*ExpWeight {
+		t.Errorf("Exp cost = %+v", c)
+	}
+	p := rng.New(2)
+	_, c = v.RandomUniform(tensor.Float32, p, 10, 10)
+	if c.LaneOps != 100*RandomWeight {
+		t.Errorf("RandomUniform cost = %+v", c)
+	}
+	if RandomWeight <= AddWeight || ExpWeight <= AddWeight {
+		t.Error("random/exp should cost more than add per element")
+	}
+}
+
+func TestCyclesRespectLaneCount(t *testing.T) {
+	v := New()
+	a, b := tensor.Zeros(1, v.Lanes), tensor.Zeros(1, v.Lanes)
+	_, c := v.Add(a, b)
+	if c.Cycles != 1 {
+		t.Errorf("one full vector of adds should take 1 cycle, got %d", c.Cycles)
+	}
+	a2, b2 := tensor.Zeros(1, v.Lanes+1), tensor.Zeros(1, v.Lanes+1)
+	_, c = v.Add(a2, b2)
+	if c.Cycles != 2 {
+		t.Errorf("lanes+1 adds should take 2 cycles, got %d", c.Cycles)
+	}
+}
+
+func TestRandomUniformRangeAndDeterminism(t *testing.T) {
+	v := New()
+	got1, _ := v.RandomUniform(tensor.Float32, rng.New(7), 16, 16)
+	got2, _ := v.RandomUniform(tensor.Float32, rng.New(7), 16, 16)
+	if !got1.Equal(got2) {
+		t.Fatal("same seed must give same tensor")
+	}
+	mn, mx := tensor.MinMax(got1)
+	if mn < 0 || mx >= 1 {
+		t.Errorf("uniforms out of range: [%v, %v]", mn, mx)
+	}
+}
+
+func TestRandomUniformSitesMatchesSiteKeyed(t *testing.T) {
+	v := New()
+	sk := rng.NewSiteKeyed(11)
+	// Strided window: the white sub-lattice sites (odd columns) of rows 4..9.
+	out, cost := v.RandomUniformSites(tensor.Float32, sk, 3, 4, 1, 6, 5, 1, 2)
+	if cost.Elements != 30 {
+		t.Errorf("elements = %d", cost.Elements)
+	}
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 5; j++ {
+			want := sk.Uniform(3, 4+i, 1+2*j)
+			if out.At(i, j) != want {
+				t.Fatalf("site (%d,%d) = %v, want %v", i, j, out.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestRandomUniformBF16Rounded(t *testing.T) {
+	v := New()
+	out, _ := v.RandomUniform(tensor.BFloat16, rng.New(9), 32, 32)
+	// Every value must be representable in bf16, i.e. equal to its rounding.
+	rounded := out.AsType(tensor.BFloat16)
+	if !out.Equal(rounded) {
+		t.Fatal("bf16 RandomUniform values are not bf16-rounded")
+	}
+}
+
+func TestTotalsAndReset(t *testing.T) {
+	v := New()
+	a, b := tensor.Zeros(4, 4), tensor.Zeros(4, 4)
+	v.Add(a, b)
+	v.Exp(a)
+	ops, elems, issues := v.Totals()
+	if issues != 2 || elems != 32 || ops != 16*AddWeight+16*ExpWeight {
+		t.Errorf("totals = %d %d %d", ops, elems, issues)
+	}
+	v.Reset()
+	ops, _, issues = v.Totals()
+	if ops != 0 || issues != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestPeakOpsPerSecond(t *testing.T) {
+	v := New()
+	if v.PeakOpsPerSecond(1e9) != float64(v.Lanes)*1e9 {
+		t.Error("peak rate wrong")
+	}
+}

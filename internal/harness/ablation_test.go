@@ -1,0 +1,48 @@
+package harness
+
+import (
+	"testing"
+
+	"tpuising/internal/perf"
+)
+
+func TestAlgorithmAblation(t *testing.T) {
+	tab := AlgorithmAblation(perf.DefaultModel(), 160, 160)
+	if len(tab.Rows) != 6 {
+		t.Fatalf("expected 3 kernels x 2 precisions, got %d rows", len(tab.Rows))
+	}
+	step := func(row int) float64 { return parseFloat(t, tab.Cell(row, 2)) }
+	macs := func(row int) float64 { return parseFloat(t, tab.Cell(row, 4)) }
+	footprint := func(row int) float64 { return parseFloat(t, tab.Cell(row, 5)) }
+
+	// Row layout: 0-1 naive (bf16, f32), 2-3 optim, 4-5 conv.
+	naive, optim, conv := step(0), step(2), step(4)
+	if !(naive > optim && optim > conv) {
+		t.Fatalf("expected naive > optim > conv step times, got %.1f / %.1f / %.1f", naive, optim, conv)
+	}
+	// The paper: Algorithm 2 is ~3x faster than Algorithm 1; the conv variant
+	// a further ~1.7x. Accept a generous band around both.
+	if r := naive / optim; r < 1.8 || r > 4.5 {
+		t.Fatalf("Algorithm 2 speedup over Algorithm 1 = %.2fx, paper reports ~3x", r)
+	}
+	if r := optim / conv; r < 1.3 || r > 2.3 {
+		t.Fatalf("conv speedup over Algorithm 2 = %.2fx, paper reports ~1.7x", r)
+	}
+	// Algorithm 2 issues fewer MACs than Algorithm 1; the conv lowering far
+	// fewer than either (its slowness per MAC is the efficiency difference).
+	if !(macs(0) > macs(2) && macs(2) > macs(4)) {
+		t.Fatal("MAC ordering wrong")
+	}
+	// bfloat16 halves the footprint relative to float32 for every kernel.
+	for r := 0; r < 6; r += 2 {
+		ratio := footprint(r+1) / footprint(r)
+		if ratio < 1.9 || ratio > 2.1 {
+			t.Fatalf("row %d: float32/bfloat16 footprint ratio %.2f, want ~2", r, ratio)
+		}
+	}
+	// Same-precision rows share the footprint column (it describes the state,
+	// not the kernel).
+	if footprint(0) != footprint(2) {
+		t.Fatal("footprint should not depend on the kernel")
+	}
+}

@@ -1,0 +1,398 @@
+package harness
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"tpuising/internal/perf"
+)
+
+func parseFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		t.Fatalf("cell %q is not numeric: %v", s, err)
+	}
+	return v
+}
+
+func TestTable1ShapeAndWinners(t *testing.T) {
+	tab := Table1(perf.DefaultModel())
+	if len(tab.Rows) != 9 {
+		t.Fatalf("Table 1 should have 6 TPU rows + 3 reference rows, got %d", len(tab.Rows))
+	}
+	// Throughput must be monotone non-decreasing over the TPU rows
+	// (Table 1's shape) and the largest lattice must beat the V100 and the
+	// Preis GPU baselines (the paper's headline single-core comparison).
+	prev := 0.0
+	for i := 0; i < 6; i++ {
+		v := parseFloat(t, tab.Cell(i, 1))
+		if v < prev {
+			t.Fatalf("row %d: throughput %v decreased from %v", i, v, prev)
+		}
+		prev = v
+	}
+	saturated := parseFloat(t, tab.Cell(5, 1))
+	v100 := parseFloat(t, tab.Cell(7, 1))
+	gpu := parseFloat(t, tab.Cell(6, 1))
+	fpga := parseFloat(t, tab.Cell(8, 1))
+	if saturated <= v100 {
+		t.Fatalf("TPU core (%.2f) should beat the V100 (%.2f)", saturated, v100)
+	}
+	if saturated <= gpu {
+		t.Fatalf("TPU core (%.2f) should beat the Preis GPU (%.2f)", saturated, gpu)
+	}
+	if saturated >= fpga {
+		t.Fatalf("the FPGA (%.1f) should remain faster than a TPU core (%.2f), as in the paper", fpga, saturated)
+	}
+	// Energy: the TPU core should be more efficient than the V100 row.
+	if tpuE, v100E := parseFloat(t, tab.Cell(5, 2)), parseFloat(t, tab.Cell(7, 2)); tpuE >= v100E {
+		t.Fatalf("TPU energy %.2f nJ/flip should be below the V100's %.2f", tpuE, v100E)
+	}
+}
+
+func TestTable2WeakScalingLinear(t *testing.T) {
+	tab := Table2(perf.DefaultModel())
+	if len(tab.Rows) != 6 {
+		t.Fatalf("Table 2 should have 5 TPU rows + 1 GPU reference, got %d", len(tab.Rows))
+	}
+	// Step time roughly constant (weak scaling), throughput growing ~4x per
+	// row (cores quadruple each row).
+	firstStep := parseFloat(t, tab.Cell(0, 2))
+	prevTput := 0.0
+	for i := 0; i < 5; i++ {
+		step := parseFloat(t, tab.Cell(i, 2))
+		if math.Abs(step-firstStep)/firstStep > 0.01 {
+			t.Fatalf("row %d: step time %.2f ms deviates from %.2f ms", i, step, firstStep)
+		}
+		tput := parseFloat(t, tab.Cell(i, 3))
+		if i > 0 {
+			ratio := tput / prevTput
+			if ratio < 3.9 || ratio > 4.1 {
+				t.Fatalf("row %d: throughput ratio %.2f, want ~4 (linear scaling)", i, ratio)
+			}
+		}
+		prevTput = tput
+	}
+	// Step time in the paper's regime (~575 ms).
+	if firstStep < 540 || firstStep > 610 {
+		t.Fatalf("step time %.1f ms, paper reports ~575 ms", firstStep)
+	}
+	// Per-core speedup vs the per-GPU rate of the 64-GPU cluster: the paper
+	// reports ~3.5x (250% speedup).
+	tputLargest := parseFloat(t, tab.Cell(4, 3))
+	perCore := tputLargest / 512
+	gpuCluster := parseFloat(t, tab.Cell(5, 3))
+	perGPU := gpuCluster / 64
+	if ratio := perCore / perGPU; ratio < 2.5 || ratio > 5 {
+		t.Fatalf("per-core vs per-GPU ratio %.2f, paper reports ~3.5", ratio)
+	}
+}
+
+func TestTable3BreakdownStable(t *testing.T) {
+	tab := Table3(perf.DefaultModel())
+	for i := range tab.Rows {
+		mxu := parseFloat(t, tab.Cell(i, 1))
+		vpu := parseFloat(t, tab.Cell(i, 2))
+		format := parseFloat(t, tab.Cell(i, 3))
+		comm := parseFloat(t, tab.Cell(i, 4))
+		if math.Abs(mxu-59.6) > 1.5 || math.Abs(vpu-12) > 1.0 || math.Abs(format-28.2) > 1.5 {
+			t.Fatalf("row %d breakdown %.1f/%.1f/%.1f deviates from the paper's 59.6/12/28.2", i, mxu, vpu, format)
+		}
+		if comm > 0.2 {
+			t.Fatalf("row %d: collective permute %.3f%% should be well below 1%%", i, comm)
+		}
+		total := mxu + vpu + format + comm
+		if math.Abs(total-100) > 0.5 {
+			t.Fatalf("row %d: breakdown sums to %.2f%%", i, total)
+		}
+	}
+}
+
+func TestTable4CommGrowsWithCoresNotSize(t *testing.T) {
+	tab := Table4(perf.DefaultModel())
+	if len(tab.Rows) != 9 {
+		t.Fatalf("expected 9 rows, got %d", len(tab.Rows))
+	}
+	// Communication time is a sub-millisecond quantity that grows with the
+	// pod size and only weakly with the per-core lattice size.
+	commAt := func(row int) float64 { return parseFloat(t, tab.Cell(row, 3)) }
+	stepAt := func(row int) float64 { return parseFloat(t, tab.Cell(row, 2)) }
+	for i := 0; i < 9; i++ {
+		if commAt(i) <= 0 || commAt(i) > 1.5 {
+			t.Fatalf("row %d: comm time %.3f ms outside the paper's 0.18-0.65 ms regime", i, commAt(i))
+		}
+		if commAt(i) > 0.02*stepAt(i) {
+			t.Fatalf("row %d: comm is %.1f%% of the step, should be negligible",
+				i, 100*commAt(i)/stepAt(i))
+		}
+	}
+	// Rows are grouped by pod size (3 per-core sizes each); compare the same
+	// per-core size across pod sizes.
+	for k := 0; k < 3; k++ {
+		if !(commAt(k) < commAt(k+3) && commAt(k+3) < commAt(k+6)) {
+			t.Fatalf("comm time should grow with the pod size for per-core config %d", k)
+		}
+	}
+	// For a fixed total lattice (the diagonal), the step time drops roughly
+	// 4x per step down the diagonal, as in the paper's two-regime discussion.
+	d0, d1, d2 := stepAt(0), stepAt(4), stepAt(8)
+	if !(d0 > 3.5*d1 && d1 > 3.5*d2) {
+		t.Fatalf("diagonal step times %.1f/%.1f/%.1f ms do not show the ~4x strong-scaling drop", d0, d1, d2)
+	}
+}
+
+func TestTable5RooflineRegime(t *testing.T) {
+	tab := Table5(perf.DefaultModel())
+	for i := range tab.Rows {
+		tflops := parseFloat(t, tab.Cell(i, 1))
+		roofPct := parseFloat(t, tab.Cell(i, 2))
+		peakPct := parseFloat(t, tab.Cell(i, 3))
+		if tflops < 5 || tflops > 7 {
+			t.Fatalf("row %d: %.2f TFLOPS, paper reports ~5.9", i, tflops)
+		}
+		if roofPct < 60 || roofPct > 95 {
+			t.Fatalf("row %d: %.1f%% of roofline, paper reports ~76%%", i, roofPct)
+		}
+		if peakPct < 8 || peakPct > 11 {
+			t.Fatalf("row %d: %.1f%% of peak, paper reports ~9.3%%", i, peakPct)
+		}
+		if tab.Cell(i, 4) != "true" {
+			t.Fatalf("row %d should be memory bound", i)
+		}
+	}
+}
+
+func TestTable6WeakScalingConv(t *testing.T) {
+	tab := Table6(perf.DefaultModel())
+	if len(tab.Rows) != 25 {
+		t.Fatalf("expected 10+10+5 rows, got %d", len(tab.Rows))
+	}
+	// Within each density section the step time stays nearly constant and
+	// the throughput grows with the core count.
+	sections := [][2]int{{0, 10}, {10, 20}, {20, 25}}
+	wantStep := []float64{41, 164, 332} // ms, paper's three densities
+	for s, sec := range sections {
+		first := parseFloat(t, tab.Cell(sec[0], 3))
+		if math.Abs(first-wantStep[s])/wantStep[s] > 0.15 {
+			t.Fatalf("section %d: step %.1f ms, paper reports ~%.0f ms", s, first, wantStep[s])
+		}
+		prevTput := 0.0
+		for i := sec[0]; i < sec[1]; i++ {
+			step := parseFloat(t, tab.Cell(i, 3))
+			if math.Abs(step-first)/first > 0.02 {
+				t.Fatalf("section %d row %d: step %.1f ms deviates from %.1f (weak scaling broken)",
+					s, i, step, first)
+			}
+			tput := parseFloat(t, tab.Cell(i, 4))
+			if tput <= prevTput {
+				t.Fatalf("section %d row %d: throughput %.1f did not grow", s, i, tput)
+			}
+			prevTput = tput
+		}
+	}
+	// The largest configuration sustains tens of thousands of flips/ns
+	// (paper: ~40,000 at [45,45] dense / [32,64] superdense).
+	last := parseFloat(t, tab.Cell(19, 4))
+	if last < 20000 || last > 80000 {
+		t.Fatalf("largest dense configuration %.0f flips/ns, paper reports ~40,000", last)
+	}
+}
+
+func TestTable7AndFigure9StrongScaling(t *testing.T) {
+	m := perf.DefaultModel()
+	tab := Table7(m)
+	if len(tab.Rows) != 9 {
+		t.Fatalf("expected 9 rows, got %d", len(tab.Rows))
+	}
+	// Throughput grows monotonically with cores, step time shrinks, and the
+	// parallel efficiency at 2048 cores is clearly below the 64-core value
+	// but not collapsed.
+	prevTput := 0.0
+	for i := range tab.Rows {
+		tput := parseFloat(t, tab.Cell(i, 3))
+		if tput <= prevTput {
+			t.Fatalf("row %d: throughput %.1f did not grow", i, tput)
+		}
+		prevTput = tput
+	}
+	effMid := parseFloat(t, tab.Cell(3, 4))  // 64 cores
+	effLast := parseFloat(t, tab.Cell(8, 4)) // 2048 cores
+	if effMid < 0.8 {
+		t.Fatalf("64-core efficiency %.2f should still be near-linear", effMid)
+	}
+	if effLast >= effMid {
+		t.Fatal("2048-core efficiency should be below the 64-core efficiency")
+	}
+	if effLast < 0.2 {
+		t.Fatalf("2048-core efficiency %.2f collapsed", effLast)
+	}
+
+	fig := Figure9(m)
+	if len(fig.Rows) != 9 {
+		t.Fatalf("Figure 9 should mirror Table 7's rows")
+	}
+	for i := range fig.Rows {
+		actual := parseFloat(t, fig.Cell(i, 1))
+		ideal := parseFloat(t, fig.Cell(i, 2))
+		if actual > ideal*1.0001 {
+			t.Fatalf("row %d: actual %.1f exceeds ideal %.1f", i, actual, ideal)
+		}
+	}
+}
+
+func TestTableHBM(t *testing.T) {
+	tab := TableHBM(perf.DefaultModel())
+	bf16 := parseFloat(t, tab.Cell(0, 1))
+	f32 := parseFloat(t, tab.Cell(1, 1))
+	if bf16 <= f32 {
+		t.Fatal("bfloat16 should allow a larger lattice than float32")
+	}
+	if bf16 < 70000 || bf16 > 95000 {
+		t.Fatalf("bf16 max side %v, paper reports 83968", bf16)
+	}
+}
+
+func TestFigure8Winners(t *testing.T) {
+	tab := Figure8(perf.DefaultModel())
+	// Collect throughput by system substring.
+	get := func(substr string) float64 {
+		t.Helper()
+		best := -1.0
+		for i := range tab.Rows {
+			if strings.Contains(tab.Cell(i, 0), substr) {
+				if v := parseFloat(t, tab.Cell(i, 3)); v > best {
+					best = v
+				}
+			}
+		}
+		if best < 0 {
+			t.Fatalf("no row matching %q", substr)
+		}
+		return best
+	}
+	tpuCore := get("TPU v3 core")
+	v100 := get("Tesla V100")
+	fpga := get("FPGA")
+	pod := get("pod slice 16x16x2")
+	convPod := get("[45,45]")
+	dgx2h := get("DGX-2H")
+	if tpuCore <= v100 {
+		t.Fatal("TPU core should beat the V100")
+	}
+	if fpga <= tpuCore {
+		t.Fatal("the FPGA should beat a single TPU core")
+	}
+	if pod <= fpga || pod <= dgx2h {
+		t.Fatal("a 512-core pod slice should beat every single-device and DGX system")
+	}
+	if convPod <= pod {
+		t.Fatal("the 2025-core conv pod should be the fastest configuration")
+	}
+}
+
+func TestCorrectnessFiguresSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("correctness figures run real Monte-Carlo chains")
+	}
+	cfg := CorrectnessConfig{
+		Sizes:        []int{16},
+		TileSize:     4,
+		Temperatures: []float64{1.6, 3.2},
+		BurnIn:       150,
+		Samples:      150,
+		Seed:         7,
+	}
+	for _, tab := range []*Table{Figure4(cfg), Figure7(cfg)} {
+		// 1 size x 2 precisions x 2 temperatures = 4 rows.
+		if len(tab.Rows) != 4 {
+			t.Fatalf("%s: expected 4 rows, got %d", tab.ID, len(tab.Rows))
+		}
+		for i := range tab.Rows {
+			tOverTc := parseFloat(t, tab.Cell(i, 2))
+			absM := parseFloat(t, tab.Cell(i, 3))
+			u4 := parseFloat(t, tab.Cell(i, 5))
+			if tOverTc < 1 && absM < 0.85 {
+				t.Fatalf("%s row %d: ordered phase |m| = %.3f", tab.ID, i, absM)
+			}
+			if tOverTc > 1.3 && absM > 0.45 {
+				t.Fatalf("%s row %d: disordered phase |m| = %.3f", tab.ID, i, absM)
+			}
+			// U4 is 2/3 in the ordered phase and tends to 0 above Tc; with a
+			// small lattice and few samples it can fluctuate slightly negative.
+			if u4 < -0.3 || u4 > 0.7 {
+				t.Fatalf("%s row %d: Binder parameter %.3f outside the physical range", tab.ID, i, u4)
+			}
+		}
+	}
+}
+
+func TestPrecisionComparisonSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("precision comparison runs real Monte-Carlo chains")
+	}
+	tab := PrecisionComparison(16, 4, 150, 200, 3)
+	if len(tab.Rows) != 3 {
+		t.Fatalf("expected 3 temperatures, got %d", len(tab.Rows))
+	}
+	// Below Tc the two precisions must agree closely on |m| (the paper's
+	// claim); at and above Tc small lattices fluctuate more, so only bound
+	// the difference loosely.
+	if d := math.Abs(parseFloat(t, tab.Cell(0, 3))); d > 0.05 {
+		t.Fatalf("ordered-phase |m| difference %.3f between precisions", d)
+	}
+	for i := range tab.Rows {
+		if d := math.Abs(parseFloat(t, tab.Cell(i, 6))); d > 0.35 {
+			t.Fatalf("row %d: Binder difference %.3f too large", i, d)
+		}
+	}
+}
+
+func TestRenderingHelpers(t *testing.T) {
+	tab := &Table{
+		ID:      "demo",
+		Title:   "demo table",
+		Columns: []string{"a", "b,comma", "c"},
+		Notes:   []string{"a note"},
+	}
+	tab.AddRow("x", 1.5, 42)
+	tab.AddRow("y", int64(7), "has \"quotes\", and commas")
+	text := tab.Text()
+	if !strings.Contains(text, "DEMO") || !strings.Contains(text, "a note") {
+		t.Fatalf("text rendering missing pieces:\n%s", text)
+	}
+	csv := tab.CSV()
+	if !strings.Contains(csv, `"b,comma"`) {
+		t.Fatalf("CSV did not quote the comma header:\n%s", csv)
+	}
+	if !strings.Contains(csv, `"has ""quotes"", and commas"`) {
+		t.Fatalf("CSV did not escape quotes:\n%s", csv)
+	}
+	if tab.Cell(0, 2) != "42" {
+		t.Fatalf("Cell = %q", tab.Cell(0, 2))
+	}
+}
+
+func TestAllPerformanceTables(t *testing.T) {
+	tabs := AllPerformanceTables(perf.DefaultModel())
+	if len(tabs) != 11 {
+		t.Fatalf("expected 11 tables, got %d", len(tabs))
+	}
+	seen := map[string]bool{}
+	for _, tab := range tabs {
+		if tab.ID == "" || len(tab.Rows) == 0 || len(tab.Columns) == 0 {
+			t.Fatalf("table %q is empty", tab.ID)
+		}
+		if seen[tab.ID] {
+			t.Fatalf("duplicate table id %q", tab.ID)
+		}
+		seen[tab.ID] = true
+		for i, row := range tab.Rows {
+			if len(row) != len(tab.Columns) {
+				t.Fatalf("%s row %d has %d cells for %d columns", tab.ID, i, len(row), len(tab.Columns))
+			}
+		}
+	}
+}

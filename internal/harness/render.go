@@ -1,0 +1,139 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation section. Each experiment is one exported function returning a
+// *Table (rows of formatted cells plus notes), which the cmd/benchtables
+// binary renders to text and CSV and the repository-level benchmarks time.
+//
+// The performance tables (1-7) and the system-comparison figures (8, 9) are
+// produced by the calibrated performance model in internal/perf driven by the
+// analytic work estimator, because the paper-scale lattices and pods cannot
+// be materialised on a workstation; the correctness figures (4, 7) run the
+// real Markov chains on the TensorCore simulator at laptop scale. The mapping
+// from experiment to modules, and the paper-vs-measured comparison, is
+// recorded in DESIGN.md and EXPERIMENTS.md.
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one regenerated table or figure data set.
+type Table struct {
+	// ID is the experiment identifier, e.g. "table1" or "figure8".
+	ID string
+	// Title is a human-readable description.
+	Title string
+	// Columns are the column headers.
+	Columns []string
+	// Rows are the formatted cells, one slice per row.
+	Rows [][]string
+	// Notes are free-form remarks rendered below the table.
+	Notes []string
+}
+
+// AddRow appends a formatted row built from arbitrary values.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = formatFloat(v)
+		case int:
+			row[i] = fmt.Sprintf("%d", v)
+		case int64:
+			row[i] = fmt.Sprintf("%d", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// formatFloat renders a float with a precision appropriate to its magnitude.
+func formatFloat(v float64) string {
+	av := v
+	if av < 0 {
+		av = -av
+	}
+	switch {
+	case av == 0:
+		return "0"
+	case av >= 1e6:
+		return fmt.Sprintf("%.4g", v)
+	case av >= 100:
+		return fmt.Sprintf("%.1f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.4g", v)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}
+
+// Text renders the table as aligned monospaced text.
+func (t *Table) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", strings.ToUpper(t.ID), t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	total := len(widths) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (cells containing commas
+// are quoted).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				b.WriteString(`"` + strings.ReplaceAll(cell, `"`, `""`) + `"`)
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Cell returns the cell at (row, col) for tests and downstream consumers.
+func (t *Table) Cell(row, col int) string { return t.Rows[row][col] }

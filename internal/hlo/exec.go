@@ -1,0 +1,196 @@
+package hlo
+
+import (
+	"fmt"
+
+	"tpuising/internal/device/tensorcore"
+	"tpuising/internal/device/vpu"
+	"tpuising/internal/rng"
+	"tpuising/internal/tensor"
+)
+
+// Executable is a compiled graph ready to run repeatedly on a TensorCore,
+// like the LLO program deployed to the device in Figure 2 of the paper.
+type Executable struct {
+	graph  *Graph
+	report PassReport
+	cost   CompileCostModel
+}
+
+// Compile optimises the graph and returns an executable.
+func Compile(g *Graph) *Executable {
+	opt, report := Optimize(g)
+	return &Executable{graph: opt, report: report, cost: DefaultCompileCostModel()}
+}
+
+// Report returns what the optimisation pipeline did.
+func (e *Executable) Report() PassReport { return e.report }
+
+// Graph returns the optimised graph.
+func (e *Executable) Graph() *Graph { return e.graph }
+
+// CompileSec returns the modelled one-off compilation cost.
+func (e *Executable) CompileSec() float64 { return e.cost.CompileSec(e.graph) }
+
+// AmortizedOverhead returns the compile share of a run of `steps` steps.
+func (e *Executable) AmortizedOverhead(stepSec float64, steps int) float64 {
+	return e.cost.AmortizedOverhead(e.graph, stepSec, steps)
+}
+
+// RunContext supplies the execution-time state that is not part of the graph:
+// the site-keyed random stream and the Monte-Carlo step index.
+type RunContext struct {
+	// SiteKeyed is the random stream used by rng-site-uniform nodes.
+	SiteKeyed *rng.SiteKeyed
+	// Step is the Monte-Carlo step index baked into the random counters.
+	Step uint64
+}
+
+// Run executes the program on the core with the named parameter feeds and
+// returns the output tensors in the graph's output order.
+func (e *Executable) Run(core *tensorcore.Core, feeds map[string]*tensor.Tensor, ctx RunContext) []*tensor.Tensor {
+	if core == nil {
+		panic("hlo: nil TensorCore")
+	}
+	values := make([]*tensor.Tensor, len(e.graph.Nodes))
+	for _, n := range e.graph.Nodes {
+		if n.absorbed {
+			// Computed inside the consuming fusion node.
+			continue
+		}
+		values[n.ID] = e.eval(core, n, values, feeds, ctx)
+	}
+	outs := make([]*tensor.Tensor, len(e.graph.Outputs))
+	for i, id := range e.graph.Outputs {
+		outs[i] = values[id]
+	}
+	return outs
+}
+
+// eval executes one node.
+func (e *Executable) eval(core *tensorcore.Core, n *Node, values []*tensor.Tensor,
+	feeds map[string]*tensor.Tensor, ctx RunContext) *tensor.Tensor {
+	in := func(i int) *tensor.Tensor { return values[n.Operands[i]] }
+	switch n.Kind {
+	case OpParameter:
+		t, ok := feeds[n.Name]
+		if !ok {
+			panic(fmt.Sprintf("hlo: missing feed for parameter %q", n.Name))
+		}
+		if !sameShape(t.Shape(), n.Shape) {
+			panic(fmt.Sprintf("hlo: feed %q has shape %v, graph expects %v", n.Name, t.Shape(), n.Shape))
+		}
+		return t
+	case OpConstant:
+		return n.Literal
+	case OpMatMul:
+		return core.MatMul(in(0), in(1))
+	case OpConvWrap:
+		return core.Conv2DWrap(in(0), in(1))
+	case OpAdd:
+		return core.Add(in(0), in(1))
+	case OpSub:
+		return core.Sub(in(0), in(1))
+	case OpMul:
+		return core.Mul(in(0), in(1))
+	case OpScale:
+		return core.Scale(in(0), n.Scalar)
+	case OpExp:
+		return core.Exp(in(0))
+	case OpLess:
+		return core.Less(in(0), in(1))
+	case OpWhere:
+		return core.Where(in(0), in(1), in(2))
+	case OpSlice:
+		return core.Slice(in(0), n.Ranges...)
+	case OpConcat:
+		ins := make([]*tensor.Tensor, len(n.Operands))
+		for i := range n.Operands {
+			ins[i] = in(i)
+		}
+		return core.Concat(n.Axis, ins...)
+	case OpRoll:
+		return core.Roll(in(0), n.Axis, n.Shift)
+	case OpTile4D:
+		return core.Tile4D(in(0), n.TileRows, n.TileCols)
+	case OpUntile4D:
+		return core.Untile4D(in(0))
+	case OpRandomSites:
+		if ctx.SiteKeyed == nil {
+			panic("hlo: rng-site-uniform needs a RunContext with a SiteKeyed stream")
+		}
+		return core.RandomUniformSites(n.DType, ctx.SiteKeyed, ctx.Step,
+			n.RowOff, n.ColOff, n.Rows, n.Cols, n.RowStride, n.ColStride)
+	case OpAddAtSlice:
+		out := in(0).Clone()
+		core.AddSlice(out, in(1), n.Ranges...)
+		return out
+	case OpFused:
+		return e.evalFused(core, n, values, feeds, ctx)
+	default:
+		panic(fmt.Sprintf("hlo: cannot execute %v", n.Kind))
+	}
+}
+
+// evalFused executes a fusion node: the absorbed elementwise chain runs as a
+// single pass, so only the fusion's external operands and its final result
+// touch HBM. Numerically it is identical to running the chain op by op; the
+// cost charged to the core is the full chain's lane-operations but a single
+// HBM round trip — the saving elementwise fusion provides on the real device.
+func (e *Executable) evalFused(core *tensorcore.Core, n *Node, values []*tensor.Tensor,
+	feeds map[string]*tensor.Tensor, ctx RunContext) *tensor.Tensor {
+	local := map[int]*tensor.Tensor{}
+	get := func(id int) *tensor.Tensor {
+		if t, ok := local[id]; ok {
+			return t
+		}
+		return values[id]
+	}
+	var last *tensor.Tensor
+	var weightedOps int64
+	external := map[int]*tensor.Tensor{}
+	for _, sub := range n.Fused {
+		var out *tensor.Tensor
+		weight := int64(vpu.MulWeight)
+		for _, op := range sub.Operands {
+			if _, inChain := local[op]; !inChain {
+				external[op] = values[op]
+			}
+		}
+		switch sub.Kind {
+		case OpAdd:
+			out = tensor.Add(get(sub.Operands[0]), get(sub.Operands[1]))
+			weight = vpu.AddWeight
+		case OpSub:
+			out = tensor.Sub(get(sub.Operands[0]), get(sub.Operands[1]))
+			weight = vpu.AddWeight
+		case OpMul:
+			out = tensor.Mul(get(sub.Operands[0]), get(sub.Operands[1]))
+			weight = vpu.MulWeight
+		case OpScale:
+			out = tensor.Scale(get(sub.Operands[0]), sub.Scalar)
+			weight = vpu.MulWeight
+		case OpExp:
+			out = tensor.Exp(get(sub.Operands[0]))
+			weight = vpu.ExpWeight
+		case OpLess:
+			out = tensor.Less(get(sub.Operands[0]), get(sub.Operands[1]))
+			weight = vpu.CompareWeight
+		case OpWhere:
+			out = tensor.Where(get(sub.Operands[0]), get(sub.Operands[1]), get(sub.Operands[2]))
+			weight = vpu.SelectWeight
+		default:
+			panic(fmt.Sprintf("hlo: %v inside a fusion", sub.Kind))
+		}
+		weightedOps += weight * int64(out.NumElements())
+		local[sub.ID] = out
+		last = out
+	}
+	traffic := make([]*tensor.Tensor, 0, len(external)+1)
+	for _, t := range external {
+		traffic = append(traffic, t)
+	}
+	traffic = append(traffic, last)
+	core.ChargeFusedElementwise(weightedOps, traffic...)
+	return last
+}

@@ -1,0 +1,357 @@
+// Package hlo is a small XLA/HLO-like graph representation of TensorCore
+// programs: a builder with shape inference, optimisation passes (dead-code
+// elimination, elementwise fusion and HBM layout assignment) and an
+// interpreter that dispatches the compiled program onto the simulated
+// TensorCore.
+//
+// It models the programming stack of Section 2 of the paper: the computation
+// is expressed once as a graph, compiled (with a one-off overhead), and then
+// the compiled program is stepped as many times as required without host
+// intervention — which is what makes the Just-In-Time compilation cost
+// negligible for simulations running millions of sweeps (Section 5.1). The
+// fusion pass also quantifies why keeping tensor shapes aligned to the
+// (8, 128) HBM tiling matters: the layout pass reports the padding waste for
+// misaligned shapes.
+package hlo
+
+import (
+	"fmt"
+
+	"tpuising/internal/tensor"
+)
+
+// OpKind enumerates the supported operations.
+type OpKind int
+
+// Supported operation kinds.
+const (
+	OpParameter OpKind = iota
+	OpConstant
+	OpMatMul
+	OpConvWrap
+	OpAdd
+	OpSub
+	OpMul
+	OpScale
+	OpExp
+	OpLess
+	OpWhere
+	OpSlice
+	OpConcat
+	OpRoll
+	OpTile4D
+	OpUntile4D
+	OpRandomSites
+	OpAddAtSlice
+	OpFused
+)
+
+// String returns the HLO-style opcode name.
+func (k OpKind) String() string {
+	names := map[OpKind]string{
+		OpParameter: "parameter", OpConstant: "constant", OpMatMul: "dot",
+		OpConvWrap: "convolution", OpAdd: "add", OpSub: "subtract", OpMul: "multiply",
+		OpScale: "multiply-scalar", OpExp: "exponential", OpLess: "compare-lt",
+		OpWhere: "select", OpSlice: "slice", OpConcat: "concatenate", OpRoll: "roll",
+		OpTile4D: "reshape-tile", OpUntile4D: "reshape-untile", OpRandomSites: "rng-site-uniform",
+		OpAddAtSlice: "dynamic-update-add", OpFused: "fusion",
+	}
+	if n, ok := names[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// elementwise reports whether the op works element-by-element on its operands
+// (and is therefore fusable).
+func (k OpKind) elementwise() bool {
+	switch k {
+	case OpAdd, OpSub, OpMul, OpScale, OpExp, OpLess, OpWhere:
+		return true
+	}
+	return false
+}
+
+// Node is one instruction of the graph.
+type Node struct {
+	// ID is the node's index in its graph.
+	ID int
+	// Kind is the operation.
+	Kind OpKind
+	// Name is an optional label (parameters must be named).
+	Name string
+	// Operands are the IDs of the input nodes.
+	Operands []int
+	// Shape and DType describe the result.
+	Shape []int
+	DType tensor.DType
+
+	// Attributes (used by the kinds that need them).
+	Scalar   float32        // OpScale
+	Ranges   []tensor.Range // OpSlice, OpAddAtSlice
+	Axis     int            // OpConcat, OpRoll
+	Shift    int            // OpRoll
+	TileRows int            // OpTile4D
+	TileCols int            // OpTile4D
+	Literal  *tensor.Tensor // OpConstant
+	// RandomSites attributes: the site-keyed window.
+	RowOff, ColOff       int
+	Rows, Cols           int
+	RowStride, ColStride int
+
+	// Fusion: the elementwise sub-nodes executed by a fused node, in order.
+	Fused []*Node
+	// absorbed marks a node whose computation now happens inside a consumer's
+	// fusion; the interpreter skips it.
+	absorbed bool
+}
+
+// Graph is a computation: a list of nodes in topological (emission) order and
+// the IDs of its outputs.
+type Graph struct {
+	Nodes   []*Node
+	Outputs []int
+	params  map[string]int
+}
+
+// NumNodes returns the instruction count (used by the compile-cost model).
+func (g *Graph) NumNodes() int { return len(g.Nodes) }
+
+// Parameter returns the node ID of the named parameter.
+func (g *Graph) Parameter(name string) (int, bool) {
+	id, ok := g.params[name]
+	return id, ok
+}
+
+// node returns the node with the given ID.
+func (g *Graph) node(id int) *Node {
+	if id < 0 || id >= len(g.Nodes) {
+		panic(fmt.Sprintf("hlo: node id %d out of range", id))
+	}
+	return g.Nodes[id]
+}
+
+// Builder constructs a Graph with shape inference; every method returns the
+// new node's ID.
+type Builder struct {
+	g *Graph
+}
+
+// NewBuilder returns an empty graph builder.
+func NewBuilder() *Builder {
+	return &Builder{g: &Graph{params: map[string]int{}}}
+}
+
+func (b *Builder) add(n *Node) int {
+	n.ID = len(b.g.Nodes)
+	b.g.Nodes = append(b.g.Nodes, n)
+	return n.ID
+}
+
+func (b *Builder) shapeOf(id int) ([]int, tensor.DType) {
+	n := b.g.node(id)
+	return append([]int(nil), n.Shape...), n.DType
+}
+
+func sameShape(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Parameter declares a named input of the given shape.
+func (b *Builder) Parameter(name string, dtype tensor.DType, shape ...int) int {
+	if _, dup := b.g.params[name]; dup {
+		panic(fmt.Sprintf("hlo: duplicate parameter %q", name))
+	}
+	id := b.add(&Node{Kind: OpParameter, Name: name, Shape: shape, DType: dtype})
+	b.g.params[name] = id
+	return id
+}
+
+// Constant embeds a literal tensor in the graph.
+func (b *Builder) Constant(t *tensor.Tensor) int {
+	return b.add(&Node{Kind: OpConstant, Literal: t, Shape: t.Shape(), DType: t.DType()})
+}
+
+// binary adds an elementwise binary op with shape checking.
+func (b *Builder) binary(kind OpKind, x, y int) int {
+	xs, dt := b.shapeOf(x)
+	ys, _ := b.shapeOf(y)
+	if !sameShape(xs, ys) {
+		panic(fmt.Sprintf("hlo: %v operands have shapes %v and %v", kind, xs, ys))
+	}
+	return b.add(&Node{Kind: kind, Operands: []int{x, y}, Shape: xs, DType: dt})
+}
+
+// Add, Sub, Mul and Less add elementwise binary operations.
+func (b *Builder) Add(x, y int) int  { return b.binary(OpAdd, x, y) }
+func (b *Builder) Sub(x, y int) int  { return b.binary(OpSub, x, y) }
+func (b *Builder) Mul(x, y int) int  { return b.binary(OpMul, x, y) }
+func (b *Builder) Less(x, y int) int { return b.binary(OpLess, x, y) }
+
+// Where adds an elementwise select.
+func (b *Builder) Where(cond, x, y int) int {
+	cs, _ := b.shapeOf(cond)
+	xs, dt := b.shapeOf(x)
+	if !sameShape(cs, xs) {
+		panic("hlo: select operands must share a shape")
+	}
+	return b.add(&Node{Kind: OpWhere, Operands: []int{cond, x, y}, Shape: xs, DType: dt})
+}
+
+// Scale multiplies by a scalar constant.
+func (b *Builder) Scale(x int, s float32) int {
+	xs, dt := b.shapeOf(x)
+	return b.add(&Node{Kind: OpScale, Operands: []int{x}, Scalar: s, Shape: xs, DType: dt})
+}
+
+// Exp adds an elementwise exponential.
+func (b *Builder) Exp(x int) int {
+	xs, dt := b.shapeOf(x)
+	return b.add(&Node{Kind: OpExp, Operands: []int{x}, Shape: xs, DType: dt})
+}
+
+// MatMul adds a (possibly batched) matrix multiplication with the same
+// operand-shape rules as the TensorCore op.
+func (b *Builder) MatMul(x, y int) int {
+	xs, dt := b.shapeOf(x)
+	ys, _ := b.shapeOf(y)
+	if len(xs) < 2 || len(ys) < 2 {
+		panic("hlo: dot operands must be at least rank 2")
+	}
+	if xs[len(xs)-1] != ys[len(ys)-2] {
+		panic(fmt.Sprintf("hlo: dot inner dimensions do not match: %v x %v", xs, ys))
+	}
+	var out []int
+	switch {
+	case len(xs) == 2 && len(ys) == 2:
+		out = []int{xs[0], ys[1]}
+	case len(xs) > 2 && len(ys) == 2:
+		out = append(append([]int(nil), xs[:len(xs)-1]...), ys[1])
+	default:
+		out = append(append([]int(nil), ys[:len(ys)-2]...), xs[0], ys[len(ys)-1])
+	}
+	return b.add(&Node{Kind: OpMatMul, Operands: []int{x, y}, Shape: out, DType: dt})
+}
+
+// ConvWrap adds a periodic 2-D convolution of a rank-2 input with a small
+// kernel (the appendix nearest-neighbour sum).
+func (b *Builder) ConvWrap(input, kernel int) int {
+	xs, dt := b.shapeOf(input)
+	if len(xs) != 2 {
+		panic("hlo: convolution input must be rank 2")
+	}
+	return b.add(&Node{Kind: OpConvWrap, Operands: []int{input, kernel}, Shape: xs, DType: dt})
+}
+
+// Slice extracts a sub-tensor; the shape is inferred from the ranges.
+func (b *Builder) Slice(x int, ranges ...tensor.Range) int {
+	xs, dt := b.shapeOf(x)
+	if len(ranges) != len(xs) {
+		panic("hlo: slice needs one range per dimension")
+	}
+	out := make([]int, len(xs))
+	for i, r := range ranges {
+		out[i] = sliceDim(xs[i], r)
+	}
+	return b.add(&Node{Kind: OpSlice, Operands: []int{x}, Ranges: ranges, Shape: out, DType: dt})
+}
+
+// sliceDim mirrors tensor.Range semantics for shape inference: the zero Range
+// means "all", At(i) has Stop = i+1, and negative indices count from the end.
+func sliceDim(dim int, r tensor.Range) int {
+	if r.Start == 0 && r.Stop == 0 && r.Step == 0 {
+		return dim
+	}
+	start, stop, step := r.Start, r.Stop, r.Step
+	if step == 0 {
+		step = 1
+	}
+	if start < 0 {
+		start += dim
+	}
+	if stop <= 0 {
+		stop += dim
+	}
+	n := (stop - start + step - 1) / step
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// Concat concatenates along an axis.
+func (b *Builder) Concat(axis int, xs ...int) int {
+	if len(xs) == 0 {
+		panic("hlo: concatenate needs operands")
+	}
+	shape, dt := b.shapeOf(xs[0])
+	total := shape[axis]
+	for _, x := range xs[1:] {
+		s, _ := b.shapeOf(x)
+		total += s[axis]
+	}
+	shape[axis] = total
+	return b.add(&Node{Kind: OpConcat, Operands: xs, Axis: axis, Shape: shape, DType: dt})
+}
+
+// Roll circularly shifts along an axis.
+func (b *Builder) Roll(x, axis, shift int) int {
+	xs, dt := b.shapeOf(x)
+	return b.add(&Node{Kind: OpRoll, Operands: []int{x}, Axis: axis, Shift: shift, Shape: xs, DType: dt})
+}
+
+// Tile4D reshapes a rank-2 tensor into the [grid, grid, tile, tile] layout.
+func (b *Builder) Tile4D(x, tileRows, tileCols int) int {
+	xs, dt := b.shapeOf(x)
+	if len(xs) != 2 || xs[0]%tileRows != 0 || xs[1]%tileCols != 0 {
+		panic("hlo: reshape-tile needs a rank-2 shape divisible by the tile")
+	}
+	out := []int{xs[0] / tileRows, xs[1] / tileCols, tileRows, tileCols}
+	return b.add(&Node{Kind: OpTile4D, Operands: []int{x}, TileRows: tileRows, TileCols: tileCols, Shape: out, DType: dt})
+}
+
+// Untile4D is the inverse reshape.
+func (b *Builder) Untile4D(x int) int {
+	xs, dt := b.shapeOf(x)
+	if len(xs) != 4 {
+		panic("hlo: reshape-untile needs a rank-4 operand")
+	}
+	return b.add(&Node{Kind: OpUntile4D, Operands: []int{x}, Shape: []int{xs[0] * xs[2], xs[1] * xs[3]}, DType: dt})
+}
+
+// RandomSites generates the site-keyed uniforms for a strided window of the
+// global lattice (the graph-level twin of the VPU op).
+func (b *Builder) RandomSites(dtype tensor.DType, rowOff, colOff, rows, cols, rowStride, colStride int) int {
+	return b.add(&Node{
+		Kind: OpRandomSites, DType: dtype, Shape: []int{rows, cols},
+		RowOff: rowOff, ColOff: colOff, Rows: rows, Cols: cols,
+		RowStride: rowStride, ColStride: colStride,
+	})
+}
+
+// AddAtSlice adds src into the given region of dst and yields the updated
+// tensor (a functional dynamic-update).
+func (b *Builder) AddAtSlice(dst, src int, ranges ...tensor.Range) int {
+	ds, dt := b.shapeOf(dst)
+	return b.add(&Node{Kind: OpAddAtSlice, Operands: []int{dst, src}, Ranges: ranges, Shape: ds, DType: dt})
+}
+
+// Build finalises the graph with the given outputs.
+func (b *Builder) Build(outputs ...int) *Graph {
+	if len(outputs) == 0 {
+		panic("hlo: a graph needs at least one output")
+	}
+	for _, id := range outputs {
+		b.g.node(id) // bounds check
+	}
+	b.g.Outputs = outputs
+	return b.g
+}

@@ -1,0 +1,320 @@
+package hlo
+
+import (
+	"math"
+	"testing"
+
+	"tpuising/internal/device/tensorcore"
+	"tpuising/internal/ising"
+	"tpuising/internal/ising/checkerboard"
+	"tpuising/internal/ising/tpu"
+	"tpuising/internal/rng"
+	"tpuising/internal/tensor"
+)
+
+// buildConvColorUpdate builds the graph of one colour update of the appendix
+// conv-based checkerboard algorithm: probs, nearest-neighbour convolution,
+// acceptance ratio, masked flips, updated lattice.
+func buildConvColorUpdate(rows, cols int, dtype tensor.DType, beta float64, color checkerboard.Color) *Graph {
+	b := NewBuilder()
+	sigma := b.Parameter("sigma", dtype, rows, cols)
+	kernel := b.Constant(tensor.NNConvKernel(dtype))
+	maskTensor := tensor.CheckerboardMask(dtype, rows, cols)
+	if color == checkerboard.White {
+		maskTensor = tensor.Sub(tensor.Full(dtype, 1, rows, cols), maskTensor)
+	}
+	mask := b.Constant(maskTensor)
+
+	probs := b.RandomSites(dtype, 0, 0, rows, cols, 1, 1)
+	nn := b.ConvWrap(sigma, kernel)
+	acc := b.Exp(b.Scale(b.Mul(nn, sigma), float32(-2*beta*ising.J)))
+	flips := b.Mul(b.Less(probs, acc), mask)
+	updated := b.Sub(sigma, b.Scale(b.Mul(flips, sigma), 2))
+	return b.Build(updated)
+}
+
+func TestGraphConvUpdateMatchesEagerKernel(t *testing.T) {
+	// One full sweep (black then white) executed through the compiled graph
+	// must be bit-identical to the eager UpdateConv kernel and therefore to
+	// the CPU reference chain.
+	const rows, cols = 12, 8
+	const temperature = 2.4
+	const seed = 5
+	beta := ising.Beta(temperature)
+
+	eager := tpu.NewSimulator(tpu.Config{
+		Rows: rows, Cols: cols, Temperature: temperature,
+		DType: tensor.Float32, Algorithm: tpu.AlgConv, Seed: seed,
+	})
+
+	core := tensorcore.New(0)
+	sk := rng.NewSiteKeyed(seed)
+	lattice := tensor.Full(tensor.Float32, 1, rows, cols)
+	black := Compile(buildConvColorUpdate(rows, cols, tensor.Float32, beta, checkerboard.Black))
+	white := Compile(buildConvColorUpdate(rows, cols, tensor.Float32, beta, checkerboard.White))
+
+	var step uint64
+	for sweepIdx := 0; sweepIdx < 6; sweepIdx++ {
+		lattice = black.Run(core, map[string]*tensor.Tensor{"sigma": lattice}, RunContext{SiteKeyed: sk, Step: step})[0]
+		lattice = white.Run(core, map[string]*tensor.Tensor{"sigma": lattice}, RunContext{SiteKeyed: sk, Step: step + 1})[0]
+		step += 2
+		eager.Sweep()
+
+		want := eager.LatticeTensor().Data()
+		got := lattice.Data()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("sweep %d: graph execution diverged from the eager kernel at element %d", sweepIdx, i)
+			}
+		}
+	}
+}
+
+func TestFusionReducesHBMTrafficNotResults(t *testing.T) {
+	// The same program executed with and without fusion must agree
+	// numerically while the fused version moves fewer HBM bytes.
+	const rows, cols = 16, 16
+	g := buildConvColorUpdate(rows, cols, tensor.Float32, ising.Beta(2.2), checkerboard.Black)
+
+	unfusedCore := tensorcore.New(0)
+	unfused := &Executable{graph: mustDCE(g), cost: DefaultCompileCostModel()}
+	fusedCore := tensorcore.New(1)
+	fused := Compile(g)
+
+	if fused.Report().FusionsFormed == 0 {
+		t.Fatal("the acceptance/flip chain should produce at least one fusion")
+	}
+	feeds := func() map[string]*tensor.Tensor {
+		return map[string]*tensor.Tensor{"sigma": tensor.Full(tensor.Float32, 1, rows, cols)}
+	}
+	ctx := RunContext{SiteKeyed: rng.NewSiteKeyed(9), Step: 0}
+	outUnfused := unfused.Run(unfusedCore, feeds(), ctx)[0]
+	outFused := fused.Run(fusedCore, feeds(), ctx)[0]
+	for i, v := range outUnfused.Data() {
+		if outFused.Data()[i] != v {
+			t.Fatalf("fusion changed the numerical result at element %d", i)
+		}
+	}
+	if fusedCore.Counts().HBMBytes >= unfusedCore.Counts().HBMBytes {
+		t.Fatalf("fusion should reduce HBM traffic: %d vs %d bytes",
+			fusedCore.Counts().HBMBytes, unfusedCore.Counts().HBMBytes)
+	}
+	if fusedCore.Counts().Ops >= unfusedCore.Counts().Ops {
+		t.Fatalf("fusion should reduce dispatched ops: %d vs %d",
+			fusedCore.Counts().Ops, unfusedCore.Counts().Ops)
+	}
+}
+
+// mustDCE returns a dead-code-eliminated copy of the graph without running
+// the fusion pass (for the fusion comparison test).
+func mustDCE(g *Graph) *Graph {
+	out, _ := eliminateDeadCode(g)
+	return out
+}
+
+func TestDeadCodeElimination(t *testing.T) {
+	b := NewBuilder()
+	x := b.Parameter("x", tensor.Float32, 4, 4)
+	y := b.Parameter("y", tensor.Float32, 4, 4)
+	sum := b.Add(x, y)
+	_ = b.Mul(sum, sum) // dead: not an output
+	dead := b.Exp(y)    // dead
+	_ = dead
+	out := b.Scale(sum, 2)
+	g := b.Build(out)
+
+	opt, report := Optimize(g)
+	if report.DeadRemoved != 2 {
+		t.Fatalf("DeadRemoved = %d, want 2", report.DeadRemoved)
+	}
+	if report.NodesBefore != 6 || report.NodesAfter >= report.NodesBefore {
+		t.Fatalf("node counts %d -> %d", report.NodesBefore, report.NodesAfter)
+	}
+	// The surviving graph still runs and produces (x+y)*2.
+	core := tensorcore.New(0)
+	res := Compile(opt).Run(core, map[string]*tensor.Tensor{
+		"x": tensor.Full(tensor.Float32, 1, 4, 4),
+		"y": tensor.Full(tensor.Float32, 2, 4, 4),
+	}, RunContext{})
+	if res[0].At(0, 0) != 6 {
+		t.Fatalf("result = %v, want 6", res[0].At(0, 0))
+	}
+}
+
+func TestShapeInference(t *testing.T) {
+	b := NewBuilder()
+	x := b.Parameter("x", tensor.BFloat16, 2, 3, 8, 8)
+	k := b.Constant(tensor.CompactKernel(tensor.BFloat16, 8))
+	mm := b.MatMul(x, k)
+	if s := b.g.node(mm).Shape; !sameShape(s, []int{2, 3, 8, 8}) {
+		t.Fatalf("batched matmul shape %v", s)
+	}
+	left := b.MatMul(k, x)
+	if s := b.g.node(left).Shape; !sameShape(s, []int{2, 3, 8, 8}) {
+		t.Fatalf("left batched matmul shape %v", s)
+	}
+	sl := b.Slice(x, tensor.All(), tensor.At(-1), tensor.All(), tensor.At(0))
+	if s := b.g.node(sl).Shape; !sameShape(s, []int{2, 1, 8, 1}) {
+		t.Fatalf("slice shape %v", s)
+	}
+	cc := b.Concat(1, sl, sl, sl)
+	if s := b.g.node(cc).Shape; !sameShape(s, []int{2, 3, 8, 1}) {
+		t.Fatalf("concat shape %v", s)
+	}
+	flat := b.Parameter("flat", tensor.BFloat16, 16, 24)
+	tiled := b.Tile4D(flat, 8, 8)
+	if s := b.g.node(tiled).Shape; !sameShape(s, []int{2, 3, 8, 8}) {
+		t.Fatalf("tile shape %v", s)
+	}
+	untiled := b.Untile4D(tiled)
+	if s := b.g.node(untiled).Shape; !sameShape(s, []int{16, 24}) {
+		t.Fatalf("untile shape %v", s)
+	}
+	rolled := b.Roll(untiled, 0, 3)
+	if s := b.g.node(rolled).Shape; !sameShape(s, []int{16, 24}) {
+		t.Fatalf("roll shape %v", s)
+	}
+	rnd := b.RandomSites(tensor.Float32, 0, 0, 5, 7, 2, 2)
+	if s := b.g.node(rnd).Shape; !sameShape(s, []int{5, 7}) {
+		t.Fatalf("random shape %v", s)
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	cases := []func(b *Builder){
+		func(b *Builder) { b.Parameter("x", tensor.Float32, 2); b.Parameter("x", tensor.Float32, 2) },
+		func(b *Builder) {
+			x := b.Parameter("x", tensor.Float32, 2, 2)
+			y := b.Parameter("y", tensor.Float32, 3, 3)
+			b.Add(x, y)
+		},
+		func(b *Builder) {
+			x := b.Parameter("x", tensor.Float32, 2, 4)
+			y := b.Parameter("y", tensor.Float32, 3, 2)
+			b.MatMul(x, y)
+		},
+		func(b *Builder) { b.Build() },
+		func(b *Builder) {
+			x := b.Parameter("x", tensor.Float32, 4, 4)
+			b.Slice(x, tensor.All())
+		},
+		func(b *Builder) {
+			x := b.Parameter("x", tensor.Float32, 5, 4)
+			b.Tile4D(x, 2, 2)
+		},
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			fn(NewBuilder())
+		}()
+	}
+}
+
+func TestExecutableErrors(t *testing.T) {
+	b := NewBuilder()
+	x := b.Parameter("x", tensor.Float32, 2, 2)
+	g := b.Build(b.Scale(x, 3))
+	exe := Compile(g)
+	core := tensorcore.New(0)
+
+	for name, fn := range map[string]func(){
+		"missing feed": func() { exe.Run(core, nil, RunContext{}) },
+		"wrong shape": func() {
+			exe.Run(core, map[string]*tensor.Tensor{"x": tensor.Full(tensor.Float32, 1, 3, 3)}, RunContext{})
+		},
+		"nil core": func() {
+			exe.Run(nil, map[string]*tensor.Tensor{"x": tensor.Full(tensor.Float32, 1, 2, 2)}, RunContext{})
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLayoutReportFlagsMisalignedShapes(t *testing.T) {
+	aligned := NewBuilder()
+	a := aligned.Parameter("a", tensor.BFloat16, 128, 128)
+	alignedGraph := aligned.Build(aligned.Scale(a, 2))
+
+	misaligned := NewBuilder()
+	m := misaligned.Parameter("m", tensor.BFloat16, 100, 3)
+	misalignedGraph := misaligned.Build(misaligned.Scale(m, 2))
+
+	la := AssignLayout(alignedGraph)
+	lm := AssignLayout(misalignedGraph)
+	if la.PaddingOverhead() != 1 {
+		t.Fatalf("aligned graph has padding overhead %v", la.PaddingOverhead())
+	}
+	if lm.PaddingOverhead() < 10 {
+		t.Fatalf("a [100,3] tensor should pad badly, got overhead %v", lm.PaddingOverhead())
+	}
+	if lm.WorstRatio <= la.WorstRatio {
+		t.Fatal("worst ratio should single out the misaligned node")
+	}
+	var empty LayoutReport
+	if empty.PaddingOverhead() != 1 {
+		t.Fatal("empty layout report should have unit overhead")
+	}
+}
+
+func TestCompileAmortization(t *testing.T) {
+	// Section 5.1's claim: the JIT compilation overhead is amortised away
+	// when millions of steps are executed.
+	g := buildConvColorUpdate(64, 64, tensor.BFloat16, ising.Beta(2.3), checkerboard.Black)
+	exe := Compile(g)
+	if exe.CompileSec() <= 0 {
+		t.Fatal("compile cost should be positive")
+	}
+	const stepSec = 0.5
+	few := exe.AmortizedOverhead(stepSec, 10)
+	many := exe.AmortizedOverhead(stepSec, 1_000_000)
+	if few < 0.05 {
+		t.Fatalf("with 10 steps the compile share should be noticeable, got %v", few)
+	}
+	if many > 1e-5 {
+		t.Fatalf("with 10^6 steps the compile share should vanish, got %v", many)
+	}
+	if exe.AmortizedOverhead(stepSec, 0) != 1 {
+		t.Fatal("zero steps means everything is overhead")
+	}
+	if math.IsNaN(DefaultCompileCostModel().AmortizedOverhead(g, 0, 0)) {
+		t.Fatal("degenerate inputs must not produce NaN")
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	for k := OpParameter; k <= OpFused; k++ {
+		if k.String() == "" {
+			t.Fatalf("empty name for kind %d", int(k))
+		}
+	}
+	if OpKind(99).String() == "" {
+		t.Fatal("unknown kinds should still render")
+	}
+}
+
+func TestGraphParameterLookup(t *testing.T) {
+	b := NewBuilder()
+	x := b.Parameter("x", tensor.Float32, 2, 2)
+	g := b.Build(b.Exp(x))
+	if id, ok := g.Parameter("x"); !ok || id != x {
+		t.Fatalf("Parameter lookup gave %d, %v", id, ok)
+	}
+	if _, ok := g.Parameter("missing"); ok {
+		t.Fatal("missing parameter should not resolve")
+	}
+	if g.NumNodes() != 2 {
+		t.Fatalf("NumNodes = %d", g.NumNodes())
+	}
+}

@@ -1,0 +1,219 @@
+package hlo
+
+import (
+	"tpuising/internal/device/hbm"
+)
+
+// PassReport summarises what the optimisation pipeline did to a graph.
+type PassReport struct {
+	// NodesBefore and NodesAfter are the instruction counts around the
+	// pipeline.
+	NodesBefore, NodesAfter int
+	// DeadRemoved is the number of nodes removed by dead-code elimination.
+	DeadRemoved int
+	// FusionsFormed is the number of fusion nodes created, and FusedAway the
+	// number of elementwise instructions they absorbed.
+	FusionsFormed, FusedAway int
+	// Layout is the HBM layout assignment summary.
+	Layout LayoutReport
+}
+
+// Optimize runs the standard pipeline — dead-code elimination, elementwise
+// fusion and layout assignment — returning the optimised graph and a report.
+// The input graph is not modified.
+func Optimize(g *Graph) (*Graph, PassReport) {
+	report := PassReport{NodesBefore: g.NumNodes()}
+	out, removed := eliminateDeadCode(g)
+	report.DeadRemoved = removed
+	formed, away := fuseElementwise(out)
+	report.FusionsFormed, report.FusedAway = formed, away
+	report.Layout = AssignLayout(out)
+	report.NodesAfter = out.NumNodes()
+	return out, report
+}
+
+// eliminateDeadCode removes nodes that no output transitively depends on.
+func eliminateDeadCode(g *Graph) (*Graph, int) {
+	live := make([]bool, len(g.Nodes))
+	var mark func(id int)
+	mark = func(id int) {
+		if live[id] {
+			return
+		}
+		live[id] = true
+		for _, op := range g.Nodes[id].Operands {
+			mark(op)
+		}
+	}
+	for _, out := range g.Outputs {
+		mark(out)
+	}
+	remap := make([]int, len(g.Nodes))
+	out := &Graph{params: map[string]int{}}
+	removed := 0
+	for id, n := range g.Nodes {
+		if !live[id] {
+			removed++
+			remap[id] = -1
+			continue
+		}
+		clone := *n
+		clone.Operands = make([]int, len(n.Operands))
+		for i, op := range n.Operands {
+			clone.Operands[i] = remap[op]
+		}
+		clone.ID = len(out.Nodes)
+		remap[id] = clone.ID
+		out.Nodes = append(out.Nodes, &clone)
+		if clone.Kind == OpParameter {
+			out.params[clone.Name] = clone.ID
+		}
+	}
+	out.Outputs = make([]int, len(g.Outputs))
+	for i, o := range g.Outputs {
+		out.Outputs[i] = remap[o]
+	}
+	return out, removed
+}
+
+// fuseElementwise greedily folds chains of elementwise instructions whose
+// intermediate results have exactly one user into fusion nodes, mirroring
+// XLA's elementwise fusion. Each fusion node keeps the absorbed instructions
+// (in execution order) so the interpreter can evaluate the whole chain in one
+// pass over the data, saving the intermediate HBM round trips.
+func fuseElementwise(g *Graph) (formed, fusedAway int) {
+	users := make([]int, len(g.Nodes))
+	for _, n := range g.Nodes {
+		for _, op := range n.Operands {
+			users[op]++
+		}
+	}
+	for _, out := range g.Outputs {
+		users[out]++ // outputs always have an external user
+	}
+	fusedInto := make([]int, len(g.Nodes))
+	for i := range fusedInto {
+		fusedInto[i] = -1
+	}
+	for _, n := range g.Nodes {
+		if !n.Kind.elementwise() {
+			continue
+		}
+		// Absorb any elementwise operand whose only user is this node and
+		// which has not been claimed by another fusion.
+		var absorbed []*Node
+		for _, op := range n.Operands {
+			prod := g.Nodes[op]
+			if prod.Kind.elementwise() && users[op] == 1 && fusedInto[op] == -1 {
+				absorbed = append(absorbed, prod)
+				fusedInto[op] = n.ID
+			}
+		}
+		if len(absorbed) == 0 {
+			continue
+		}
+		// The fusion executes the absorbed producers (and, transitively, what
+		// they already absorbed) before the consumer itself.
+		var chain []*Node
+		for _, a := range absorbed {
+			chain = append(chain, a.Fused...)
+			a.Fused = nil
+			cp := *a
+			cp.absorbed = false
+			chain = append(chain, &cp)
+			// The standalone node is no longer executed; its value is produced
+			// inside the consumer's fusion.
+			a.absorbed = true
+		}
+		self := *n
+		self.Fused = nil
+		chain = append(chain, &self)
+		n.Kind = OpFused
+		n.Fused = chain
+		formed++
+		fusedAway += len(absorbed)
+	}
+	return formed, fusedAway
+}
+
+// LayoutReport summarises the HBM layout assignment of a graph.
+type LayoutReport struct {
+	// LogicalBytes is the sum of the unpadded tensor footprints.
+	LogicalBytes int64
+	// PaddedBytes is the footprint after the (8, 128) tiling.
+	PaddedBytes int64
+	// WorstNode is the instruction with the highest padding ratio, and
+	// WorstRatio its padded/logical ratio (1.0 means perfectly aligned).
+	WorstNode  int
+	WorstRatio float64
+}
+
+// PaddingOverhead returns the overall padded/logical byte ratio.
+func (l LayoutReport) PaddingOverhead() float64 {
+	if l.LogicalBytes == 0 {
+		return 1
+	}
+	return float64(l.PaddedBytes) / float64(l.LogicalBytes)
+}
+
+// AssignLayout computes the HBM (8, 128) tiled layout of every node's result
+// and reports the padding waste — the quantity behind the paper's guidance to
+// keep tensor dimensions multiples of 8 and 128.
+func AssignLayout(g *Graph) LayoutReport {
+	r := LayoutReport{WorstRatio: 1}
+	for _, n := range g.Nodes {
+		if len(n.Shape) == 0 {
+			continue
+		}
+		logical := int64(n.DType.Bytes())
+		for _, d := range n.Shape {
+			logical *= int64(d)
+		}
+		padded := hbm.TiledBytes(n.Shape, n.DType)
+		r.LogicalBytes += logical
+		r.PaddedBytes += padded
+		if logical > 0 {
+			if ratio := float64(padded) / float64(logical); ratio > r.WorstRatio {
+				r.WorstRatio = ratio
+				r.WorstNode = n.ID
+			}
+		}
+	}
+	return r
+}
+
+// CompileCostModel captures the one-off graph-construction and compilation
+// overhead of the TensorFlow/XLA stack (Section 5.1: "usually under a few
+// seconds ... well-amortised as typically millions of steps are executed").
+type CompileCostModel struct {
+	// BaseSec is the fixed graph-construction and rewrite cost.
+	BaseSec float64
+	// PerNodeSec is the added compile time per HLO instruction.
+	PerNodeSec float64
+}
+
+// DefaultCompileCostModel returns constants giving sub-second compiles for
+// the checkerboard graphs and multi-second compiles for very large graphs.
+func DefaultCompileCostModel() CompileCostModel {
+	return CompileCostModel{BaseSec: 0.35, PerNodeSec: 0.004}
+}
+
+// CompileSec returns the modelled compile time of a graph.
+func (c CompileCostModel) CompileSec(g *Graph) float64 {
+	return c.BaseSec + float64(g.NumNodes())*c.PerNodeSec
+}
+
+// AmortizedOverhead returns the fraction of total run time spent compiling
+// when the compiled program is stepped `steps` times with the given step
+// time.
+func (c CompileCostModel) AmortizedOverhead(g *Graph, stepSec float64, steps int) float64 {
+	if steps <= 0 {
+		return 1
+	}
+	compile := c.CompileSec(g)
+	total := compile + stepSec*float64(steps)
+	if total == 0 {
+		return 0
+	}
+	return compile / total
+}

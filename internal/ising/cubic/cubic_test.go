@@ -1,0 +1,160 @@
+package cubic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tpuising/internal/rng"
+)
+
+func TestLatticeBasics(t *testing.T) {
+	l := NewLattice(4)
+	if l.N() != 64 {
+		t.Fatalf("N = %d", l.N())
+	}
+	if l.Magnetization() != 1 {
+		t.Fatal("cold lattice should have m = 1")
+	}
+	if e := l.Energy(); e != -3 {
+		t.Fatalf("cold-lattice energy per spin = %v, want -3 (three bonds per site)", e)
+	}
+	l.Set(1, 2, 3, -1)
+	if l.At(1, 2, 3) != -1 {
+		t.Fatal("Set/At")
+	}
+	l.Flip(1, 2, 3)
+	if l.At(1, 2, 3) != 1 {
+		t.Fatal("Flip")
+	}
+	if got := l.NeighborSum(0, 0, 0); got != 6 {
+		t.Fatalf("NeighborSum on cold lattice = %d, want 6", got)
+	}
+	clone := l.Clone()
+	clone.Flip(0, 0, 0)
+	if l.Equal(clone) {
+		t.Fatal("Clone must be independent")
+	}
+	if !l.Equal(l.Clone()) {
+		t.Fatal("identical lattices must compare equal")
+	}
+}
+
+func TestLatticePanics(t *testing.T) {
+	for i, fn := range []func(){
+		func() { NewLattice(1) },
+		func() { NewLattice(4).Set(0, 0, 0, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNeighborSumPeriodicBoundaries(t *testing.T) {
+	l := NewLattice(3)
+	// Flip every neighbour of the corner site (0,0,0), including the wrapped
+	// ones; its neighbour sum must then be -6.
+	for _, nb := range [][3]int{{1, 0, 0}, {2, 0, 0}, {0, 1, 0}, {0, 2, 0}, {0, 0, 1}, {0, 0, 2}} {
+		l.Set(nb[0], nb[1], nb[2], -1)
+	}
+	if got := l.NeighborSum(0, 0, 0); got != -6 {
+		t.Fatalf("wrapped neighbour sum = %d, want -6", got)
+	}
+}
+
+func TestEnergyMagnetizationBounds(t *testing.T) {
+	f := func(seed uint16) bool {
+		l := NewRandomLattice(4, rng.New(uint64(seed)))
+		m := l.Magnetization()
+		e := l.Energy()
+		return m >= -1 && m <= 1 && e >= -3 && e <= 3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelSweepMatchesSerial(t *testing.T) {
+	const size = 8
+	const temperature = 4.0
+	const seed = 11
+	serial := NewRandomLattice(size, rng.New(3))
+	parallel := serial.Clone()
+
+	skA, skB := rng.NewSiteKeyed(seed), rng.NewSiteKeyed(seed)
+	var stepA, stepB uint64
+	for i := 0; i < 6; i++ {
+		stepA = Sweep(serial, 1/temperature, skA, stepA)
+		stepB = ParallelSweep(parallel, 1/temperature, skB, stepB, 4)
+	}
+	if !serial.Equal(parallel) {
+		t.Fatal("parallel 3-D sweep diverged from the serial sweep")
+	}
+	if stepA != stepB {
+		t.Fatal("step counters diverged")
+	}
+}
+
+func TestSamplerDeterministic(t *testing.T) {
+	run := func() *Lattice {
+		s := NewSampler(NewLattice(6), 4.2, 5, 0)
+		s.Run(10)
+		return s.Lattice
+	}
+	if !run().Equal(run()) {
+		t.Fatal("same seed should give the same chain")
+	}
+	s := NewSampler(NewLattice(6), 4.2, 5, 2)
+	s.Run(3)
+	if s.Step() != 6 {
+		t.Fatalf("Step = %d", s.Step())
+	}
+	if s.Energy() >= 0 {
+		t.Fatal("energy at T below 2*Tc should be negative")
+	}
+}
+
+func TestSpinsRemainPlusMinusOne(t *testing.T) {
+	s := NewSampler(NewRandomLattice(6, rng.New(1)), CriticalTemperature3D, 2, 2)
+	s.Run(20)
+	for _, v := range s.Lattice.spins {
+		if v != 1 && v != -1 {
+			t.Fatalf("spin value %d", v)
+		}
+	}
+}
+
+func TestPhaseTransitionBracketsTc(t *testing.T) {
+	// Below the 3-D critical temperature a cold start stays ordered; well
+	// above it the magnetisation decays towards zero. This brackets the known
+	// Tc ≈ 4.51 without requiring a long finite-size-scaling study.
+	ordered := NewSampler(NewLattice(10), 3.5, 7, 4)
+	ordered.Run(300)
+	if m := math.Abs(ordered.Magnetization()); m < 0.85 {
+		t.Fatalf("|m| = %.3f at T=3.5, want ordered", m)
+	}
+	disordered := NewSampler(NewLattice(10), 6.0, 7, 4)
+	disordered.Run(300)
+	if m := math.Abs(disordered.Magnetization()); m > 0.25 {
+		t.Fatalf("|m| = %.3f at T=6.0, want disordered", m)
+	}
+	if CriticalTemperature3D < 3.5 || CriticalTemperature3D > 6.0 {
+		t.Fatal("the test temperatures should bracket Tc")
+	}
+}
+
+func TestEnergyDecreasesOnCooling(t *testing.T) {
+	hot := NewSampler(NewRandomLattice(8, rng.New(4)), 8.0, 9, 2)
+	hot.Run(200)
+	cold := NewSampler(NewRandomLattice(8, rng.New(4)), 2.0, 9, 2)
+	cold.Run(200)
+	if cold.Energy() >= hot.Energy() {
+		t.Fatalf("cooling should lower the energy: %.3f (T=2) vs %.3f (T=8)", cold.Energy(), hot.Energy())
+	}
+}

@@ -1,0 +1,237 @@
+// Package ising contains the physics of the two-dimensional ferromagnetic
+// Ising model on a square lattice with periodic (torus) boundary conditions:
+// the spin configuration type used by the CPU reference samplers, the
+// observables the paper uses to validate correctness (magnetisation per spin,
+// energy per spin, Binder parameter), and the exact results they are checked
+// against (the Onsager critical temperature and spontaneous magnetisation).
+//
+// Conventions follow the paper: coupling J = 1, no external field (mu = 0),
+// Boltzmann constant kB = 1, spins take values +-1.
+package ising
+
+import (
+	"fmt"
+	"math"
+
+	"tpuising/internal/rng"
+	"tpuising/internal/tensor"
+)
+
+// J is the nearest-neighbour coupling constant (ferromagnetic).
+const J = 1.0
+
+// CriticalTemperature returns the exact critical temperature of the
+// two-dimensional square-lattice Ising model, Tc = 2 / ln(1 + sqrt(2))
+// (Onsager 1944), in units of J/kB.
+func CriticalTemperature() float64 {
+	return 2.0 / math.Log(1.0+math.Sqrt2)
+}
+
+// Beta returns the inverse temperature 1/(kB T) for kB = 1.
+func Beta(temperature float64) float64 {
+	if temperature <= 0 {
+		panic("ising: temperature must be positive")
+	}
+	return 1.0 / temperature
+}
+
+// OnsagerMagnetization returns the exact spontaneous magnetisation per spin
+// of the infinite lattice: (1 - sinh(2 beta J)^-4)^(1/8) below Tc, and 0 at
+// or above Tc.
+func OnsagerMagnetization(temperature float64) float64 {
+	if temperature >= CriticalTemperature() {
+		return 0
+	}
+	s := math.Sinh(2.0 * Beta(temperature) * J)
+	return math.Pow(1.0-math.Pow(s, -4), 1.0/8.0)
+}
+
+// Lattice is a spin configuration on a Rows x Cols torus, stored as +-1
+// int8 values in row-major order. It is the representation used by the CPU
+// reference samplers (single-spin Metropolis and the plain checkerboard).
+type Lattice struct {
+	Rows, Cols int
+	Spins      []int8
+}
+
+// NewLattice returns a cold (all spins +1) lattice.
+func NewLattice(rows, cols int) *Lattice {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("ising: invalid lattice size %dx%d", rows, cols))
+	}
+	l := &Lattice{Rows: rows, Cols: cols, Spins: make([]int8, rows*cols)}
+	for i := range l.Spins {
+		l.Spins[i] = 1
+	}
+	return l
+}
+
+// NewRandomLattice returns a hot (infinite temperature) lattice with spins
+// drawn independently and uniformly from {-1, +1}.
+func NewRandomLattice(rows, cols int, p *rng.Philox) *Lattice {
+	l := NewLattice(rows, cols)
+	for i := range l.Spins {
+		if p.Float32() < 0.5 {
+			l.Spins[i] = -1
+		}
+	}
+	return l
+}
+
+// At returns the spin at (row, col) with torus wrapping.
+func (l *Lattice) At(row, col int) int8 {
+	row = mod(row, l.Rows)
+	col = mod(col, l.Cols)
+	return l.Spins[row*l.Cols+col]
+}
+
+// Set assigns the spin at (row, col) (no wrapping; indices must be in range).
+func (l *Lattice) Set(row, col int, s int8) {
+	if s != 1 && s != -1 {
+		panic("ising: spin must be +1 or -1")
+	}
+	l.Spins[row*l.Cols+col] = s
+}
+
+// Flip negates the spin at (row, col).
+func (l *Lattice) Flip(row, col int) {
+	l.Spins[row*l.Cols+col] = -l.Spins[row*l.Cols+col]
+}
+
+func mod(a, n int) int { return ((a % n) + n) % n }
+
+// N returns the number of spins.
+func (l *Lattice) N() int { return l.Rows * l.Cols }
+
+// NeighborSum returns the sum of the four nearest-neighbour spins of (row,
+// col) on the torus.
+func (l *Lattice) NeighborSum(row, col int) int {
+	return int(l.At(row-1, col)) + int(l.At(row+1, col)) +
+		int(l.At(row, col-1)) + int(l.At(row, col+1))
+}
+
+// SumSpins returns the total spin.
+func (l *Lattice) SumSpins() int64 {
+	var s int64
+	for _, v := range l.Spins {
+		s += int64(v)
+	}
+	return s
+}
+
+// Magnetization returns the magnetisation per spin, m = (1/N) sum_i sigma_i.
+func (l *Lattice) Magnetization() float64 {
+	return float64(l.SumSpins()) / float64(l.N())
+}
+
+// AbsMagnetization returns |m|; on finite lattices the symmetry is not
+// spontaneously broken, so |m| is the quantity compared against the Onsager
+// result.
+func (l *Lattice) AbsMagnetization() float64 { return math.Abs(l.Magnetization()) }
+
+// Energy returns the energy per spin, E/N = -(J/N) sum_<ij> sigma_i sigma_j,
+// counting each bond once.
+func (l *Lattice) Energy() float64 {
+	var e int64
+	for r := 0; r < l.Rows; r++ {
+		for c := 0; c < l.Cols; c++ {
+			s := int64(l.At(r, c))
+			// Count only the east and south bonds so each bond is counted once.
+			e += s * int64(l.At(r, c+1))
+			e += s * int64(l.At(r+1, c))
+		}
+	}
+	return -J * float64(e) / float64(l.N())
+}
+
+// Clone returns a deep copy of the lattice.
+func (l *Lattice) Clone() *Lattice {
+	return &Lattice{Rows: l.Rows, Cols: l.Cols, Spins: append([]int8(nil), l.Spins...)}
+}
+
+// Equal reports whether two lattices have the same size and identical spins.
+func (l *Lattice) Equal(o *Lattice) bool {
+	if l.Rows != o.Rows || l.Cols != o.Cols {
+		return false
+	}
+	for i := range l.Spins {
+		if l.Spins[i] != o.Spins[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ToTensor converts the lattice into a rank-2 tensor of +-1 values.
+func (l *Lattice) ToTensor(dtype tensor.DType) *tensor.Tensor {
+	t := tensor.New(dtype, l.Rows, l.Cols)
+	data := t.Data()
+	for i, s := range l.Spins {
+		data[i] = float32(s)
+	}
+	return t
+}
+
+// FromTensor converts a rank-2 tensor of +-1 values into a Lattice.
+func FromTensor(t *tensor.Tensor) *Lattice {
+	if t.Rank() != 2 {
+		panic("ising: FromTensor needs a rank-2 tensor")
+	}
+	l := NewLattice(t.Dim(0), t.Dim(1))
+	data := t.Data()
+	for i, v := range data {
+		switch {
+		case v > 0:
+			l.Spins[i] = 1
+		case v < 0:
+			l.Spins[i] = -1
+		default:
+			panic("ising: FromTensor found a zero spin value")
+		}
+	}
+	return l
+}
+
+// MagnetizationOfTensor returns the magnetisation per spin of a rank-2 spin
+// tensor.
+func MagnetizationOfTensor(t *tensor.Tensor) float64 {
+	return tensor.Sum(t) / float64(t.NumElements())
+}
+
+// EnergyOfTensor returns the energy per spin of a rank-2 spin tensor on the
+// torus.
+func EnergyOfTensor(t *tensor.Tensor) float64 {
+	if t.Rank() != 2 {
+		panic("ising: EnergyOfTensor needs a rank-2 tensor")
+	}
+	east := t.Roll(1, -1)
+	south := t.Roll(0, -1)
+	var e float64
+	d, de, ds := t.Data(), east.Data(), south.Data()
+	for i := range d {
+		e += float64(d[i]) * (float64(de[i]) + float64(ds[i]))
+	}
+	return -J * e / float64(t.NumElements())
+}
+
+// ExactEnergyPerSpin returns the exact internal energy per spin of the
+// infinite 2-D Ising lattice at the given temperature (Onsager's solution),
+// used as an additional correctness reference away from Tc.
+func ExactEnergyPerSpin(temperature float64) float64 {
+	beta := Beta(temperature)
+	k := 2 * math.Sinh(2*beta*J) / (math.Cosh(2*beta*J) * math.Cosh(2*beta*J))
+	k1 := completeEllipticK(k)
+	c := math.Cosh(2*beta*J) / math.Sinh(2*beta*J) // coth
+	kp := 2*math.Tanh(2*beta*J)*math.Tanh(2*beta*J) - 1
+	return -J * c * (1 + (2/math.Pi)*kp*k1)
+}
+
+// completeEllipticK evaluates the complete elliptic integral of the first
+// kind K(k) with modulus k via the arithmetic-geometric mean.
+func completeEllipticK(k float64) float64 {
+	a, b := 1.0, math.Sqrt(1-k*k)
+	for i := 0; i < 64 && math.Abs(a-b) > 1e-15; i++ {
+		a, b = (a+b)/2, math.Sqrt(a*b)
+	}
+	return math.Pi / (2 * a)
+}

@@ -1,0 +1,218 @@
+package ising
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tpuising/internal/rng"
+	"tpuising/internal/tensor"
+)
+
+func TestCriticalTemperature(t *testing.T) {
+	// Tc = 2/ln(1+sqrt(2)) = 2.269185...
+	if math.Abs(CriticalTemperature()-2.269185314213022) > 1e-12 {
+		t.Errorf("Tc = %v", CriticalTemperature())
+	}
+}
+
+func TestBeta(t *testing.T) {
+	if Beta(2) != 0.5 {
+		t.Error("Beta(2)")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Beta(0) should panic")
+		}
+	}()
+	Beta(0)
+}
+
+func TestOnsagerMagnetization(t *testing.T) {
+	// Zero at and above Tc.
+	if OnsagerMagnetization(CriticalTemperature()) != 0 || OnsagerMagnetization(3.0) != 0 {
+		t.Error("magnetisation above Tc must be 0")
+	}
+	// Close to 1 at very low temperature.
+	if m := OnsagerMagnetization(0.5); m < 0.999 {
+		t.Errorf("m(0.5) = %v", m)
+	}
+	// Known value: m(2.0) ~ 0.9113.
+	if m := OnsagerMagnetization(2.0); math.Abs(m-0.9113) > 0.001 {
+		t.Errorf("m(2.0) = %v, want ~0.9113", m)
+	}
+	// Monotonically decreasing in T.
+	prev := 1.1
+	for temp := 0.5; temp < CriticalTemperature(); temp += 0.1 {
+		m := OnsagerMagnetization(temp)
+		if m >= prev {
+			t.Fatalf("m(T) not decreasing at T=%v", temp)
+		}
+		prev = m
+	}
+}
+
+func TestExactEnergyPerSpin(t *testing.T) {
+	// Ground state energy per spin is -2J as T -> 0.
+	if e := ExactEnergyPerSpin(0.1); math.Abs(e+2) > 1e-6 {
+		t.Errorf("E(0.1) = %v, want -2", e)
+	}
+	// Known value at Tc: E = -sqrt(2) J.
+	if e := ExactEnergyPerSpin(CriticalTemperature()); math.Abs(e+math.Sqrt2) > 0.01 {
+		t.Errorf("E(Tc) = %v, want %v", e, -math.Sqrt2)
+	}
+	// High temperature: energy approaches 0 from below.
+	if e := ExactEnergyPerSpin(100); e > 0 || e < -0.1 {
+		t.Errorf("E(100) = %v", e)
+	}
+}
+
+func TestLatticeBasics(t *testing.T) {
+	l := NewLattice(4, 6)
+	if l.N() != 24 {
+		t.Fatal("N")
+	}
+	if l.Magnetization() != 1 {
+		t.Error("cold lattice magnetisation should be 1")
+	}
+	if l.Energy() != -2 {
+		t.Errorf("cold lattice energy per spin = %v, want -2", l.Energy())
+	}
+	l.Set(1, 2, -1)
+	if l.At(1, 2) != -1 {
+		t.Error("Set/At")
+	}
+	l.Flip(1, 2)
+	if l.At(1, 2) != 1 {
+		t.Error("Flip")
+	}
+	// Torus wrapping of At.
+	if l.At(-1, -1) != l.At(3, 5) || l.At(4, 6) != l.At(0, 0) {
+		t.Error("wrapping")
+	}
+}
+
+func TestLatticePanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewLattice(0, 5) },
+		func() { NewLattice(5, 5).Set(0, 0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNeighborSum(t *testing.T) {
+	l := NewLattice(3, 3)
+	if l.NeighborSum(1, 1) != 4 {
+		t.Error("cold neighbour sum should be 4")
+	}
+	l.Set(0, 1, -1)
+	if l.NeighborSum(1, 1) != 2 {
+		t.Error("neighbour sum after one flip should be 2")
+	}
+	// Wrapping: the neighbours of (0,0) on a 3x3 torus include (2,0) and (0,2).
+	l2 := NewLattice(3, 3)
+	l2.Set(2, 0, -1)
+	l2.Set(0, 2, -1)
+	if l2.NeighborSum(0, 0) != 0 {
+		t.Errorf("wrapped neighbour sum = %d, want 0", l2.NeighborSum(0, 0))
+	}
+}
+
+func TestRandomLatticeRoughlyBalanced(t *testing.T) {
+	l := NewRandomLattice(64, 64, rng.New(3))
+	m := l.Magnetization()
+	if math.Abs(m) > 0.1 {
+		t.Errorf("hot lattice magnetisation = %v, expected ~0", m)
+	}
+	if math.Abs(l.Energy()) > 0.1 {
+		t.Errorf("hot lattice energy per spin = %v, expected ~0", l.Energy())
+	}
+}
+
+func TestEnergyBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		l := NewRandomLattice(8, 8, rng.New(seed))
+		e := l.Energy()
+		m := l.Magnetization()
+		return e >= -2 && e <= 2 && m >= -1 && m <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleFlipEnergyChange(t *testing.T) {
+	// dE of a single flip equals 2*J*s*NeighborSum, the quantity the
+	// Metropolis acceptance uses.
+	l := NewRandomLattice(6, 6, rng.New(9))
+	e0 := l.Energy() * float64(l.N())
+	r, c := 2, 3
+	s := float64(l.At(r, c))
+	nn := float64(l.NeighborSum(r, c))
+	l.Flip(r, c)
+	e1 := l.Energy() * float64(l.N())
+	want := 2 * J * s * nn
+	if math.Abs((e1-e0)-want) > 1e-9 {
+		t.Errorf("dE = %v, want %v", e1-e0, want)
+	}
+}
+
+func TestCloneEqual(t *testing.T) {
+	l := NewRandomLattice(5, 7, rng.New(1))
+	c := l.Clone()
+	if !l.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.Flip(0, 0)
+	if l.Equal(c) {
+		t.Fatal("clone aliases original")
+	}
+	if l.Equal(NewLattice(5, 8)) {
+		t.Fatal("different shapes compare equal")
+	}
+}
+
+func TestTensorRoundTrip(t *testing.T) {
+	l := NewRandomLattice(6, 10, rng.New(2))
+	tt := l.ToTensor(tensor.Float32)
+	back := FromTensor(tt)
+	if !l.Equal(back) {
+		t.Fatal("tensor round trip failed")
+	}
+	if math.Abs(MagnetizationOfTensor(tt)-l.Magnetization()) > 1e-12 {
+		t.Error("MagnetizationOfTensor mismatch")
+	}
+	if math.Abs(EnergyOfTensor(tt)-l.Energy()) > 1e-9 {
+		t.Errorf("EnergyOfTensor = %v, lattice = %v", EnergyOfTensor(tt), l.Energy())
+	}
+}
+
+func TestFromTensorRejectsZeros(t *testing.T) {
+	tt := tensor.Zeros(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero spins")
+		}
+	}()
+	FromTensor(tt)
+}
+
+func TestMagnetizationEnergyConsistencyProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		l := NewRandomLattice(10, 10, rng.New(seed))
+		tt := l.ToTensor(tensor.Float32)
+		return math.Abs(EnergyOfTensor(tt)-l.Energy()) < 1e-9 &&
+			math.Abs(MagnetizationOfTensor(tt)-l.Magnetization()) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,199 @@
+package metropolis
+
+import (
+	"math"
+	"testing"
+
+	"tpuising/internal/ising"
+	"tpuising/internal/rng"
+)
+
+func TestColdPhaseStaysMagnetized(t *testing.T) {
+	// Well below Tc a cold lattice must stay strongly magnetised.
+	l := ising.NewLattice(32, 32)
+	s := New(l, 1.5, 1)
+	s.Run(200)
+	if m := math.Abs(s.Magnetization()); m < 0.9 {
+		t.Errorf("|m| at T=1.5 = %v, want > 0.9 (Onsager: %v)", m, ising.OnsagerMagnetization(1.5))
+	}
+}
+
+func TestHotPhaseDisorders(t *testing.T) {
+	// Well above Tc the magnetisation must vanish even from a cold start.
+	l := ising.NewLattice(32, 32)
+	s := New(l, 5.0, 2)
+	s.Run(400)
+	ms := make([]float64, 0, 200)
+	for i := 0; i < 200; i++ {
+		s.Run(2)
+		ms = append(ms, s.Magnetization())
+	}
+	var mean float64
+	for _, m := range ms {
+		mean += m
+	}
+	mean /= float64(len(ms))
+	if math.Abs(mean) > 0.1 {
+		t.Errorf("mean m at T=5 = %v, want ~0", mean)
+	}
+}
+
+func TestMagnetizationMatchesOnsager(t *testing.T) {
+	// At T = 1.8 (well below Tc) the finite-size |m| should be close to the
+	// exact infinite-lattice value 0.9465.
+	l := ising.NewLattice(48, 48)
+	s := New(l, 1.8, 3)
+	s.Run(500) // burn-in
+	var sum float64
+	const samples = 300
+	for i := 0; i < samples; i++ {
+		s.Run(2)
+		sum += math.Abs(s.Magnetization())
+	}
+	got := sum / samples
+	want := ising.OnsagerMagnetization(1.8)
+	if math.Abs(got-want) > 0.02 {
+		t.Errorf("<|m|>(T=1.8) = %v, Onsager = %v", got, want)
+	}
+}
+
+func TestEnergyMatchesExactSolution(t *testing.T) {
+	l := ising.NewLattice(48, 48)
+	s := New(l, 2.0, 4)
+	s.Run(500)
+	var sum float64
+	const samples = 300
+	for i := 0; i < samples; i++ {
+		s.Run(2)
+		sum += s.Energy()
+	}
+	got := sum / samples
+	want := ising.ExactEnergyPerSpin(2.0)
+	if math.Abs(got-want) > 0.03 {
+		t.Errorf("<E>(T=2.0) = %v, exact = %v", got, want)
+	}
+}
+
+func TestAcceptanceRateBehaviour(t *testing.T) {
+	// At very high temperature almost every proposal is accepted; at very low
+	// temperature almost none are (from an ordered start).
+	hot := New(ising.NewLattice(16, 16), 100, 5)
+	hot.Run(50)
+	if hot.AcceptanceRate() < 0.9 {
+		t.Errorf("hot acceptance = %v", hot.AcceptanceRate())
+	}
+	cold := New(ising.NewLattice(16, 16), 0.5, 6)
+	cold.Run(50)
+	if cold.AcceptanceRate() > 0.05 {
+		t.Errorf("cold acceptance = %v", cold.AcceptanceRate())
+	}
+	empty := New(ising.NewLattice(4, 4), 1, 7)
+	if empty.AcceptanceRate() != 0 {
+		t.Error("acceptance before any step should be 0")
+	}
+}
+
+func TestSetTemperatureRebuildsTable(t *testing.T) {
+	s := New(ising.NewLattice(8, 8), 0.5, 8)
+	s.Run(20)
+	before := s.AcceptanceRate()
+	s.SetTemperature(50)
+	s.Run(200)
+	if s.AcceptanceRate() <= before {
+		t.Error("raising temperature should raise the acceptance rate")
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	a := New(ising.NewRandomLattice(16, 16, rng.New(9)), 2.2, 42)
+	b := New(ising.NewRandomLattice(16, 16, rng.New(9)), 2.2, 42)
+	a.Run(10)
+	b.Run(10)
+	if !a.Lattice.Equal(b.Lattice) {
+		t.Fatal("same seed should give identical chains")
+	}
+	c := New(ising.NewRandomLattice(16, 16, rng.New(9)), 2.2, 43)
+	c.Run(10)
+	if a.Lattice.Equal(c.Lattice) {
+		t.Fatal("different seeds should diverge")
+	}
+}
+
+func TestSequentialSweepPreservesPhysics(t *testing.T) {
+	l := ising.NewLattice(32, 32)
+	s := New(l, 1.5, 10)
+	for i := 0; i < 200; i++ {
+		s.SequentialSweep()
+	}
+	if m := math.Abs(s.Magnetization()); m < 0.9 {
+		t.Errorf("sequential sweep |m| = %v", m)
+	}
+}
+
+func TestBoltzmannDistributionExact2x2(t *testing.T) {
+	// Exact check of the stationary distribution on a 2x2 torus (16 states):
+	// empirical visit frequencies must match the Boltzmann weights of the
+	// same Hamiltonian the sampler uses.
+	const temperature = 2.5
+	beta := ising.Beta(temperature)
+	l := ising.NewLattice(2, 2)
+
+	// Exact distribution.
+	exact := make([]float64, 16)
+	var z float64
+	for state := 0; state < 16; state++ {
+		setState(l, state)
+		e := l.Energy() * float64(l.N())
+		exact[state] = math.Exp(-beta * e)
+		z += exact[state]
+	}
+	for i := range exact {
+		exact[i] /= z
+	}
+
+	// Empirical distribution from the chain.
+	setState(l, 0)
+	s := New(l, temperature, 11)
+	counts := make([]float64, 16)
+	const samples = 400000
+	for i := 0; i < samples; i++ {
+		s.Sweep()
+		counts[stateOf(l)]++
+	}
+	for state := 0; state < 16; state++ {
+		got := counts[state] / samples
+		if math.Abs(got-exact[state]) > 0.01 {
+			t.Errorf("state %04b: empirical %.4f vs exact %.4f", state, got, exact[state])
+		}
+	}
+}
+
+func setState(l *ising.Lattice, bits int) {
+	for i := 0; i < 4; i++ {
+		s := int8(1)
+		if bits&(1<<i) != 0 {
+			s = -1
+		}
+		l.Set(i/2, i%2, s)
+	}
+}
+
+func stateOf(l *ising.Lattice) int {
+	bits := 0
+	for i := 0; i < 4; i++ {
+		if l.At(i/2, i%2) == -1 {
+			bits |= 1 << i
+		}
+	}
+	return bits
+}
+
+func BenchmarkMetropolisSweep64(b *testing.B) {
+	l := ising.NewLattice(64, 64)
+	s := New(l, 2.269, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sweep()
+	}
+	b.ReportMetric(float64(l.N()), "spins/sweep")
+}

@@ -1,0 +1,124 @@
+package tpu
+
+import (
+	"tpuising/internal/device/tensorcore"
+	"tpuising/internal/pod"
+	"tpuising/internal/tensor"
+)
+
+// BoundaryEnv supplies the values adjacent to each tile's boundary rows and
+// columns of a rank-4 [m, n, T, U] plane. For a standalone core the adjacent
+// values wrap around the plane itself (a torus); for a core inside a pod the
+// wrap at the per-core boundary is replaced by the neighbouring core's edge,
+// obtained through collective-permute (Figure 5 of the paper).
+//
+// Edge shapes: NorthEdge/SouthEdge return [m, n, 1, U]; WestEdge/EastEdge
+// return [m, n, T, 1]. The edge element at (gm, gn, 0, c) of NorthEdge is the
+// value of the site directly above tile (gm, gn)'s row 0, column c, in the
+// global arrangement of the plane.
+type BoundaryEnv interface {
+	NorthEdge(core *tensorcore.Core, plane *tensor.Tensor) *tensor.Tensor
+	SouthEdge(core *tensorcore.Core, plane *tensor.Tensor) *tensor.Tensor
+	WestEdge(core *tensorcore.Core, plane *tensor.Tensor) *tensor.Tensor
+	EastEdge(core *tensorcore.Core, plane *tensor.Tensor) *tensor.Tensor
+}
+
+// TorusEnv is the single-core boundary environment: the per-core lattice is
+// itself a torus, so every edge comes from the plane's own opposite boundary.
+// The edge is sliced out first and only the (small) edge tensor is rolled, so
+// the data-formatting cost matches what XLA does for a wrapped pad rather
+// than re-materialising the whole plane.
+type TorusEnv struct{}
+
+// NorthEdge returns, for every tile, the row above its first row.
+func (TorusEnv) NorthEdge(core *tensorcore.Core, plane *tensor.Tensor) *tensor.Tensor {
+	checkCore(core)
+	edge := core.Slice(plane, tensor.All(), tensor.All(), tensor.At(-1), tensor.All())
+	return core.Roll(edge, 0, 1)
+}
+
+// SouthEdge returns, for every tile, the row below its last row.
+func (TorusEnv) SouthEdge(core *tensorcore.Core, plane *tensor.Tensor) *tensor.Tensor {
+	checkCore(core)
+	edge := core.Slice(plane, tensor.All(), tensor.All(), tensor.At(0), tensor.All())
+	return core.Roll(edge, 0, -1)
+}
+
+// WestEdge returns, for every tile, the column left of its first column.
+func (TorusEnv) WestEdge(core *tensorcore.Core, plane *tensor.Tensor) *tensor.Tensor {
+	checkCore(core)
+	edge := core.Slice(plane, tensor.All(), tensor.All(), tensor.All(), tensor.At(-1))
+	return core.Roll(edge, 1, 1)
+}
+
+// EastEdge returns, for every tile, the column right of its last column.
+func (TorusEnv) EastEdge(core *tensorcore.Core, plane *tensor.Tensor) *tensor.Tensor {
+	checkCore(core)
+	edge := core.Slice(plane, tensor.All(), tensor.All(), tensor.All(), tensor.At(0))
+	return core.Roll(edge, 1, -1)
+}
+
+// PodEnv is the distributed boundary environment: edges interior to the core
+// come from the core's own plane; edges at the per-core boundary come from
+// the neighbouring core via collective-permute over the pod mesh. The pod's
+// Y axis maps to lattice rows (Y+1 is "south") and the X axis to lattice
+// columns (X+1 is "east").
+type PodEnv struct {
+	Replica *pod.Replica
+}
+
+// NorthEdge assembles the row above each tile's first row; the topmost grid
+// row's edge is the southernmost row of the north neighbour core.
+func (e PodEnv) NorthEdge(core *tensorcore.Core, plane *tensor.Tensor) *tensor.Tensor {
+	m := plane.Dim(0)
+	// My southernmost row, sent to my south neighbour (so I receive the
+	// north neighbour's southernmost row).
+	mine := core.Slice(plane, tensor.At(-1), tensor.All(), tensor.At(-1), tensor.All())
+	halo := e.Replica.ShiftExchange(mine, 0, 1)
+	if m == 1 {
+		return halo
+	}
+	interior := core.Slice(plane, tensor.Span(0, m-1), tensor.All(), tensor.At(-1), tensor.All())
+	return core.Concat(0, halo, interior)
+}
+
+// SouthEdge assembles the row below each tile's last row; the bottom grid
+// row's edge is the northernmost row of the south neighbour core.
+func (e PodEnv) SouthEdge(core *tensorcore.Core, plane *tensor.Tensor) *tensor.Tensor {
+	m := plane.Dim(0)
+	mine := core.Slice(plane, tensor.At(0), tensor.All(), tensor.At(0), tensor.All())
+	halo := e.Replica.ShiftExchange(mine, 0, -1)
+	if m == 1 {
+		return halo
+	}
+	interior := core.Slice(plane, tensor.Span(1, m), tensor.All(), tensor.At(0), tensor.All())
+	return core.Concat(0, interior, halo)
+}
+
+// WestEdge assembles the column left of each tile's first column; the
+// leftmost grid column's edge is the easternmost column of the west
+// neighbour core.
+func (e PodEnv) WestEdge(core *tensorcore.Core, plane *tensor.Tensor) *tensor.Tensor {
+	n := plane.Dim(1)
+	mine := core.Slice(plane, tensor.All(), tensor.At(-1), tensor.All(), tensor.At(-1))
+	halo := e.Replica.ShiftExchange(mine, 1, 0)
+	if n == 1 {
+		return halo
+	}
+	interior := core.Slice(plane, tensor.All(), tensor.Span(0, n-1), tensor.All(), tensor.At(-1))
+	return core.Concat(1, halo, interior)
+}
+
+// EastEdge assembles the column right of each tile's last column; the
+// rightmost grid column's edge is the westernmost column of the east
+// neighbour core.
+func (e PodEnv) EastEdge(core *tensorcore.Core, plane *tensor.Tensor) *tensor.Tensor {
+	n := plane.Dim(1)
+	mine := core.Slice(plane, tensor.All(), tensor.At(0), tensor.All(), tensor.At(0))
+	halo := e.Replica.ShiftExchange(mine, -1, 0)
+	if n == 1 {
+		return halo
+	}
+	interior := core.Slice(plane, tensor.All(), tensor.Span(1, n), tensor.All(), tensor.At(0))
+	return core.Concat(1, interior, halo)
+}

@@ -1,0 +1,181 @@
+package tpu
+
+import (
+	"fmt"
+
+	"tpuising/internal/device/metrics"
+	"tpuising/internal/ising"
+	"tpuising/internal/ising/checkerboard"
+	"tpuising/internal/pod"
+	"tpuising/internal/rng"
+	"tpuising/internal/tensor"
+)
+
+// DistConfig describes a pod-distributed simulation: the global lattice is
+// split into a PodX x PodY grid of per-core sub-lattices, each updated with
+// Algorithm 2 while boundary values are exchanged through collective-permute
+// (the setup of Tables 2-4 of the paper).
+type DistConfig struct {
+	// PodX and PodY are the core-grid dimensions (PodX*PodY cores). PodX maps
+	// to lattice columns, PodY to lattice rows.
+	PodX, PodY int
+	// CoreRows and CoreCols are the per-core sub-lattice dimensions; the
+	// global lattice is (PodY*CoreRows) x (PodX*CoreCols).
+	CoreRows, CoreCols int
+	// Temperature in units of J/kB.
+	Temperature float64
+	// TileSize is the MXU tile edge (default 128).
+	TileSize int
+	// DType selects float32 or bfloat16 storage.
+	DType tensor.DType
+	// Seed seeds the shared site-keyed random stream.
+	Seed uint64
+	// Initial is an optional global rank-2 spin tensor; cold start when nil.
+	Initial *tensor.Tensor
+}
+
+func (c *DistConfig) withDefaults() DistConfig {
+	out := *c
+	if out.TileSize == 0 {
+		out.TileSize = 128
+	}
+	if out.Temperature == 0 {
+		out.Temperature = ising.CriticalTemperature()
+	}
+	return out
+}
+
+// GlobalRows returns the global lattice row count.
+func (c DistConfig) GlobalRows() int { return c.PodY * c.CoreRows }
+
+// GlobalCols returns the global lattice column count.
+func (c DistConfig) GlobalCols() int { return c.PodX * c.CoreCols }
+
+// DistSimulator runs the checkerboard chain on a pod of simulated
+// TensorCores with halo exchange over the toroidal mesh.
+type DistSimulator struct {
+	cfg  DistConfig
+	pod  *pod.Pod
+	beta float64
+	sk   *rng.SiteKeyed
+	step uint64
+
+	states []*CompactState // indexed by core ID
+}
+
+// NewDistSimulator builds the pod, decomposes the (optional) initial lattice
+// and uploads each core's sub-lattice.
+func NewDistSimulator(cfg DistConfig) *DistSimulator {
+	c := cfg.withDefaults()
+	if c.PodX <= 0 || c.PodY <= 0 {
+		panic("tpu: pod dimensions must be positive")
+	}
+	p := pod.New(c.PodX, c.PodY)
+	global := c.Initial
+	if global == nil {
+		global = ColdLattice(c.DType, c.GlobalRows(), c.GlobalCols())
+	}
+	if global.Dim(0) != c.GlobalRows() || global.Dim(1) != c.GlobalCols() {
+		panic(fmt.Sprintf("tpu: initial lattice %v does not match pod decomposition %dx%d",
+			global.Shape(), c.GlobalRows(), c.GlobalCols()))
+	}
+	d := &DistSimulator{
+		cfg:    c,
+		pod:    p,
+		beta:   ising.Beta(c.Temperature),
+		sk:     rng.NewSiteKeyed(c.Seed),
+		states: make([]*CompactState, p.NumCores()),
+	}
+	for id := 0; id < p.NumCores(); id++ {
+		x, y := p.Mesh().Coord(id)
+		rowOff, colOff := y*c.CoreRows, x*c.CoreCols
+		sub := global.Slice(
+			tensor.Span(rowOff, rowOff+c.CoreRows),
+			tensor.Span(colOff, colOff+c.CoreCols),
+		)
+		d.states[id] = NewCompactState(sub, c.TileSize, c.DType, rowOff, colOff)
+	}
+	return d
+}
+
+// Pod exposes the underlying pod (for profiling).
+func (d *DistSimulator) Pod() *pod.Pod { return d.pod }
+
+// Config returns the (defaulted) configuration.
+func (d *DistSimulator) Config() DistConfig { return d.cfg }
+
+// NumCores returns the number of cores in the pod.
+func (d *DistSimulator) NumCores() int { return d.pod.NumCores() }
+
+// StepCount returns the number of colour updates performed.
+func (d *DistSimulator) StepCount() uint64 { return d.step }
+
+// Sweep performs one whole-lattice update: every core updates its black
+// planes (exchanging halos), then its white planes, in lockstep.
+func (d *DistSimulator) Sweep() {
+	step := d.step
+	err := d.pod.Replicate(func(r *pod.Replica) error {
+		env := PodEnv{Replica: r}
+		st := d.states[r.ID]
+		UpdateOptim(r.Core, env, st, checkerboard.Black, d.beta, d.sk, step)
+		r.Barrier()
+		UpdateOptim(r.Core, env, st, checkerboard.White, d.beta, d.sk, step+1)
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	d.step += 2
+}
+
+// Run performs n sweeps.
+func (d *DistSimulator) Run(n int) {
+	for i := 0; i < n; i++ {
+		d.Sweep()
+	}
+}
+
+// Magnetization returns the global magnetisation per spin, computed with an
+// all-reduce across the pod (each core contributes its local spin sum).
+func (d *DistSimulator) Magnetization() float64 {
+	results := make([]float64, d.pod.NumCores())
+	err := d.pod.Replicate(func(r *pod.Replica) error {
+		results[r.ID] = r.AllReduceSum(d.states[r.ID].SumSpins())
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	n := float64(d.cfg.GlobalRows() * d.cfg.GlobalCols())
+	return results[0] / n
+}
+
+// Energy returns the global energy per spin (assembled on the host).
+func (d *DistSimulator) Energy() float64 {
+	return ising.EnergyOfTensor(d.GlobalLattice().AsType(tensor.Float32))
+}
+
+// GlobalLattice reassembles the full rank-2 lattice from all cores.
+func (d *DistSimulator) GlobalLattice() *tensor.Tensor {
+	out := tensor.New(d.cfg.DType, d.cfg.GlobalRows(), d.cfg.GlobalCols())
+	for id, st := range d.states {
+		x, y := d.pod.Mesh().Coord(id)
+		rowOff, colOff := y*d.cfg.CoreRows, x*d.cfg.CoreCols
+		out.SetSlice(st.ToTensor(),
+			tensor.Span(rowOff, rowOff+d.cfg.CoreRows),
+			tensor.Span(colOff, colOff+d.cfg.CoreCols))
+	}
+	return out
+}
+
+// State returns core id's compact state (for tests).
+func (d *DistSimulator) State(id int) *CompactState { return d.states[id] }
+
+// Counts returns the per-core maximum work counters (the lockstep step time
+// is set by the slowest core) and the pod-wide totals.
+func (d *DistSimulator) Counts() (perCoreMax, total metrics.Counts) {
+	return d.pod.MaxCounts(), d.pod.TotalCounts()
+}
+
+// ResetCounts clears all cores' counters.
+func (d *DistSimulator) ResetCounts() { d.pod.ResetCounts() }

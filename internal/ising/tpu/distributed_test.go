@@ -1,0 +1,238 @@
+package tpu
+
+import (
+	"math"
+	"testing"
+
+	"tpuising/internal/ising"
+	"tpuising/internal/tensor"
+)
+
+func TestDistMatchesSingleCore(t *testing.T) {
+	// The headline correctness property of the distributed simulator: the
+	// site-keyed generator plus halo exchange make the 2x2-pod chain
+	// bit-identical to the single-core chain on the same global lattice.
+	const coreRows, coreCols, tile = 4, 4, 2
+	const temperature = 2.3
+	const seed = 6
+	const sweeps = 8
+	cfg := DistConfig{
+		PodX: 2, PodY: 2, CoreRows: coreRows, CoreCols: coreCols,
+		Temperature: temperature, TileSize: tile, DType: tensor.Float32, Seed: seed,
+	}
+	init := randomLattice(8, cfg.GlobalRows(), cfg.GlobalCols())
+	cfg.Initial = init
+
+	dist := NewDistSimulator(cfg)
+	dist.Run(sweeps)
+
+	single := NewSimulator(Config{
+		Rows: cfg.GlobalRows(), Cols: cfg.GlobalCols(), Temperature: temperature,
+		TileSize: tile, DType: tensor.Float32, Algorithm: AlgOptim,
+		Seed: seed, Initial: init,
+	})
+	single.Run(sweeps)
+
+	if !latticesEqual(dist.GlobalLattice().AsType(tensor.Float32),
+		single.LatticeTensor().AsType(tensor.Float32)) {
+		t.Fatal("distributed chain diverged from the single-core chain")
+	}
+}
+
+func TestDistDecompositionInvariance(t *testing.T) {
+	// Different pod shapes over the same global lattice must give identical
+	// chains (the decomposition is purely a performance choice).
+	const temperature = 2.6
+	const seed = 15
+	const sweeps = 6
+	globalRows, globalCols := 8, 8
+	init := randomLattice(30, globalRows, globalCols)
+
+	run := func(podX, podY int) *tensor.Tensor {
+		cfg := DistConfig{
+			PodX: podX, PodY: podY,
+			CoreRows: globalRows / podY, CoreCols: globalCols / podX,
+			Temperature: temperature, TileSize: 2, DType: tensor.Float32,
+			Seed: seed, Initial: init,
+		}
+		d := NewDistSimulator(cfg)
+		d.Run(sweeps)
+		return d.GlobalLattice().AsType(tensor.Float32)
+	}
+
+	ref := run(1, 1)
+	for _, shape := range [][2]int{{2, 1}, {1, 2}, {2, 2}} {
+		if !latticesEqual(ref, run(shape[0], shape[1])) {
+			t.Fatalf("pod shape %dx%d changed the chain", shape[0], shape[1])
+		}
+	}
+}
+
+func TestDistMagnetizationMatchesGlobalLattice(t *testing.T) {
+	cfg := DistConfig{
+		PodX: 2, PodY: 2, CoreRows: 4, CoreCols: 4,
+		Temperature: 2.0, TileSize: 2, DType: tensor.Float32, Seed: 44,
+	}
+	d := NewDistSimulator(cfg)
+	d.Run(5)
+	allReduce := d.Magnetization()
+	host := ising.MagnetizationOfTensor(d.GlobalLattice().AsType(tensor.Float32))
+	if math.Abs(allReduce-host) > 1e-9 {
+		t.Fatalf("all-reduce magnetization %v != host magnetization %v", allReduce, host)
+	}
+	wantEnergy := ising.FromTensor(d.GlobalLattice().AsType(tensor.Float32)).Energy()
+	if got := d.Energy(); math.Abs(got-wantEnergy) > 1e-9 {
+		t.Fatalf("Energy %v != %v", got, wantEnergy)
+	}
+}
+
+func TestDistColdStartOrderedPhase(t *testing.T) {
+	cfg := DistConfig{
+		PodX: 2, PodY: 2, CoreRows: 8, CoreCols: 8,
+		Temperature: 1.2, TileSize: 2, DType: tensor.Float32, Seed: 2,
+	}
+	d := NewDistSimulator(cfg)
+	d.Run(100)
+	if m := d.Magnetization(); m < 0.9 {
+		t.Fatalf("magnetization %v at T=1.2, want near 1", m)
+	}
+}
+
+func TestDistBF16OrderedPhase(t *testing.T) {
+	// The precision claim holds for the distributed path as well.
+	cfg := DistConfig{
+		PodX: 2, PodY: 1, CoreRows: 8, CoreCols: 8,
+		Temperature: 1.2, TileSize: 2, DType: tensor.BFloat16, Seed: 2,
+	}
+	d := NewDistSimulator(cfg)
+	d.Run(100)
+	if m := d.Magnetization(); m < 0.9 {
+		t.Fatalf("bf16 magnetization %v at T=1.2, want near 1", m)
+	}
+}
+
+func TestDistConfigAccessors(t *testing.T) {
+	cfg := DistConfig{PodX: 4, PodY: 2, CoreRows: 16, CoreCols: 8}
+	if cfg.GlobalRows() != 32 || cfg.GlobalCols() != 32 {
+		t.Fatalf("global size %dx%d", cfg.GlobalRows(), cfg.GlobalCols())
+	}
+	d := NewDistSimulator(DistConfig{
+		PodX: 2, PodY: 2, CoreRows: 4, CoreCols: 4, TileSize: 2, DType: tensor.Float32,
+	})
+	if d.NumCores() != 4 {
+		t.Fatalf("NumCores = %d", d.NumCores())
+	}
+	if d.Config().TileSize != 2 {
+		t.Fatal("Config not preserved")
+	}
+	if d.Pod() == nil || d.State(0) == nil {
+		t.Fatal("accessors returned nil")
+	}
+	if d.StepCount() != 0 {
+		t.Fatal("fresh simulator has nonzero step count")
+	}
+	d.Sweep()
+	if d.StepCount() != 2 {
+		t.Fatalf("StepCount = %d after one sweep", d.StepCount())
+	}
+}
+
+func TestDistCountsCommunicationRecorded(t *testing.T) {
+	cfg := DistConfig{
+		PodX: 2, PodY: 2, CoreRows: 4, CoreCols: 4,
+		Temperature: 2.5, TileSize: 2, DType: tensor.Float32, Seed: 1,
+	}
+	d := NewDistSimulator(cfg)
+	d.Sweep()
+	perCore, total := d.Counts()
+	if perCore.CommEvents == 0 || perCore.CommBytes == 0 {
+		t.Fatalf("halo exchange not recorded: %v", perCore)
+	}
+	if total.CommEvents < perCore.CommEvents*int64(d.NumCores()) {
+		t.Fatalf("total comm events %d < per-core %d * %d cores",
+			total.CommEvents, perCore.CommEvents, d.NumCores())
+	}
+	if perCore.MXUMacs == 0 {
+		t.Fatal("MXU work not recorded")
+	}
+	d.ResetCounts()
+	_, total = d.Counts()
+	if total.Ops != 0 {
+		t.Fatal("ResetCounts did not clear counters")
+	}
+}
+
+func TestDistPerCoreWorkMatchesSingleCoreOfSameSize(t *testing.T) {
+	// Weak scaling premise: each core of a pod does the same per-sweep work as
+	// a standalone core with the same per-core lattice (plus the halo traffic).
+	const coreRows, coreCols, tile = 8, 8, 2
+	dist := NewDistSimulator(DistConfig{
+		PodX: 2, PodY: 2, CoreRows: coreRows, CoreCols: coreCols,
+		Temperature: 2.4, TileSize: tile, DType: tensor.Float32, Seed: 3,
+	})
+	dist.Sweep()
+	perCore, _ := dist.Counts()
+
+	single := NewSimulator(Config{
+		Rows: coreRows, Cols: coreCols, Temperature: 2.4,
+		TileSize: tile, DType: tensor.Float32, Algorithm: AlgOptim, Seed: 3,
+	})
+	single.Sweep()
+	alone := single.Counts()
+
+	if perCore.MXUMacs != alone.MXUMacs {
+		t.Fatalf("per-core MACs %d != standalone MACs %d", perCore.MXUMacs, alone.MXUMacs)
+	}
+	if perCore.VPUOps != alone.VPUOps {
+		t.Fatalf("per-core VPU ops %d != standalone %d", perCore.VPUOps, alone.VPUOps)
+	}
+	if perCore.CommBytes == 0 {
+		t.Fatal("pod core exchanged no halo bytes")
+	}
+	if alone.CommBytes != 0 {
+		t.Fatal("standalone core should not communicate")
+	}
+}
+
+func TestDistPanicsOnBadConfig(t *testing.T) {
+	cases := []DistConfig{
+		{PodX: 0, PodY: 2, CoreRows: 4, CoreCols: 4, TileSize: 2},
+		{PodX: 2, PodY: 2, CoreRows: 4, CoreCols: 4, TileSize: 2,
+			Initial: randomLattice(1, 4, 4)}, // wrong global size
+	}
+	for i, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			NewDistSimulator(cfg)
+		}()
+	}
+}
+
+func TestPodEnvMatchesTorusEnvOnSingleCorePod(t *testing.T) {
+	// A 1x1 pod's halo exchange is a self-exchange, so the pod environment
+	// must reduce to the torus environment: the chain equals the single-core
+	// chain (already covered by decomposition invariance) and, more directly,
+	// the edge tensors agree.
+	const rows, cols, tile = 8, 8, 2
+	const seed = 19
+	init := randomLattice(55, rows, cols)
+
+	dist := NewDistSimulator(DistConfig{
+		PodX: 1, PodY: 1, CoreRows: rows, CoreCols: cols,
+		Temperature: 2.2, TileSize: tile, DType: tensor.Float32, Seed: seed, Initial: init,
+	})
+	single := NewSimulator(Config{
+		Rows: rows, Cols: cols, Temperature: 2.2,
+		TileSize: tile, DType: tensor.Float32, Algorithm: AlgOptim, Seed: seed, Initial: init,
+	})
+	dist.Run(4)
+	single.Run(4)
+	if !latticesEqual(dist.GlobalLattice().AsType(tensor.Float32),
+		single.LatticeTensor().AsType(tensor.Float32)) {
+		t.Fatal("1x1 pod diverged from single-core simulator")
+	}
+}

@@ -1,0 +1,134 @@
+package tpu
+
+import (
+	"tpuising/internal/device/tensorcore"
+	"tpuising/internal/ising"
+	"tpuising/internal/ising/checkerboard"
+	"tpuising/internal/rng"
+	"tpuising/internal/tensor"
+)
+
+// acceptFactor returns the float32 constant -2*beta*J used in the acceptance
+// ratio exp(-2*beta*J*sigma*nn); keeping the conversion in one place keeps
+// the tensor kernels and the CPU reference bit-identical.
+func acceptFactor(beta float64) float32 { return float32(-2 * beta * ising.J) }
+
+// flipPlane applies the Metropolis acceptance to one plane: it returns
+// sigma - 2*flips*sigma where flips = (probs < exp(factor*sigma*nn)).
+func flipPlane(core *tensorcore.Core, plane, nn, probs *tensor.Tensor, factor float32) *tensor.Tensor {
+	acc := core.Exp(core.Scale(core.Mul(nn, plane), factor))
+	flips := core.Less(probs, acc)
+	return core.Sub(plane, core.Scale(core.Mul(flips, plane), 2))
+}
+
+// UpdateOptim performs one colour update of Algorithm 2 on a compact state:
+// it flips the two planes of the given colour (00 and 11 for black, 01 and
+// 10 for white) and leaves the other two planes untouched. probs are drawn
+// from the site-keyed generator at the given step using the planes' global
+// lattice coordinates.
+func UpdateOptim(core *tensorcore.Core, env BoundaryEnv, s *CompactState,
+	color checkerboard.Color, beta float64, sk *rng.SiteKeyed, step uint64) {
+	checkCore(core)
+	factor := acceptFactor(beta)
+	a, b, c, d := s.planes[plane00], s.planes[plane01], s.planes[plane10], s.planes[plane11]
+
+	if color == checkerboard.Black {
+		// Plane 00: sites (2i, 2j). Plane 11: sites (2i+1, 2j+1).
+		probs0 := s.planeProbs(core, sk, step, 0, 0)
+		probs1 := s.planeProbs(core, sk, step, 1, 1)
+
+		// nn(σ̂00)[i][j] = b[i][j-1] + b[i][j] + c[i-1][j] + c[i][j]
+		nn0 := core.Add(core.MatMul(b, s.kHat), core.MatMul(s.kHatT, c))
+		core.AddSlice(nn0, env.WestEdge(core, b), tensor.All(), tensor.All(), tensor.All(), tensor.At(0))
+		core.AddSlice(nn0, env.NorthEdge(core, c), tensor.All(), tensor.All(), tensor.At(0), tensor.All())
+
+		// nn(σ̂11)[i][j] = b[i][j] + b[i+1][j] + c[i][j] + c[i][j+1]
+		nn1 := core.Add(core.MatMul(s.kHat, b), core.MatMul(c, s.kHatT))
+		core.AddSlice(nn1, env.SouthEdge(core, b), tensor.All(), tensor.All(), tensor.At(-1), tensor.All())
+		core.AddSlice(nn1, env.EastEdge(core, c), tensor.All(), tensor.All(), tensor.All(), tensor.At(-1))
+
+		s.planes[plane00] = flipPlane(core, a, nn0, probs0, factor)
+		s.planes[plane11] = flipPlane(core, d, nn1, probs1, factor)
+		return
+	}
+
+	// White: plane 01 sites (2i, 2j+1), plane 10 sites (2i+1, 2j).
+	probs0 := s.planeProbs(core, sk, step, 0, 1)
+	probs1 := s.planeProbs(core, sk, step, 1, 0)
+
+	// nn(σ̂01)[i][j] = a[i][j] + a[i][j+1] + d[i-1][j] + d[i][j]
+	nn0 := core.Add(core.MatMul(a, s.kHatT), core.MatMul(s.kHatT, d))
+	core.AddSlice(nn0, env.EastEdge(core, a), tensor.All(), tensor.All(), tensor.All(), tensor.At(-1))
+	core.AddSlice(nn0, env.NorthEdge(core, d), tensor.All(), tensor.All(), tensor.At(0), tensor.All())
+
+	// nn(σ̂10)[i][j] = d[i][j-1] + d[i][j] + a[i][j] + a[i+1][j]
+	nn1 := core.Add(core.MatMul(d, s.kHat), core.MatMul(s.kHat, a))
+	core.AddSlice(nn1, env.WestEdge(core, d), tensor.All(), tensor.All(), tensor.All(), tensor.At(0))
+	core.AddSlice(nn1, env.SouthEdge(core, a), tensor.All(), tensor.All(), tensor.At(-1), tensor.All())
+
+	s.planes[plane01] = flipPlane(core, b, nn0, probs0, factor)
+	s.planes[plane10] = flipPlane(core, c, nn1, probs1, factor)
+}
+
+// planeProbs generates the rank-4 tensor of site-keyed uniforms for the
+// compact plane whose sites sit at (2i + parityRow, 2j + parityCol) in the
+// per-core lattice, offset by the core's global position.
+func (s *CompactState) planeProbs(core *tensorcore.Core, sk *rng.SiteKeyed, step uint64, parityRow, parityCol int) *tensor.Tensor {
+	rows, cols := s.Rows/2, s.Cols/2
+	flat := core.RandomUniformSites(s.DType, sk, step,
+		s.RowOff+parityRow, s.ColOff+parityCol, rows, cols, 2, 2)
+	return core.Tile4D(flat, s.Tile, s.Tile)
+}
+
+// UpdateNaive performs one colour update of Algorithm 1 on a tiled state:
+// the nearest-neighbour sums are computed for every site, the acceptance is
+// evaluated for every site, and the mask restricts the flips to the active
+// colour.
+func UpdateNaive(core *tensorcore.Core, env BoundaryEnv, s *TiledState,
+	color checkerboard.Color, beta float64, sk *rng.SiteKeyed, step uint64) {
+	checkCore(core)
+	factor := acceptFactor(beta)
+	sigma := s.lattice
+
+	// Line 1: probabilities for every site (the redundancy Algorithm 2
+	// eliminates).
+	flat := core.RandomUniformSites(s.DType, sk, step, s.RowOff, s.ColOff, s.Rows, s.Cols, 1, 1)
+	probs := core.Tile4D(flat, s.Tile, s.Tile)
+
+	// Lines 2-6: nearest-neighbour sums with boundary compensation.
+	nn := core.Add(core.MatMul(sigma, s.kernel), core.MatMul(s.kernel, sigma))
+	core.AddSlice(nn, env.NorthEdge(core, sigma), tensor.All(), tensor.All(), tensor.At(0), tensor.All())
+	core.AddSlice(nn, env.SouthEdge(core, sigma), tensor.All(), tensor.All(), tensor.At(-1), tensor.All())
+	core.AddSlice(nn, env.WestEdge(core, sigma), tensor.All(), tensor.All(), tensor.All(), tensor.At(0))
+	core.AddSlice(nn, env.EastEdge(core, sigma), tensor.All(), tensor.All(), tensor.All(), tensor.At(-1))
+
+	// Lines 7-10: acceptance, mask, flips, update.
+	acc := core.Exp(core.Scale(core.Mul(nn, sigma), factor))
+	mask := s.maskB
+	if color == checkerboard.White {
+		mask = s.maskW
+	}
+	flips := core.Mul(core.Less(probs, acc), mask)
+	s.lattice = core.Sub(sigma, core.Scale(core.Mul(flips, sigma), 2))
+}
+
+// UpdateConv performs one colour update of the appendix implementation: the
+// nearest-neighbour sums come from a single periodic 2-D convolution. It
+// supports the single-core (torus) case; the distributed benchmarks of the
+// conv variant are reproduced through the performance model.
+func UpdateConv(core *tensorcore.Core, s *ConvState,
+	color checkerboard.Color, beta float64, sk *rng.SiteKeyed, step uint64) {
+	checkCore(core)
+	factor := acceptFactor(beta)
+	sigma := s.lattice
+
+	probs := core.RandomUniformSites(s.DType, sk, step, s.RowOff, s.ColOff, s.Rows, s.Cols, 1, 1)
+	nn := core.Conv2DWrap(sigma, s.kernel)
+	acc := core.Exp(core.Scale(core.Mul(nn, sigma), factor))
+	mask := s.maskB
+	if color == checkerboard.White {
+		mask = s.maskW
+	}
+	flips := core.Mul(core.Less(probs, acc), mask)
+	s.lattice = core.Sub(sigma, core.Scale(core.Mul(flips, sigma), 2))
+}

@@ -1,0 +1,200 @@
+package tpu
+
+import (
+	"fmt"
+
+	"tpuising/internal/device/metrics"
+	"tpuising/internal/device/tensorcore"
+	"tpuising/internal/ising"
+	"tpuising/internal/ising/checkerboard"
+	"tpuising/internal/rng"
+	"tpuising/internal/tensor"
+)
+
+// Algorithm selects which of the paper's update kernels the simulator runs.
+type Algorithm int
+
+const (
+	// AlgOptim is Algorithm 2 (the compact representation); the default and
+	// the variant used for the paper's headline benchmarks.
+	AlgOptim Algorithm = iota
+	// AlgNaive is Algorithm 1 (full lattice with mask).
+	AlgNaive
+	// AlgConv is the appendix convolution-based implementation.
+	AlgConv
+)
+
+// String returns the algorithm's name as used in the benchmark tables.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgOptim:
+		return "optim (Algorithm 2)"
+	case AlgNaive:
+		return "naive (Algorithm 1)"
+	case AlgConv:
+		return "conv (appendix)"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Config describes a single-core simulation.
+type Config struct {
+	// Rows and Cols are the lattice dimensions.
+	Rows, Cols int
+	// Temperature is in units of J/kB.
+	Temperature float64
+	// TileSize is the MXU tile edge (128 on hardware; smaller in tests).
+	// Defaults to 128 when zero.
+	TileSize int
+	// DType selects float32 or bfloat16 storage. Defaults to bfloat16, the
+	// precision the paper's headline benchmarks use.
+	DType tensor.DType
+	// Algorithm selects the update kernel. Defaults to AlgOptim.
+	Algorithm Algorithm
+	// Seed seeds the site-keyed random stream.
+	Seed uint64
+	// Initial is an optional rank-2 +-1 spin tensor; a cold (all +1) lattice
+	// is used when nil.
+	Initial *tensor.Tensor
+	// UseFloat32 forces float32 even though DType's zero value is Float32;
+	// kept for clarity in callers that spell the precision out.
+	UseFloat32 bool
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.TileSize == 0 {
+		out.TileSize = 128
+	}
+	if out.Temperature == 0 {
+		out.Temperature = ising.CriticalTemperature()
+	}
+	return out
+}
+
+// Simulator runs the checkerboard Markov chain on a single simulated
+// TensorCore.
+type Simulator struct {
+	cfg  Config
+	core *tensorcore.Core
+	beta float64
+	sk   *rng.SiteKeyed
+	step uint64
+
+	compact *CompactState
+	tiled   *TiledState
+	conv    *ConvState
+}
+
+// NewSimulator builds a single-core simulator from the config.
+func NewSimulator(cfg Config) *Simulator {
+	c := cfg.withDefaults()
+	core := tensorcore.New(0)
+	init := c.Initial
+	if init == nil {
+		init = ColdLattice(c.DType, c.Rows, c.Cols)
+	}
+	if init.Dim(0) != c.Rows || init.Dim(1) != c.Cols {
+		panic(fmt.Sprintf("tpu: initial lattice %v does not match config %dx%d", init.Shape(), c.Rows, c.Cols))
+	}
+	s := &Simulator{
+		cfg:  c,
+		core: core,
+		beta: ising.Beta(c.Temperature),
+		sk:   rng.NewSiteKeyed(c.Seed),
+	}
+	switch c.Algorithm {
+	case AlgOptim:
+		s.compact = NewCompactState(init, c.TileSize, c.DType, 0, 0)
+	case AlgNaive:
+		s.tiled = NewTiledState(init, c.TileSize, c.DType, 0, 0)
+	case AlgConv:
+		s.conv = NewConvState(init, c.DType, 0, 0)
+	default:
+		panic("tpu: unknown algorithm")
+	}
+	return s
+}
+
+// Core exposes the simulated TensorCore (for profiling).
+func (s *Simulator) Core() *tensorcore.Core { return s.core }
+
+// Config returns the (defaulted) configuration.
+func (s *Simulator) Config() Config { return s.cfg }
+
+// StepCount returns the number of colour updates performed so far.
+func (s *Simulator) StepCount() uint64 { return s.step }
+
+// Sweep performs one whole-lattice update (black then white), the unit of
+// Monte-Carlo time used in all the paper's throughput numbers.
+func (s *Simulator) Sweep() {
+	env := TorusEnv{}
+	switch s.cfg.Algorithm {
+	case AlgOptim:
+		UpdateOptim(s.core, env, s.compact, checkerboard.Black, s.beta, s.sk, s.step)
+		UpdateOptim(s.core, env, s.compact, checkerboard.White, s.beta, s.sk, s.step+1)
+	case AlgNaive:
+		UpdateNaive(s.core, env, s.tiled, checkerboard.Black, s.beta, s.sk, s.step)
+		UpdateNaive(s.core, env, s.tiled, checkerboard.White, s.beta, s.sk, s.step+1)
+	case AlgConv:
+		UpdateConv(s.core, s.conv, checkerboard.Black, s.beta, s.sk, s.step)
+		UpdateConv(s.core, s.conv, checkerboard.White, s.beta, s.sk, s.step+1)
+	}
+	s.step += 2
+}
+
+// Run performs n sweeps.
+func (s *Simulator) Run(n int) {
+	for i := 0; i < n; i++ {
+		s.Sweep()
+	}
+}
+
+// LatticeTensor returns the current spin configuration as a rank-2 tensor.
+func (s *Simulator) LatticeTensor() *tensor.Tensor {
+	switch s.cfg.Algorithm {
+	case AlgOptim:
+		return s.compact.ToTensor()
+	case AlgNaive:
+		return s.tiled.ToTensor()
+	default:
+		return s.conv.ToTensor()
+	}
+}
+
+// Magnetization returns the magnetisation per spin of the current state.
+func (s *Simulator) Magnetization() float64 {
+	var sum float64
+	var n int
+	switch s.cfg.Algorithm {
+	case AlgOptim:
+		sum, n = s.compact.SumSpins(), s.compact.N()
+	case AlgNaive:
+		sum, n = s.tiled.SumSpins(), s.tiled.N()
+	default:
+		sum, n = s.conv.SumSpins(), s.conv.N()
+	}
+	return sum / float64(n)
+}
+
+// Energy returns the energy per spin of the current state.
+func (s *Simulator) Energy() float64 {
+	return ising.EnergyOfTensor(s.LatticeTensor().AsType(tensor.Float32))
+}
+
+// N returns the number of spins.
+func (s *Simulator) N() int { return s.cfg.Rows * s.cfg.Cols }
+
+// Counts returns the device work counters accumulated since the last reset.
+func (s *Simulator) Counts() metrics.Counts { return s.core.Counts() }
+
+// ResetCounts clears the device work counters (e.g. after burn-in).
+func (s *Simulator) ResetCounts() { s.core.ResetCounts() }
+
+// SetTemperature changes the simulation temperature (the chain continues
+// from the current configuration, as in an annealing schedule).
+func (s *Simulator) SetTemperature(t float64) {
+	s.cfg.Temperature = t
+	s.beta = ising.Beta(t)
+}

@@ -1,0 +1,410 @@
+package tpu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tpuising/internal/ising"
+	"tpuising/internal/ising/checkerboard"
+	"tpuising/internal/rng"
+	"tpuising/internal/tensor"
+)
+
+// randomLattice builds a random +-1 rank-2 spin tensor from a Philox stream.
+func randomLattice(seed uint64, rows, cols int) *tensor.Tensor {
+	p := rng.New(seed)
+	t := tensor.New(tensor.Float32, rows, cols)
+	data := t.Data()
+	for i := range data {
+		if p.Float32() < 0.5 {
+			data[i] = -1
+		} else {
+			data[i] = 1
+		}
+	}
+	return t
+}
+
+// latticesEqual reports whether two rank-2 spin tensors hold the same spins.
+func latticesEqual(a, b *tensor.Tensor) bool {
+	if a.Dim(0) != b.Dim(0) || a.Dim(1) != b.Dim(1) {
+		return false
+	}
+	da, db := a.Data(), b.Data()
+	for i := range da {
+		if da[i] != db[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// cpuReference runs the bit-identical serial checkerboard chain on the same
+// initial lattice, seed and temperature.
+func cpuReference(init *tensor.Tensor, temperature float64, seed uint64, sweeps int) *ising.Lattice {
+	l := ising.FromTensor(init)
+	sk := rng.NewSiteKeyed(seed)
+	beta := ising.Beta(temperature)
+	var step uint64
+	for i := 0; i < sweeps; i++ {
+		step = checkerboard.Sweep(l, beta, sk, step)
+	}
+	return l
+}
+
+func TestOptimMatchesCPUReference(t *testing.T) {
+	const rows, cols, tile = 8, 12, 2
+	const temperature = 2.4
+	const seed = 7
+	init := randomLattice(3, rows, cols)
+
+	sim := NewSimulator(Config{
+		Rows: rows, Cols: cols, Temperature: temperature,
+		TileSize: tile, DType: tensor.Float32, Algorithm: AlgOptim,
+		Seed: seed, Initial: init,
+	})
+	ref := ising.FromTensor(init)
+	sk := rng.NewSiteKeyed(seed)
+	beta := ising.Beta(temperature)
+	var step uint64
+	for sweep := 0; sweep < 12; sweep++ {
+		sim.Sweep()
+		step = checkerboard.Sweep(ref, beta, sk, step)
+		got := sim.LatticeTensor().AsType(tensor.Float32)
+		want := ref.ToTensor(tensor.Float32)
+		if !latticesEqual(got, want) {
+			t.Fatalf("sweep %d: Algorithm 2 diverged from the CPU reference", sweep)
+		}
+	}
+}
+
+func TestNaiveMatchesCPUReference(t *testing.T) {
+	const rows, cols, tile = 8, 8, 4
+	const temperature = 2.1
+	const seed = 11
+	init := randomLattice(5, rows, cols)
+
+	sim := NewSimulator(Config{
+		Rows: rows, Cols: cols, Temperature: temperature,
+		TileSize: tile, DType: tensor.Float32, Algorithm: AlgNaive,
+		Seed: seed, Initial: init,
+	})
+	sim.Run(10)
+	want := cpuReference(init, temperature, seed, 10).ToTensor(tensor.Float32)
+	if !latticesEqual(sim.LatticeTensor().AsType(tensor.Float32), want) {
+		t.Fatal("Algorithm 1 diverged from the CPU reference")
+	}
+}
+
+func TestConvMatchesCPUReference(t *testing.T) {
+	const rows, cols = 10, 6
+	const temperature = 3.0
+	const seed = 13
+	init := randomLattice(9, rows, cols)
+
+	sim := NewSimulator(Config{
+		Rows: rows, Cols: cols, Temperature: temperature,
+		DType: tensor.Float32, Algorithm: AlgConv,
+		Seed: seed, Initial: init,
+	})
+	sim.Run(10)
+	want := cpuReference(init, temperature, seed, 10).ToTensor(tensor.Float32)
+	if !latticesEqual(sim.LatticeTensor().AsType(tensor.Float32), want) {
+		t.Fatal("conv update diverged from the CPU reference")
+	}
+}
+
+func TestAllAlgorithmsProduceIdenticalChains(t *testing.T) {
+	// In float32 with the site-keyed generator the three update kernels are
+	// exactly the same Markov chain.
+	const rows, cols = 8, 8
+	const seed = 21
+	for _, temperature := range []float64{1.5, ising.CriticalTemperature(), 3.5} {
+		init := randomLattice(17, rows, cols)
+		var finals []*tensor.Tensor
+		for _, alg := range []Algorithm{AlgOptim, AlgNaive, AlgConv} {
+			sim := NewSimulator(Config{
+				Rows: rows, Cols: cols, Temperature: temperature,
+				TileSize: 2, DType: tensor.Float32, Algorithm: alg,
+				Seed: seed, Initial: init,
+			})
+			sim.Run(8)
+			finals = append(finals, sim.LatticeTensor().AsType(tensor.Float32))
+		}
+		if !latticesEqual(finals[0], finals[1]) || !latticesEqual(finals[0], finals[2]) {
+			t.Fatalf("T=%v: algorithms disagree", temperature)
+		}
+	}
+}
+
+func TestTileSizeInvariance(t *testing.T) {
+	// The chain must not depend on the MXU tile decomposition.
+	const rows, cols = 16, 16
+	const temperature = 2.2
+	const seed = 5
+	init := randomLattice(23, rows, cols)
+	var prev *tensor.Tensor
+	for _, tile := range []int{2, 4, 8} {
+		sim := NewSimulator(Config{
+			Rows: rows, Cols: cols, Temperature: temperature,
+			TileSize: tile, DType: tensor.Float32, Algorithm: AlgOptim,
+			Seed: seed, Initial: init,
+		})
+		sim.Run(6)
+		cur := sim.LatticeTensor().AsType(tensor.Float32)
+		if prev != nil && !latticesEqual(prev, cur) {
+			t.Fatalf("tile size %d changed the chain", tile)
+		}
+		prev = cur
+	}
+}
+
+func TestTileSizeInvarianceQuick(t *testing.T) {
+	// Property: for any seed and any pair of valid tile sizes, Algorithm 2
+	// produces the same chain.
+	f := func(seed uint16, pick bool) bool {
+		const rows, cols = 8, 8
+		tileA, tileB := 2, 4
+		if pick {
+			tileA, tileB = 4, 2
+		}
+		init := randomLattice(uint64(seed)+100, rows, cols)
+		run := func(tile int) *tensor.Tensor {
+			sim := NewSimulator(Config{
+				Rows: rows, Cols: cols, Temperature: 2.3,
+				TileSize: tile, DType: tensor.Float32, Algorithm: AlgOptim,
+				Seed: uint64(seed), Initial: init,
+			})
+			sim.Run(3)
+			return sim.LatticeTensor().AsType(tensor.Float32)
+		}
+		return latticesEqual(run(tileA), run(tileB))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpinsRemainPlusMinusOne(t *testing.T) {
+	// Property: after any number of sweeps every spin is exactly +1 or -1, in
+	// both precisions (bfloat16 represents +-1 exactly).
+	for _, dtype := range []tensor.DType{tensor.Float32, tensor.BFloat16} {
+		sim := NewSimulator(Config{
+			Rows: 8, Cols: 8, Temperature: 2.269,
+			TileSize: 2, DType: dtype, Algorithm: AlgOptim, Seed: 40,
+		})
+		sim.Run(20)
+		lat := sim.LatticeTensor()
+		for _, v := range lat.Data() {
+			if v != 1 && v != -1 {
+				t.Fatalf("dtype %v: spin value %v", dtype, v)
+			}
+		}
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	run := func(seed uint64) *tensor.Tensor {
+		sim := NewSimulator(Config{
+			Rows: 8, Cols: 8, Temperature: 2.5,
+			TileSize: 2, DType: tensor.Float32, Algorithm: AlgOptim, Seed: seed,
+		})
+		sim.Run(5)
+		return sim.LatticeTensor().AsType(tensor.Float32)
+	}
+	if !latticesEqual(run(1), run(1)) {
+		t.Fatal("same seed produced different chains")
+	}
+	if latticesEqual(run(1), run(2)) {
+		t.Fatal("different seeds produced identical chains (suspicious)")
+	}
+}
+
+func TestColdStartStaysOrderedBelowTc(t *testing.T) {
+	// Deep in the ordered phase a cold start must keep |m| close to 1.
+	sim := NewSimulator(Config{
+		Rows: 32, Cols: 32, Temperature: 1.0,
+		TileSize: 4, DType: tensor.Float32, Algorithm: AlgOptim, Seed: 3,
+	})
+	sim.Run(200)
+	if m := sim.Magnetization(); m < 0.95 {
+		t.Fatalf("magnetization %v at T=1.0, want near 1", m)
+	}
+}
+
+func TestDisorderedAboveTc(t *testing.T) {
+	// Far above Tc the magnetization must decay towards 0.
+	sim := NewSimulator(Config{
+		Rows: 32, Cols: 32, Temperature: 5.0,
+		TileSize: 4, DType: tensor.Float32, Algorithm: AlgOptim, Seed: 3,
+	})
+	sim.Run(300)
+	if m := math.Abs(sim.Magnetization()); m > 0.2 {
+		t.Fatalf("|m| = %v at T=5.0, want near 0", m)
+	}
+}
+
+func TestBF16MatchesF32Statistically(t *testing.T) {
+	// The paper's precision claim: bfloat16 does not change the physics. The
+	// chains are not bit-identical (the uniforms and acceptance ratios are
+	// rounded), so compare the phase they settle into.
+	run := func(dtype tensor.DType, temperature float64) float64 {
+		sim := NewSimulator(Config{
+			Rows: 32, Cols: 32, Temperature: temperature,
+			TileSize: 4, DType: dtype, Algorithm: AlgOptim, Seed: 9,
+		})
+		sim.Run(300)
+		// Average over some further sweeps to reduce noise.
+		var acc float64
+		const samples = 50
+		for i := 0; i < samples; i++ {
+			sim.Sweep()
+			acc += math.Abs(sim.Magnetization())
+		}
+		return acc / samples
+	}
+	lowF32, lowBF16 := run(tensor.Float32, 1.5), run(tensor.BFloat16, 1.5)
+	if math.Abs(lowF32-lowBF16) > 0.05 {
+		t.Fatalf("ordered phase: f32 %v vs bf16 %v", lowF32, lowBF16)
+	}
+	highF32, highBF16 := run(tensor.Float32, 4.5), run(tensor.BFloat16, 4.5)
+	if math.Abs(highF32-highBF16) > 0.15 {
+		t.Fatalf("disordered phase: f32 %v vs bf16 %v", highF32, highBF16)
+	}
+}
+
+func TestMagnetizationMatchesLatticeTensor(t *testing.T) {
+	for _, alg := range []Algorithm{AlgOptim, AlgNaive, AlgConv} {
+		sim := NewSimulator(Config{
+			Rows: 8, Cols: 8, Temperature: 2.7,
+			TileSize: 2, DType: tensor.Float32, Algorithm: alg, Seed: 31,
+		})
+		sim.Run(7)
+		direct := sim.Magnetization()
+		fromTensor := ising.MagnetizationOfTensor(sim.LatticeTensor().AsType(tensor.Float32))
+		if math.Abs(direct-fromTensor) > 1e-9 {
+			t.Fatalf("%v: Magnetization %v != tensor magnetization %v", alg, direct, fromTensor)
+		}
+	}
+}
+
+func TestEnergyMatchesCPUDefinition(t *testing.T) {
+	sim := NewSimulator(Config{
+		Rows: 8, Cols: 8, Temperature: 2.0,
+		TileSize: 2, DType: tensor.Float32, Algorithm: AlgOptim, Seed: 77,
+	})
+	sim.Run(5)
+	want := ising.FromTensor(sim.LatticeTensor().AsType(tensor.Float32)).Energy()
+	if got := sim.Energy(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Energy %v != lattice energy %v", got, want)
+	}
+}
+
+func TestSimulatorDefaults(t *testing.T) {
+	sim := NewSimulator(Config{Rows: 256, Cols: 256})
+	cfg := sim.Config()
+	if cfg.TileSize != 128 {
+		t.Fatalf("default tile size = %d, want 128", cfg.TileSize)
+	}
+	if math.Abs(cfg.Temperature-ising.CriticalTemperature()) > 1e-12 {
+		t.Fatalf("default temperature = %v, want Tc", cfg.Temperature)
+	}
+	if sim.N() != 256*256 {
+		t.Fatalf("N = %d", sim.N())
+	}
+}
+
+func TestSimulatorCountsAccumulateAndReset(t *testing.T) {
+	sim := NewSimulator(Config{
+		Rows: 8, Cols: 8, Temperature: 2.5, TileSize: 2,
+		DType: tensor.Float32, Algorithm: AlgOptim, Seed: 1,
+	})
+	sim.Sweep()
+	first := sim.Counts()
+	if first.MXUMacs == 0 || first.VPUOps == 0 || first.Ops == 0 {
+		t.Fatalf("counts not recorded: %v", first)
+	}
+	sim.Sweep()
+	second := sim.Counts()
+	if second.MXUMacs != 2*first.MXUMacs {
+		t.Fatalf("MXU MACs per sweep not constant: %d then %d", first.MXUMacs, second.MXUMacs-first.MXUMacs)
+	}
+	sim.ResetCounts()
+	if sim.Counts().Ops != 0 {
+		t.Fatal("ResetCounts did not clear counters")
+	}
+	if sim.StepCount() != 4 {
+		t.Fatalf("StepCount = %d, want 4", sim.StepCount())
+	}
+}
+
+func TestAlgorithmWorkOrdering(t *testing.T) {
+	// The optimised algorithm must do strictly less matrix work per sweep than
+	// the naive one (the point of Algorithm 2).
+	counts := func(alg Algorithm) int64 {
+		sim := NewSimulator(Config{
+			Rows: 16, Cols: 16, Temperature: 2.5, TileSize: 4,
+			DType: tensor.Float32, Algorithm: alg, Seed: 1,
+		})
+		sim.Sweep()
+		return sim.Counts().MXUMacs
+	}
+	naive, optim := counts(AlgNaive), counts(AlgOptim)
+	if optim >= naive {
+		t.Fatalf("Algorithm 2 MACs %d >= Algorithm 1 MACs %d", optim, naive)
+	}
+}
+
+func TestSetTemperatureChangesDynamics(t *testing.T) {
+	sim := NewSimulator(Config{
+		Rows: 32, Cols: 32, Temperature: 1.0,
+		TileSize: 4, DType: tensor.Float32, Algorithm: AlgOptim, Seed: 12,
+	})
+	sim.Run(100)
+	ordered := math.Abs(sim.Magnetization())
+	sim.SetTemperature(6.0)
+	sim.Run(300)
+	disordered := math.Abs(sim.Magnetization())
+	if ordered < 0.9 {
+		t.Fatalf("ordered |m| = %v", ordered)
+	}
+	if disordered > 0.3 {
+		t.Fatalf("after heating |m| = %v, want small", disordered)
+	}
+}
+
+func TestAcceptFactor(t *testing.T) {
+	if got, want := acceptFactor(0.5), float32(-1.0); got != want {
+		t.Fatalf("acceptFactor(0.5) = %v, want %v", got, want)
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	for _, alg := range []Algorithm{AlgOptim, AlgNaive, AlgConv, Algorithm(99)} {
+		if alg.String() == "" {
+			t.Fatalf("empty String for %d", int(alg))
+		}
+	}
+}
+
+func TestNewSimulatorPanicsOnBadConfig(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"mismatched initial", Config{Rows: 8, Cols: 8, TileSize: 2, Initial: randomLattice(1, 4, 4)}},
+		{"unknown algorithm", Config{Rows: 8, Cols: 8, TileSize: 2, Algorithm: Algorithm(42)}},
+		{"indivisible lattice", Config{Rows: 6, Cols: 6, TileSize: 4}},
+	}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", tc.name)
+				}
+			}()
+			NewSimulator(tc.cfg)
+		}()
+	}
+}

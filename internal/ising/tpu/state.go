@@ -1,0 +1,251 @@
+// Package tpu implements the paper's contribution: the checkerboard
+// Metropolis update for the 2-D Ising model expressed as dense tensor
+// operations on the (simulated) TPU TensorCore, in the three variants the
+// paper describes:
+//
+//   - Algorithm 1 ("UpdateNaive"): the full lattice in the rank-4
+//     [m, n, T, T] grid-of-tiles layout, nearest-neighbour sums via two
+//     matrix multiplications with the tridiagonal kernel K, and a mask to
+//     freeze the colour that is not being updated.
+//   - Algorithm 2 ("UpdateOptim"): the lattice reorganised into the four
+//     compact colour planes σ̂00, σ̂01, σ̂10, σ̂11 with the bidiagonal kernel
+//     K̂, eliminating the redundant work of Algorithm 1.
+//   - The appendix "new implementation" ("UpdateConv"): nearest-neighbour
+//     sums via a 2-D convolution.
+//
+// A single-core Simulator runs any of the three on one TensorCore; the
+// DistSimulator domain-decomposes the lattice over a pod of TensorCores and
+// exchanges sub-lattice boundaries with collective-permute, as in Section 5
+// of the paper.  All variants draw their per-site uniforms from a counter
+// (site)-keyed Philox generator, so every variant — and every domain
+// decomposition — produces bit-identical Markov chains in float32, which is
+// the basis of the cross-validation tests.
+package tpu
+
+import (
+	"fmt"
+
+	"tpuising/internal/device/tensorcore"
+	"tpuising/internal/tensor"
+)
+
+// Plane indices of the compact representation (Figure 3-(2) of the paper):
+// plane00 holds sites at (even row, even col), plane01 (even, odd),
+// plane10 (odd, even), plane11 (odd, odd). Planes 00 and 11 are "black"
+// ((row+col) even), planes 01 and 10 are "white".
+const (
+	plane00 = iota
+	plane01
+	plane10
+	plane11
+	numPlanes
+)
+
+// CompactState is the Algorithm 2 representation of a (per-core) lattice:
+// four colour planes, each tiled into a [gridRows, gridCols, tile, tile]
+// rank-4 tensor.
+type CompactState struct {
+	// Rows and Cols are the full per-core lattice dimensions.
+	Rows, Cols int
+	// Tile is the square tile (MXU) dimension; 128 on real hardware,
+	// parameterised so tests can use small lattices.
+	Tile int
+	// RowOff and ColOff are the global coordinates of this lattice's (0,0)
+	// site within the whole (possibly multi-core) lattice.
+	RowOff, ColOff int
+	// DType is the storage type of the planes (float32 or bfloat16).
+	DType tensor.DType
+
+	planes [numPlanes]*tensor.Tensor
+	// kernels (K̂ and its transpose), built once per state.
+	kHat, kHatT *tensor.Tensor
+}
+
+// NewCompactState builds the compact representation of the given rank-2 spin
+// lattice (+-1 values).  rows and cols must be divisible by 2*tile.
+func NewCompactState(lattice *tensor.Tensor, tile int, dtype tensor.DType, rowOff, colOff int) *CompactState {
+	if lattice.Rank() != 2 {
+		panic("tpu: NewCompactState needs a rank-2 lattice")
+	}
+	rows, cols := lattice.Dim(0), lattice.Dim(1)
+	if rows%(2*tile) != 0 || cols%(2*tile) != 0 {
+		panic(fmt.Sprintf("tpu: lattice %dx%d not divisible into 2*%d tiles", rows, cols, tile))
+	}
+	s := &CompactState{
+		Rows: rows, Cols: cols, Tile: tile,
+		RowOff: rowOff, ColOff: colOff, DType: dtype,
+		kHat:  tensor.CompactKernel(dtype, tile),
+		kHatT: tensor.Transpose(tensor.CompactKernel(dtype, tile)),
+	}
+	lat := lattice.AsType(dtype)
+	a, b, c, d := tensor.CompactDecompose2D(lat)
+	s.planes[plane00] = tensor.Tile4D(a, tile, tile)
+	s.planes[plane01] = tensor.Tile4D(b, tile, tile)
+	s.planes[plane10] = tensor.Tile4D(c, tile, tile)
+	s.planes[plane11] = tensor.Tile4D(d, tile, tile)
+	return s
+}
+
+// GridShape returns the [gridRows, gridCols] tiling of each compact plane.
+func (s *CompactState) GridShape() (gridRows, gridCols int) {
+	return s.Rows / (2 * s.Tile), s.Cols / (2 * s.Tile)
+}
+
+// Plane returns one of the four compact planes (for tests and halo logic).
+func (s *CompactState) Plane(i int) *tensor.Tensor { return s.planes[i] }
+
+// ToTensor reassembles the full rank-2 lattice from the compact planes.
+func (s *CompactState) ToTensor() *tensor.Tensor {
+	a := tensor.Untile4D(s.planes[plane00])
+	b := tensor.Untile4D(s.planes[plane01])
+	c := tensor.Untile4D(s.planes[plane10])
+	d := tensor.Untile4D(s.planes[plane11])
+	return tensor.Interleave2D(a, b, c, d)
+}
+
+// SumSpins returns the total spin of the per-core lattice.
+func (s *CompactState) SumSpins() float64 {
+	var total float64
+	for _, p := range s.planes {
+		total += tensor.Sum(p)
+	}
+	return total
+}
+
+// N returns the number of spins in the per-core lattice.
+func (s *CompactState) N() int { return s.Rows * s.Cols }
+
+// TiledState is the Algorithm 1 representation: the full lattice as a rank-4
+// [gridRows, gridCols, tile, tile] tensor, colours interleaved.
+type TiledState struct {
+	Rows, Cols     int
+	Tile           int
+	RowOff, ColOff int
+	DType          tensor.DType
+
+	lattice *tensor.Tensor
+	kernel  *tensor.Tensor // tridiagonal K
+	maskB   *tensor.Tensor // rank-4 black mask
+	maskW   *tensor.Tensor // rank-4 white mask
+}
+
+// NewTiledState builds the Algorithm 1 representation of a rank-2 lattice.
+// rows and cols must be divisible by tile, and tile must be even so that the
+// per-tile checkerboard mask has the global colour parity.
+func NewTiledState(lattice *tensor.Tensor, tile int, dtype tensor.DType, rowOff, colOff int) *TiledState {
+	if lattice.Rank() != 2 {
+		panic("tpu: NewTiledState needs a rank-2 lattice")
+	}
+	if tile%2 != 0 {
+		panic("tpu: tile size must be even")
+	}
+	if (rowOff+colOff)%2 != 0 {
+		panic("tpu: lattice offset must preserve colour parity")
+	}
+	rows, cols := lattice.Dim(0), lattice.Dim(1)
+	if rows%tile != 0 || cols%tile != 0 {
+		panic(fmt.Sprintf("tpu: lattice %dx%d not divisible into %d tiles", rows, cols, tile))
+	}
+	s := &TiledState{
+		Rows: rows, Cols: cols, Tile: tile,
+		RowOff: rowOff, ColOff: colOff, DType: dtype,
+		kernel: tensor.NeighbourKernel(dtype, tile),
+	}
+	s.lattice = tensor.Tile4D(lattice.AsType(dtype), tile, tile)
+	m, n := rows/tile, cols/tile
+	maskTile := tensor.CheckerboardMask(dtype, tile, tile)
+	s.maskB = broadcastTile(maskTile, m, n)
+	s.maskW = tensor.Sub(tensor.Full(dtype, 1, m, n, tile, tile), s.maskB)
+	return s
+}
+
+// broadcastTile repeats a [T, T] tile into a [m, n, T, T] tensor.
+func broadcastTile(tile *tensor.Tensor, m, n int) *tensor.Tensor {
+	t := tile.Dim(0)
+	u := tile.Dim(1)
+	out := tensor.New(tile.DType(), m, n, t, u)
+	src := tile.Data()
+	dst := out.Data()
+	block := t * u
+	for g := 0; g < m*n; g++ {
+		copy(dst[g*block:(g+1)*block], src)
+	}
+	return out
+}
+
+// GridShape returns the [gridRows, gridCols] tiling.
+func (s *TiledState) GridShape() (gridRows, gridCols int) { return s.Rows / s.Tile, s.Cols / s.Tile }
+
+// Lattice returns the rank-4 tiled lattice tensor.
+func (s *TiledState) Lattice() *tensor.Tensor { return s.lattice }
+
+// ToTensor returns the full rank-2 lattice.
+func (s *TiledState) ToTensor() *tensor.Tensor { return tensor.Untile4D(s.lattice) }
+
+// SumSpins returns the total spin.
+func (s *TiledState) SumSpins() float64 { return tensor.Sum(s.lattice) }
+
+// N returns the number of spins.
+func (s *TiledState) N() int { return s.Rows * s.Cols }
+
+// ConvState is the appendix representation: the full lattice as one rank-2
+// tensor, with nearest-neighbour sums computed by 2-D convolution.
+type ConvState struct {
+	Rows, Cols     int
+	RowOff, ColOff int
+	DType          tensor.DType
+
+	lattice *tensor.Tensor
+	kernel  *tensor.Tensor
+	maskB   *tensor.Tensor
+	maskW   *tensor.Tensor
+}
+
+// NewConvState builds the convolution-based representation of a rank-2
+// lattice. Rows and cols must be even (so the checkerboard wraps
+// consistently on the torus).
+func NewConvState(lattice *tensor.Tensor, dtype tensor.DType, rowOff, colOff int) *ConvState {
+	if lattice.Rank() != 2 {
+		panic("tpu: NewConvState needs a rank-2 lattice")
+	}
+	rows, cols := lattice.Dim(0), lattice.Dim(1)
+	if rows%2 != 0 || cols%2 != 0 {
+		panic("tpu: lattice dimensions must be even")
+	}
+	if (rowOff+colOff)%2 != 0 {
+		panic("tpu: lattice offset must preserve colour parity")
+	}
+	s := &ConvState{
+		Rows: rows, Cols: cols, RowOff: rowOff, ColOff: colOff, DType: dtype,
+		kernel: tensor.NNConvKernel(dtype),
+	}
+	s.lattice = lattice.AsType(dtype)
+	s.maskB = tensor.CheckerboardMask(dtype, rows, cols)
+	s.maskW = tensor.Sub(tensor.Full(dtype, 1, rows, cols), s.maskB)
+	return s
+}
+
+// Lattice returns the rank-2 lattice tensor.
+func (s *ConvState) Lattice() *tensor.Tensor { return s.lattice }
+
+// ToTensor returns a copy of the full rank-2 lattice.
+func (s *ConvState) ToTensor() *tensor.Tensor { return s.lattice.Clone() }
+
+// SumSpins returns the total spin.
+func (s *ConvState) SumSpins() float64 { return tensor.Sum(s.lattice) }
+
+// N returns the number of spins.
+func (s *ConvState) N() int { return s.Rows * s.Cols }
+
+// ColdLattice returns an all-up rank-2 spin lattice.
+func ColdLattice(dtype tensor.DType, rows, cols int) *tensor.Tensor {
+	return tensor.Full(dtype, 1, rows, cols)
+}
+
+// checkCore panics when the core is nil, producing a clearer error than a nil
+// dereference inside a kernel.
+func checkCore(core *tensorcore.Core) {
+	if core == nil {
+		panic("tpu: nil TensorCore")
+	}
+}

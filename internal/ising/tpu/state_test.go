@@ -1,0 +1,230 @@
+package tpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tpuising/internal/device/tensorcore"
+	"tpuising/internal/tensor"
+)
+
+func TestCompactStateRoundTrip(t *testing.T) {
+	init := randomLattice(1, 8, 12)
+	s := NewCompactState(init, 2, tensor.Float32, 0, 0)
+	if !latticesEqual(s.ToTensor(), init) {
+		t.Fatal("compact decompose/reassemble is not the identity")
+	}
+	gr, gc := s.GridShape()
+	if gr != 2 || gc != 3 {
+		t.Fatalf("GridShape = %d,%d want 2,3", gr, gc)
+	}
+	if s.N() != 96 {
+		t.Fatalf("N = %d", s.N())
+	}
+}
+
+func TestCompactStateRoundTripQuick(t *testing.T) {
+	f := func(seed uint16) bool {
+		init := randomLattice(uint64(seed), 8, 8)
+		s := NewCompactState(init, 2, tensor.Float32, 0, 0)
+		return latticesEqual(s.ToTensor(), init)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactStatePlanesHoldSingleColour(t *testing.T) {
+	// Build a lattice whose value encodes the colour: +1 on black sites
+	// ((r+c) even), -1 on white sites. Planes 00/11 must then be all +1 and
+	// planes 01/10 all -1.
+	const rows, cols = 8, 8
+	lat := tensor.New(tensor.Float32, rows, cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := float32(1)
+			if (r+c)%2 == 1 {
+				v = -1
+			}
+			lat.Set(v, r, c)
+		}
+	}
+	s := NewCompactState(lat, 2, tensor.Float32, 0, 0)
+	checkAll := func(p *tensor.Tensor, want float32) {
+		t.Helper()
+		for _, v := range p.Data() {
+			if v != want {
+				t.Fatalf("plane value %v, want %v", v, want)
+			}
+		}
+	}
+	checkAll(s.Plane(plane00), 1)
+	checkAll(s.Plane(plane11), 1)
+	checkAll(s.Plane(plane01), -1)
+	checkAll(s.Plane(plane10), -1)
+}
+
+func TestCompactStateSumSpins(t *testing.T) {
+	init := randomLattice(4, 8, 8)
+	s := NewCompactState(init, 2, tensor.Float32, 0, 0)
+	if got, want := s.SumSpins(), tensor.Sum(init); got != want {
+		t.Fatalf("SumSpins %v want %v", got, want)
+	}
+}
+
+func TestCompactStatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for indivisible lattice")
+		}
+	}()
+	NewCompactState(randomLattice(1, 6, 6), 2, tensor.Float32, 0, 0)
+}
+
+func TestCompactStateRejectsRank1(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for rank-1 input")
+		}
+	}()
+	NewCompactState(tensor.Full(tensor.Float32, 1, 16), 2, tensor.Float32, 0, 0)
+}
+
+func TestTiledStateRoundTrip(t *testing.T) {
+	init := randomLattice(2, 8, 16)
+	s := NewTiledState(init, 4, tensor.Float32, 0, 0)
+	if !latticesEqual(s.ToTensor(), init) {
+		t.Fatal("tiled decompose/reassemble is not the identity")
+	}
+	gr, gc := s.GridShape()
+	if gr != 2 || gc != 4 {
+		t.Fatalf("GridShape = %d,%d want 2,4", gr, gc)
+	}
+	if got, want := s.SumSpins(), tensor.Sum(init); got != want {
+		t.Fatalf("SumSpins %v want %v", got, want)
+	}
+}
+
+func TestTiledStatePanics(t *testing.T) {
+	cases := []func(){
+		func() { NewTiledState(randomLattice(1, 6, 6), 3, tensor.Float32, 0, 0) },            // odd tile
+		func() { NewTiledState(randomLattice(1, 6, 6), 4, tensor.Float32, 0, 0) },            // indivisible
+		func() { NewTiledState(randomLattice(1, 8, 8), 4, tensor.Float32, 1, 0) },            // parity-breaking offset
+		func() { NewTiledState(tensor.Full(tensor.Float32, 1, 8), 4, tensor.Float32, 0, 0) }, // rank-1
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestConvStateRoundTrip(t *testing.T) {
+	init := randomLattice(3, 6, 10)
+	s := NewConvState(init, tensor.Float32, 0, 0)
+	if !latticesEqual(s.ToTensor(), init) {
+		t.Fatal("ToTensor is not the identity")
+	}
+	// ToTensor must be a copy, not an alias.
+	s.ToTensor().Set(42, 0, 0)
+	if s.Lattice().At(0, 0) == 42 {
+		t.Fatal("ToTensor aliases the internal lattice")
+	}
+	if s.N() != 60 {
+		t.Fatalf("N = %d", s.N())
+	}
+}
+
+func TestConvStatePanics(t *testing.T) {
+	cases := []func(){
+		func() { NewConvState(randomLattice(1, 5, 6), tensor.Float32, 0, 0) },
+		func() { NewConvState(randomLattice(1, 6, 6), tensor.Float32, 0, 1) },
+		func() { NewConvState(tensor.Full(tensor.Float32, 1, 8), tensor.Float32, 0, 0) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestColdLattice(t *testing.T) {
+	l := ColdLattice(tensor.BFloat16, 4, 6)
+	if l.Dim(0) != 4 || l.Dim(1) != 6 {
+		t.Fatalf("shape %v", l.Shape())
+	}
+	for _, v := range l.Data() {
+		if v != 1 {
+			t.Fatalf("cold lattice value %v", v)
+		}
+	}
+}
+
+func TestCheckCorePanicsOnNil(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	checkCore(nil)
+}
+
+func TestTorusEnvEdges(t *testing.T) {
+	// Build a rank-4 plane whose value encodes the global (row, col) of each
+	// site, then check the torus edges wrap to the right values.
+	const m, n, tile = 2, 3, 2
+	plane := tensor.New(tensor.Float32, m, n, tile, tile)
+	encode := func(r, c int) float32 { return float32(r*100 + c) }
+	for gm := 0; gm < m; gm++ {
+		for gn := 0; gn < n; gn++ {
+			for i := 0; i < tile; i++ {
+				for j := 0; j < tile; j++ {
+					plane.Set(encode(gm*tile+i, gn*tile+j), gm, gn, i, j)
+				}
+			}
+		}
+	}
+	core := tensorcore.New(0)
+	env := TorusEnv{}
+	rows, cols := m*tile, n*tile
+
+	north := env.NorthEdge(core, plane)
+	south := env.SouthEdge(core, plane)
+	west := env.WestEdge(core, plane)
+	east := env.EastEdge(core, plane)
+
+	for gm := 0; gm < m; gm++ {
+		for gn := 0; gn < n; gn++ {
+			for j := 0; j < tile; j++ {
+				wantN := encode(((gm*tile-1)+rows)%rows, gn*tile+j)
+				if got := north.At(gm, gn, 0, j); got != wantN {
+					t.Fatalf("north edge (%d,%d,%d) = %v want %v", gm, gn, j, got, wantN)
+				}
+				wantS := encode((gm*tile+tile)%rows, gn*tile+j)
+				if got := south.At(gm, gn, 0, j); got != wantS {
+					t.Fatalf("south edge (%d,%d,%d) = %v want %v", gm, gn, j, got, wantS)
+				}
+			}
+			for i := 0; i < tile; i++ {
+				wantW := encode(gm*tile+i, ((gn*tile-1)+cols)%cols)
+				if got := west.At(gm, gn, i, 0); got != wantW {
+					t.Fatalf("west edge (%d,%d,%d) = %v want %v", gm, gn, i, got, wantW)
+				}
+				wantE := encode(gm*tile+i, (gn*tile+tile)%cols)
+				if got := east.At(gm, gn, i, 0); got != wantE {
+					t.Fatalf("east edge (%d,%d,%d) = %v want %v", gm, gn, i, got, wantE)
+				}
+			}
+		}
+	}
+}

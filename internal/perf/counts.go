@@ -1,0 +1,287 @@
+package perf
+
+import (
+	"fmt"
+
+	"tpuising/internal/device/hbm"
+	"tpuising/internal/device/metrics"
+	"tpuising/internal/tensor"
+)
+
+// Algorithm mirrors the update-kernel choice of internal/ising/tpu without
+// importing it (perf is a leaf package used by the harness and the tests of
+// both).
+type Algorithm int
+
+const (
+	// AlgOptim is the paper's Algorithm 2 (compact colour planes).
+	AlgOptim Algorithm = iota
+	// AlgNaive is the paper's Algorithm 1 (full lattice with mask).
+	AlgNaive
+	// AlgConv is the appendix convolution-based implementation.
+	AlgConv
+)
+
+// String names the algorithm as used in the benchmark tables.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgOptim:
+		return "optim"
+	case AlgNaive:
+		return "naive"
+	case AlgConv:
+		return "conv"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// SweepSpec describes one core's share of a checkerboard sweep for the
+// purpose of estimating its device work without materialising any tensors.
+// This is the "estimate mode" that lets the harness regenerate the paper's
+// pod-scale tables (up to 2048 cores and (128x28672)^2 lattices) on a laptop.
+type SweepSpec struct {
+	// Rows and Cols are the per-core lattice dimensions.
+	Rows, Cols int
+	// Tile is the MXU tile edge (128 on hardware).
+	Tile int
+	// DType is the storage precision.
+	DType tensor.DType
+	// Algorithm selects the update kernel.
+	Algorithm Algorithm
+	// Halo selects the distributed boundary environment (collective-permute
+	// halo exchange) instead of the single-core torus wrap.
+	Halo bool
+	// PodX and PodY are the core-grid dimensions when Halo is set; they only
+	// affect the hop count of the exchanges (1 hop unless the axis is
+	// degenerate).
+	PodX, PodY int
+}
+
+func (s SweepSpec) validate() {
+	if s.Rows <= 0 || s.Cols <= 0 {
+		panic("perf: lattice dimensions must be positive")
+	}
+	if s.Algorithm != AlgConv {
+		if s.Tile <= 0 {
+			panic("perf: tile size must be positive")
+		}
+		div := s.Tile
+		if s.Algorithm == AlgOptim {
+			div = 2 * s.Tile
+		}
+		if s.Rows%div != 0 || s.Cols%div != 0 {
+			panic(fmt.Sprintf("perf: %dx%d lattice not divisible for %v with tile %d",
+				s.Rows, s.Cols, s.Algorithm, s.Tile))
+		}
+	}
+	if s.Halo && (s.PodX <= 0 || s.PodY <= 0) {
+		panic("perf: halo estimates need pod dimensions")
+	}
+}
+
+// tb is a shorthand for the HBM-tiled footprint of a logical shape.
+func tb(dtype tensor.DType, shape ...int) int64 { return hbm.TiledBytes(shape, dtype) }
+
+func roundUp(x, to int64) int64 { return (x + to - 1) / to * to }
+
+// EstimateSweepCounts returns the per-core device work of ONE whole-lattice
+// sweep (black update + white update), mirroring the exact operation sequence
+// of the update kernels in internal/ising/tpu and the accounting rules of the
+// TensorCore simulator. The estimator is validated against instrumented
+// execution on small shapes (see counts_test.go); at paper scale it is the
+// only practical way to obtain the counts.
+func EstimateSweepCounts(s SweepSpec) metrics.Counts {
+	s.validate()
+	var c metrics.Counts
+	switch s.Algorithm {
+	case AlgOptim:
+		c = optimColorCounts(s)
+	case AlgNaive:
+		c = naiveColorCounts(s)
+	case AlgConv:
+		c = convColorCounts(s)
+	default:
+		panic("perf: unknown algorithm")
+	}
+	// A sweep is two colour updates with identical shape structure.
+	return c.Scale(2)
+}
+
+// optimColorCounts returns the work of one colour update of Algorithm 2.
+func optimColorCounts(s SweepSpec) metrics.Counts {
+	var c metrics.Counts
+	d := s.DType
+	T := s.Tile
+	mp, np := int64(s.Rows/(2*T)), int64(s.Cols/(2*T)) // plane grid
+	planeElems := int64(s.Rows) * int64(s.Cols) / 4
+	tiles := mp * np
+	padT := roundUp(int64(T), 128)
+
+	tb4 := tb(d, int(mp), int(np), T, T)   // one compact plane
+	tbK := tb(d, T, T)                     // kernel
+	tbFlat := tb(d, s.Rows/2, s.Cols/2)    // flat probability tensor
+	tbRow := tb(d, int(mp), int(np), 1, T) // row edge
+	tbCol := tb(d, int(mp), int(np), T, 1) // column edge
+
+	// --- Random numbers and their tiling (2 planes per colour). -------------
+	c.VPUOps += 2 * planeElems * 6 // RandomWeight
+	c.HBMBytes += 2 * tbFlat
+	c.Ops += 2
+	c.FormatBytes += 2 * 2 * tb4 // Tile4D
+	c.HBMBytes += 2 * 2 * tb4
+	c.Ops += 2
+
+	// --- Nearest-neighbour sums: 2 nn tensors, 2 matmuls + 1 add each. ------
+	c.MXUMacs += 4 * tiles * padT * padT * padT
+	c.HBMBytes += 4 * (2*tb4 + tbK)
+	c.Ops += 4
+	c.VPUOps += 2 * planeElems * 1 // the two adds
+	c.HBMBytes += 2 * 3 * tb4
+	c.Ops += 2
+
+	// --- Boundary compensation: 2 row edges + 2 column edges per colour. ----
+	edge := func(edgeTB, mineTB, interiorTB int64, interiorNeeded bool, commElems int64, hops int64) {
+		if s.Halo {
+			// mine slice + collective permute (+ interior slice + concat).
+			c.FormatBytes += 2 * mineTB
+			c.HBMBytes += 2 * mineTB
+			c.Ops++
+			c.CommBytes += commElems * int64(d.Bytes())
+			c.CommHops += hops
+			c.CommEvents++
+			c.Ops++
+			if interiorNeeded {
+				c.FormatBytes += 2*interiorTB + 2*edgeTB
+				c.HBMBytes += 2*interiorTB + 2*edgeTB
+				c.Ops += 2
+			}
+		} else {
+			// Slice the opposite boundary, roll it into place.
+			c.FormatBytes += 2*edgeTB + 2*edgeTB
+			c.HBMBytes += 2*edgeTB + 2*edgeTB
+			c.Ops += 2
+		}
+		// AddSlice of the edge into nn.
+		c.FormatBytes += 3 * edgeTB
+		c.HBMBytes += 3 * edgeTB
+		c.Ops++
+	}
+	hopX, hopY := int64(1), int64(1)
+	if s.Halo && s.PodX == 1 {
+		hopX = 0
+	}
+	if s.Halo && s.PodY == 1 {
+		hopY = 0
+	}
+	tbRowMine := tb(d, 1, int(np), 1, T)
+	tbRowInterior := tb(d, int(mp)-1, int(np), 1, T)
+	tbColMine := tb(d, int(mp), 1, T, 1)
+	tbColInterior := tb(d, int(mp), int(np)-1, T, 1)
+	// Column edges (west for nn0, east for nn1): exchanged along the pod X axis.
+	for i := 0; i < 2; i++ {
+		edge(tbCol, tbColMine, tbColInterior, np > 1, mp*int64(T), hopX)
+	}
+	// Row edges (north for nn0, south for nn1): exchanged along the pod Y axis.
+	for i := 0; i < 2; i++ {
+		edge(tbRow, tbRowMine, tbRowInterior, mp > 1, np*int64(T), hopY)
+	}
+
+	// --- Acceptance, comparison and flip for the 2 planes. ------------------
+	c.VPUOps += 2 * planeElems * 10 // mul, scale, exp(4), less, mul, scale, sub
+	c.HBMBytes += 2 * 18 * tb4
+	c.Ops += 2 * 7
+
+	return c
+}
+
+// naiveColorCounts returns the work of one colour update of Algorithm 1
+// (single-core torus environment; the distributed runs of the paper all use
+// Algorithm 2).
+func naiveColorCounts(s SweepSpec) metrics.Counts {
+	var c metrics.Counts
+	d := s.DType
+	T := s.Tile
+	m, n := int64(s.Rows/T), int64(s.Cols/T)
+	elems := int64(s.Rows) * int64(s.Cols)
+	tiles := m * n
+	padT := roundUp(int64(T), 128)
+
+	tbL := tb(d, int(m), int(n), T, T)
+	tbK := tb(d, T, T)
+	tbFlat := tb(d, s.Rows, s.Cols)
+	tbRow := tb(d, int(m), int(n), 1, T)
+	tbCol := tb(d, int(m), int(n), T, 1)
+
+	// Random numbers for every site and their tiling.
+	c.VPUOps += elems * 6
+	c.HBMBytes += tbFlat
+	c.Ops++
+	c.FormatBytes += 2 * tbL
+	c.HBMBytes += 2 * tbL
+	c.Ops++
+
+	// Nearest-neighbour sums: 2 matmuls + 1 add.
+	c.MXUMacs += 2 * tiles * padT * padT * padT
+	c.HBMBytes += 2 * (2*tbL + tbK)
+	c.Ops += 2
+	c.VPUOps += elems
+	c.HBMBytes += 3 * tbL
+	c.Ops++
+
+	// Boundary compensation: 2 row edges + 2 column edges (torus).
+	for _, e := range []int64{tbRow, tbRow, tbCol, tbCol} {
+		c.FormatBytes += 7 * e // slice + roll + add-slice
+		c.HBMBytes += 7 * e
+		c.Ops += 3
+	}
+
+	// Acceptance, mask and flip on the full lattice:
+	// mul, scale, exp(4), less, mul(mask), mul, scale, sub.
+	c.VPUOps += elems * (1 + 1 + 4 + 1 + 1 + 1 + 1 + 1)
+	c.HBMBytes += (3 + 2 + 2 + 3 + 3 + 3 + 2 + 3) * tbL
+	c.Ops += 8
+
+	return c
+}
+
+// convColorCounts returns the work of one colour update of the appendix
+// convolution-based implementation. When Halo is set the halo-exchange work
+// is added with the same communication pattern as Algorithm 2 (four edge
+// exchanges per colour); this path is model-only, matching how the paper's
+// distributed conv results are reproduced.
+func convColorCounts(s SweepSpec) metrics.Counts {
+	var c metrics.Counts
+	d := s.DType
+	elems := int64(s.Rows) * int64(s.Cols)
+	tbRC := tb(d, s.Rows, s.Cols)
+
+	// Random numbers.
+	c.VPUOps += elems * 6
+	c.HBMBytes += tbRC
+	c.Ops++
+	// Convolution (4-tap nearest-neighbour kernel).
+	c.MXUMacs += 4 * elems
+	c.HBMBytes += 2 * tbRC
+	c.Ops++
+	// Acceptance, mask and flip: mul, scale, exp(4), less, mul, mul, scale, sub.
+	c.VPUOps += elems * (1 + 1 + 4 + 1 + 1 + 1 + 1 + 1)
+	c.HBMBytes += (3 + 2 + 2 + 3 + 3 + 3 + 2 + 3) * tbRC
+	c.Ops += 8
+
+	if s.Halo {
+		hopX, hopY := int64(1), int64(1)
+		if s.PodX == 1 {
+			hopX = 0
+		}
+		if s.PodY == 1 {
+			hopY = 0
+		}
+		// Two row-edge and two column-edge exchanges per colour.
+		c.CommBytes += 2*int64(s.Cols)*int64(d.Bytes()) + 2*int64(s.Rows)*int64(d.Bytes())
+		c.CommHops += 2*hopY + 2*hopX
+		c.CommEvents += 4
+		c.Ops += 4
+	}
+	return c
+}

@@ -1,0 +1,218 @@
+package perf
+
+import (
+	"testing"
+
+	"tpuising/internal/ising/tpu"
+	"tpuising/internal/tensor"
+)
+
+func algOf(a tpu.Algorithm) Algorithm {
+	switch a {
+	case tpu.AlgOptim:
+		return AlgOptim
+	case tpu.AlgNaive:
+		return AlgNaive
+	default:
+		return AlgConv
+	}
+}
+
+func TestEstimateMatchesInstrumentedSingleCore(t *testing.T) {
+	cases := []struct {
+		name       string
+		alg        tpu.Algorithm
+		rows, cols int
+		tile       int
+		dtype      tensor.DType
+	}{
+		{"optim 16x16 t4 f32", tpu.AlgOptim, 16, 16, 4, tensor.Float32},
+		{"optim 16x24 t4 bf16", tpu.AlgOptim, 16, 24, 4, tensor.BFloat16},
+		{"optim 32x16 t8 f32", tpu.AlgOptim, 32, 16, 8, tensor.Float32},
+		{"naive 16x16 t4 f32", tpu.AlgNaive, 16, 16, 4, tensor.Float32},
+		{"naive 24x16 t8 bf16", tpu.AlgNaive, 24, 16, 8, tensor.BFloat16},
+		{"conv 16x16 f32", tpu.AlgConv, 16, 16, 0, tensor.Float32},
+		{"conv 10x14 bf16", tpu.AlgConv, 10, 14, 0, tensor.BFloat16},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sim := tpu.NewSimulator(tpu.Config{
+				Rows: tc.rows, Cols: tc.cols, Temperature: 2.5, TileSize: tc.tile,
+				DType: tc.dtype, Algorithm: tc.alg, Seed: 1,
+			})
+			sim.Sweep()
+			got := sim.Counts()
+
+			tile := tc.tile
+			if tile == 0 {
+				tile = 128
+			}
+			want := EstimateSweepCounts(SweepSpec{
+				Rows: tc.rows, Cols: tc.cols, Tile: tile,
+				DType: tc.dtype, Algorithm: algOf(tc.alg),
+			})
+			if got.MXUMacs != want.MXUMacs {
+				t.Errorf("MXUMacs: instrumented %d, estimated %d", got.MXUMacs, want.MXUMacs)
+			}
+			if got.VPUOps != want.VPUOps {
+				t.Errorf("VPUOps: instrumented %d, estimated %d", got.VPUOps, want.VPUOps)
+			}
+			if got.FormatBytes != want.FormatBytes {
+				t.Errorf("FormatBytes: instrumented %d, estimated %d", got.FormatBytes, want.FormatBytes)
+			}
+			if got.HBMBytes != want.HBMBytes {
+				t.Errorf("HBMBytes: instrumented %d, estimated %d", got.HBMBytes, want.HBMBytes)
+			}
+			if got.Ops != want.Ops {
+				t.Errorf("Ops: instrumented %d, estimated %d", got.Ops, want.Ops)
+			}
+			if got.CommEvents != 0 || want.CommEvents != 0 {
+				t.Errorf("single-core runs must not communicate: instrumented %d, estimated %d",
+					got.CommEvents, want.CommEvents)
+			}
+		})
+	}
+}
+
+func TestEstimateMatchesInstrumentedPod(t *testing.T) {
+	cases := []struct {
+		name               string
+		podX, podY         int
+		coreRows, coreCols int
+		tile               int
+		dtype              tensor.DType
+	}{
+		{"2x2 pod 8x8 cores t2 f32", 2, 2, 8, 8, 2, tensor.Float32},
+		{"2x1 pod 8x16 cores t4 bf16", 2, 1, 8, 16, 4, tensor.BFloat16},
+		{"1x2 pod 16x8 cores t4 f32", 1, 2, 16, 8, 4, tensor.Float32},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := tpu.NewDistSimulator(tpu.DistConfig{
+				PodX: tc.podX, PodY: tc.podY,
+				CoreRows: tc.coreRows, CoreCols: tc.coreCols,
+				Temperature: 2.5, TileSize: tc.tile, DType: tc.dtype, Seed: 1,
+			})
+			d.Sweep()
+			got, _ := d.Counts()
+
+			want := EstimateSweepCounts(SweepSpec{
+				Rows: tc.coreRows, Cols: tc.coreCols, Tile: tc.tile,
+				DType: tc.dtype, Algorithm: AlgOptim,
+				Halo: true, PodX: tc.podX, PodY: tc.podY,
+			})
+			if got.MXUMacs != want.MXUMacs {
+				t.Errorf("MXUMacs: instrumented %d, estimated %d", got.MXUMacs, want.MXUMacs)
+			}
+			if got.VPUOps != want.VPUOps {
+				t.Errorf("VPUOps: instrumented %d, estimated %d", got.VPUOps, want.VPUOps)
+			}
+			if got.FormatBytes != want.FormatBytes {
+				t.Errorf("FormatBytes: instrumented %d, estimated %d", got.FormatBytes, want.FormatBytes)
+			}
+			if got.HBMBytes != want.HBMBytes {
+				t.Errorf("HBMBytes: instrumented %d, estimated %d", got.HBMBytes, want.HBMBytes)
+			}
+			if got.CommEvents != want.CommEvents {
+				t.Errorf("CommEvents: instrumented %d, estimated %d", got.CommEvents, want.CommEvents)
+			}
+			if got.CommBytes != want.CommBytes {
+				t.Errorf("CommBytes: instrumented %d, estimated %d", got.CommBytes, want.CommBytes)
+			}
+			if got.CommHops != want.CommHops {
+				t.Errorf("CommHops: instrumented %d, estimated %d", got.CommHops, want.CommHops)
+			}
+			if got.Ops != want.Ops {
+				t.Errorf("Ops: instrumented %d, estimated %d", got.Ops, want.Ops)
+			}
+		})
+	}
+}
+
+func TestEstimateScalesWithArea(t *testing.T) {
+	// For a fixed tile, quadrupling the per-core lattice must quadruple the
+	// extensive counters (MACs, VPU ops) exactly.
+	small := EstimateSweepCounts(SweepSpec{Rows: 256, Cols: 256, Tile: 128, DType: tensor.BFloat16, Algorithm: AlgOptim})
+	large := EstimateSweepCounts(SweepSpec{Rows: 512, Cols: 512, Tile: 128, DType: tensor.BFloat16, Algorithm: AlgOptim})
+	if large.MXUMacs != 4*small.MXUMacs {
+		t.Errorf("MXUMacs did not scale by 4: %d -> %d", small.MXUMacs, large.MXUMacs)
+	}
+	if large.VPUOps != 4*small.VPUOps {
+		t.Errorf("VPUOps did not scale by 4: %d -> %d", small.VPUOps, large.VPUOps)
+	}
+	if large.Ops != small.Ops {
+		t.Errorf("op count should be size-independent: %d -> %d", small.Ops, large.Ops)
+	}
+}
+
+func TestEstimateOptimBeatsNaive(t *testing.T) {
+	optim := EstimateSweepCounts(SweepSpec{Rows: 512, Cols: 512, Tile: 128, DType: tensor.BFloat16, Algorithm: AlgOptim})
+	naive := EstimateSweepCounts(SweepSpec{Rows: 512, Cols: 512, Tile: 128, DType: tensor.BFloat16, Algorithm: AlgNaive})
+	if optim.MXUMacs >= naive.MXUMacs {
+		t.Errorf("Algorithm 2 should do less matrix work: %d vs %d", optim.MXUMacs, naive.MXUMacs)
+	}
+	if optim.VPUOps >= naive.VPUOps {
+		t.Errorf("Algorithm 2 should do less vector work: %d vs %d", optim.VPUOps, naive.VPUOps)
+	}
+}
+
+func TestEstimateAnchorMatchesPaperArithmetic(t *testing.T) {
+	// Section 5.2 of the paper estimates the per-sweep matrix work at the
+	// per-core lattice [896x128, 448x128] and measures ~5.8 TFLOPS over the
+	// ~580 ms step. Our count is 2 * 896*448*128^3 MACs per sweep (each of
+	// the four compact planes needs two 128^3 multiplications per tile per
+	// colour), which reproduces exactly that measured FLOP rate:
+	// 2 MACs -> 2 FLOPs, so 4*896*448*128^3 / 0.575 s = 5.86 TFLOPS.
+	c := EstimateSweepCounts(SweepSpec{
+		Rows: 896 * 128, Cols: 448 * 128, Tile: 128,
+		DType: tensor.BFloat16, Algorithm: AlgOptim, Halo: true, PodX: 2, PodY: 2,
+	})
+	want := 2 * int64(896) * 448 * 128 * 128 * 128
+	if c.MXUMacs != want {
+		t.Errorf("anchor MACs = %d, want %d", c.MXUMacs, want)
+	}
+	flops := 2 * float64(c.MXUMacs) / 0.575
+	if flops < 5.5e12 || flops > 6.2e12 {
+		t.Errorf("anchor matrix FLOPS = %.3g, paper measures ~5.8e12", flops)
+	}
+	// One uniform per site per sweep.
+	wantRandomOps := int64(896*128) * int64(448*128) * 6
+	if c.VPUOps < wantRandomOps {
+		t.Errorf("VPU ops %d below the random-generation floor %d", c.VPUOps, wantRandomOps)
+	}
+	// Halo traffic: the paper quotes 896*128*2 = 229,376 bytes per edge in one
+	// direction and 448*128*2 = 114,688 in the other, per core per colour
+	// update. Our compact planes exchange the same total per sweep.
+	wantComm := int64(2 * (896*128*2 + 448*128*2))
+	if c.CommBytes != wantComm {
+		t.Errorf("CommBytes = %d, want %d", c.CommBytes, wantComm)
+	}
+}
+
+func TestEstimatePanicsOnBadSpec(t *testing.T) {
+	cases := []SweepSpec{
+		{Rows: 0, Cols: 8, Tile: 2, Algorithm: AlgOptim},
+		{Rows: 8, Cols: 8, Tile: 0, Algorithm: AlgOptim},
+		{Rows: 6, Cols: 8, Tile: 2, Algorithm: AlgOptim},
+		{Rows: 8, Cols: 8, Tile: 2, Algorithm: AlgOptim, Halo: true},
+		{Rows: 8, Cols: 8, Tile: 2, Algorithm: Algorithm(9)},
+	}
+	for i, spec := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			EstimateSweepCounts(spec)
+		}()
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	for _, a := range []Algorithm{AlgOptim, AlgNaive, AlgConv, Algorithm(7)} {
+		if a.String() == "" {
+			t.Errorf("empty name for %d", int(a))
+		}
+	}
+}

@@ -1,0 +1,270 @@
+package perf
+
+import (
+	"math"
+	"testing"
+
+	"tpuising/internal/device/metrics"
+	"tpuising/internal/tensor"
+)
+
+func anchorCounts() metrics.Counts {
+	return EstimateSweepCounts(SweepSpec{
+		Rows: anchorRows, Cols: anchorCols, Tile: 128,
+		DType: tensor.BFloat16, Algorithm: AlgOptim, Halo: true, PodX: 4, PodY: 8,
+	})
+}
+
+func TestDefaultModelReproducesAnchorStepTime(t *testing.T) {
+	m := DefaultModel()
+	b := m.StepBreakdown(anchorCounts(), 32)
+	if got := b.StepSec(); math.Abs(got-anchorStepSec) > 0.005 {
+		t.Fatalf("anchor step time %.4f s, want %.3f s", got, anchorStepSec)
+	}
+	mxu, vpu, format, comm := b.Fractions()
+	if math.Abs(mxu-anchorMXUFrac) > 0.01 {
+		t.Errorf("MXU fraction %.3f, want %.3f", mxu, anchorMXUFrac)
+	}
+	if math.Abs(vpu-anchorVPUFrac) > 0.01 {
+		t.Errorf("VPU fraction %.3f, want %.3f", vpu, anchorVPUFrac)
+	}
+	if math.Abs(format-anchorFormatFrac) > 0.01 {
+		t.Errorf("format fraction %.3f, want %.3f", format, anchorFormatFrac)
+	}
+	// Collective permute must be a negligible fraction (Table 3: < 0.11%).
+	if comm > 0.002 {
+		t.Errorf("comm fraction %.5f, want < 0.002", comm)
+	}
+}
+
+func TestAnchorThroughputAndEnergy(t *testing.T) {
+	m := DefaultModel()
+	b := m.StepBreakdown(anchorCounts(), 32)
+	spins := float64(anchorRows) * float64(anchorCols)
+	perCore := Throughput(spins, b.StepSec())
+	// Table 2: ~11.43 flips/ns per core.
+	if perCore < 11.0 || perCore < 0 || perCore > 12.0 {
+		t.Fatalf("per-core throughput %.2f flips/ns, paper reports ~11.43", perCore)
+	}
+	// Table 2: ~8.74 nJ/flip.
+	if e := m.EnergyPerFlip(perCore); e < 8.3 || e > 9.2 {
+		t.Fatalf("energy %.2f nJ/flip, paper reports ~8.74", e)
+	}
+}
+
+func TestThroughputRisesWithLatticeSize(t *testing.T) {
+	// Table 1's shape: single-core throughput grows with the lattice and
+	// saturates, because the per-step dispatch overhead is amortised.
+	m := DefaultModel()
+	prev := 0.0
+	sizes := []int{20 * 128, 80 * 128, 320 * 128, 640 * 128}
+	var last float64
+	for _, side := range sizes {
+		c := EstimateSweepCounts(SweepSpec{
+			Rows: side, Cols: side, Tile: 128, DType: tensor.BFloat16, Algorithm: AlgOptim,
+		})
+		b := m.StepBreakdown(c, 1)
+		tput := Throughput(float64(side)*float64(side), b.StepSec())
+		if tput <= prev {
+			t.Fatalf("throughput not increasing: %.2f after %.2f at side %d", tput, prev, side)
+		}
+		prev = tput
+		last = tput
+	}
+	// The first size should be well below saturation, the last close to the
+	// single-core saturated rate.
+	first := prev * 0 // silence linters; recompute below
+	_ = first
+	cSmall := EstimateSweepCounts(SweepSpec{Rows: 20 * 128, Cols: 20 * 128, Tile: 128, DType: tensor.BFloat16, Algorithm: AlgOptim})
+	small := Throughput(float64(20*128)*float64(20*128), m.StepBreakdown(cSmall, 1).StepSec())
+	if small > 0.85*last {
+		t.Fatalf("small lattice %.2f flips/ns is too close to saturated %.2f: Table 1 shape lost", small, last)
+	}
+	// Saturated single-core throughput must beat the published V100 (11.37)
+	// and Preis GPU (7.98) baselines, the paper's headline comparison.
+	if last <= 11.37 {
+		t.Fatalf("saturated single-core throughput %.2f does not beat the V100 baseline", last)
+	}
+}
+
+func TestWeakScalingIsLinear(t *testing.T) {
+	// Table 2: the per-core step time (and hence whole-pod throughput per
+	// core) is essentially independent of the pod size.
+	m := DefaultModel()
+	c := anchorCounts()
+	var step2, step512 float64
+	for _, cores := range []int{2, 8, 32, 128, 512} {
+		b := m.StepBreakdown(c, cores)
+		if cores == 2 {
+			step2 = b.StepSec()
+		}
+		if cores == 512 {
+			step512 = b.StepSec()
+		}
+	}
+	if step512 < step2 {
+		t.Fatalf("step time decreased with pod size: %.4f -> %.4f", step2, step512)
+	}
+	if (step512-step2)/step2 > 0.005 {
+		t.Fatalf("weak scaling not linear: step %.4f s at 2 cores vs %.4f s at 512", step2, step512)
+	}
+}
+
+func TestCommTimeMatchesTable4Regime(t *testing.T) {
+	// Table 4: collective-permute time per sweep is a few tenths of a
+	// millisecond, grows with core count, and is never more than ~1% of the
+	// step time.
+	m := DefaultModel()
+	c := anchorCounts()
+	prev := 0.0
+	for _, cores := range []int{32, 128, 512} {
+		b := m.StepBreakdown(c, cores)
+		if b.CommSec < 0.1e-3 || b.CommSec > 1.5e-3 {
+			t.Fatalf("comm time %.3g s at %d cores, Table 4 reports 0.2-0.7 ms", b.CommSec, cores)
+		}
+		if b.CommSec <= prev {
+			t.Fatalf("comm time should grow with core count")
+		}
+		if b.CommSec/b.StepSec() > 0.01 {
+			t.Fatalf("comm fraction %.4f too large at %d cores", b.CommSec/b.StepSec(), cores)
+		}
+		prev = b.CommSec
+	}
+}
+
+func TestConvModelFasterThanOptim(t *testing.T) {
+	// Table 6 vs Table 2: the conv-based implementation is ~70-80% faster at
+	// the same per-core lattice.
+	m := DefaultModel()
+	optim := m.StepBreakdown(anchorCounts(), 32).StepSec()
+	convCounts := EstimateSweepCounts(SweepSpec{
+		Rows: anchorRows, Cols: anchorCols, Tile: 128,
+		DType: tensor.BFloat16, Algorithm: AlgConv, Halo: true, PodX: 4, PodY: 8,
+	})
+	conv := m.ForConv().StepBreakdown(convCounts, 32).StepSec()
+	if conv >= optim {
+		t.Fatalf("conv step %.3f s not faster than optim %.3f s", conv, optim)
+	}
+	speedup := optim / conv
+	if speedup < 1.4 || speedup > 2.2 {
+		t.Fatalf("conv speedup %.2fx, paper reports ~1.7x", speedup)
+	}
+	// Absolute anchor: Table 6 superdense row is ~332 ms.
+	if conv < 0.30 || conv > 0.37 {
+		t.Fatalf("conv anchor step %.3f s, Table 6 reports ~0.332 s", conv)
+	}
+}
+
+func TestRooflineMatchesTable5(t *testing.T) {
+	m := DefaultModel()
+	c := anchorCounts()
+	b := m.StepBreakdown(c, 32)
+	r := m.RooflineAnalysis(c, b.StepSec())
+	if !r.MemoryBound {
+		t.Fatal("the nearest-neighbour computation should be memory bound")
+	}
+	// Table 5: ~76% of roofline, ~9.3% of peak, ~5.9 TFLOPS achieved.
+	if r.PctOfRoofline < 60 || r.PctOfRoofline > 95 {
+		t.Fatalf("%% of roofline = %.1f, paper reports ~76", r.PctOfRoofline)
+	}
+	if r.PctOfPeak < 8 || r.PctOfPeak > 11 {
+		t.Fatalf("%% of peak = %.1f, paper reports ~9.3", r.PctOfPeak)
+	}
+	if r.AchievedFLOPS < 5.0e12 || r.AchievedFLOPS > 7.0e12 {
+		t.Fatalf("achieved FLOPS %.3g, paper reports ~5.9e12", r.AchievedFLOPS)
+	}
+	// Degenerate inputs.
+	if z := m.RooflineAnalysis(metrics.Counts{}, 1); z.AchievedFLOPS != 0 {
+		t.Fatal("empty counts should give a zero roofline")
+	}
+}
+
+func TestStrongScalingShape(t *testing.T) {
+	// Table 7 / Figure 9: strong scaling of the conv implementation on the
+	// (128x1792)^2 lattice is near-linear for small pods and departs from
+	// linear beyond ~1000 cores as communication dominates.
+	m := DefaultModel().ForConv()
+	const side = 1792 * 128
+	type point struct {
+		cores int
+		rows  int
+		cols  int
+	}
+	points := []point{
+		{8, 896 * 128, 448 * 128},
+		{64, 224 * 128, 224 * 128},
+		{512, 112 * 128, 56 * 128},
+		{2048, 56 * 128, 28 * 128},
+	}
+	base := 0.0
+	var effAtMid, effAtEnd float64
+	for i, p := range points {
+		c := EstimateSweepCounts(SweepSpec{
+			Rows: p.rows, Cols: p.cols, Tile: 128,
+			DType: tensor.BFloat16, Algorithm: AlgConv, Halo: true, PodX: 2, PodY: 2,
+		})
+		b := m.StepBreakdown(c, p.cores)
+		tput := Throughput(float64(side)*float64(side), b.StepSec())
+		perCore := tput / float64(p.cores)
+		if i == 0 {
+			base = perCore
+		}
+		eff := perCore / base
+		if p.cores == 512 {
+			effAtMid = eff
+		}
+		if p.cores == 2048 {
+			effAtEnd = eff
+		}
+	}
+	if effAtMid < 0.75 {
+		t.Fatalf("efficiency at 512 cores = %.2f, should still be near-linear", effAtMid)
+	}
+	if effAtEnd > 0.9*effAtMid {
+		t.Fatalf("efficiency at 2048 cores (%.2f) should drop below 512-core efficiency (%.2f)",
+			effAtEnd, effAtMid)
+	}
+	if effAtEnd < 0.2 {
+		t.Fatalf("efficiency at 2048 cores collapsed to %.2f", effAtEnd)
+	}
+}
+
+func TestHBMFootprintAndMaxLattice(t *testing.T) {
+	m := DefaultModel()
+	// Footprint grows with the lattice.
+	small := HBMFootprintBytes(256, 256, 128, tensor.BFloat16)
+	big := HBMFootprintBytes(512, 512, 128, tensor.BFloat16)
+	if big <= small {
+		t.Fatal("footprint must grow with the lattice")
+	}
+	// bfloat16 halves the footprint relative to float32 (the paper's stated
+	// reason for using it).
+	f32 := HBMFootprintBytes(512, 512, 128, tensor.Float32)
+	if f32 <= big {
+		t.Fatal("float32 should need more memory than bfloat16")
+	}
+	// The largest single-core bfloat16 lattice should be within ~15% of the
+	// paper's (656*128)^2 claim, and the float32 maximum must be smaller.
+	side := m.MaxSquareLattice(128, tensor.BFloat16)
+	if side < 70000 || side > 95000 {
+		t.Fatalf("max bf16 lattice side %d, paper reports 83968", side)
+	}
+	if f32side := m.MaxSquareLattice(128, tensor.Float32); f32side >= side {
+		t.Fatalf("float32 max side %d should be below bf16 max %d", f32side, side)
+	}
+}
+
+func TestBreakdownHelpers(t *testing.T) {
+	var zero Breakdown
+	a, b, c, d := zero.Fractions()
+	if a != 0 || b != 0 || c != 0 || d != 0 {
+		t.Fatal("zero breakdown should give zero fractions")
+	}
+	if Throughput(100, 0) != 0 {
+		t.Fatal("zero step time should give zero throughput")
+	}
+	m := DefaultModel()
+	if m.StepBreakdown(metrics.Counts{}, 0).StepSec() != 0 {
+		t.Fatal("empty counts should give zero step time")
+	}
+}

@@ -1,0 +1,64 @@
+package pod
+
+import (
+	"errors"
+	"testing"
+
+	"tpuising/internal/tensor"
+)
+
+func TestBackToBackCollectivesDifferentPatterns(t *testing.T) {
+	// Regression test: two consecutive ShiftExchange calls with different
+	// shift directions and no explicit barrier in between must not interleave
+	// deliveries (a fast core's second send must not be consumed as a slow
+	// core's first receive) and must not deadlock.
+	p := New(2, 2)
+	const rounds = 50
+	err := p.Replicate(func(r *Replica) error {
+		for round := 0; round < rounds; round++ {
+			// Exchange 1: shift east. I must receive my west neighbour's ID.
+			east := r.ShiftExchange(tensor.Full(tensor.Float32, float32(r.ID), 2), 1, 0)
+			// Exchange 2 immediately after: shift south. I must receive my
+			// north neighbour's ID.
+			south := r.ShiftExchange(tensor.Full(tensor.Float32, float32(r.ID), 2), 0, 1)
+
+			wantWest := float32(p.Mesh().ID(r.X-1, r.Y))
+			wantNorth := float32(p.Mesh().ID(r.X, r.Y-1))
+			if east.At(0) != wantWest {
+				return errors.New("first collective delivered the wrong tensor")
+			}
+			if south.At(0) != wantNorth {
+				return errors.New("second collective delivered the wrong tensor")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaggeredWorkStaysLockstep(t *testing.T) {
+	// Cores doing different amounts of local work between collectives still
+	// observe consistent deliveries.
+	p := New(4, 1)
+	err := p.Replicate(func(r *Replica) error {
+		val := float32(r.ID)
+		for round := 0; round < 20; round++ {
+			// Unequal busy-work to stagger the replicas.
+			for i := 0; i < (r.ID+1)*500; i++ {
+				val += 1e-9
+			}
+			recv := r.ShiftExchange(tensor.Full(tensor.Float32, float32(r.ID*100+round), 1), 1, 0)
+			want := float32(p.Mesh().ID(r.X-1, r.Y)*100 + round)
+			if recv.At(0) != want {
+				return errors.New("delivery from the wrong round or core")
+			}
+		}
+		_ = val
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,212 @@
+// Package rng implements the Philox4x32-10 counter-based pseudo-random number
+// generator (Salmon et al., SC 2011), the generator family used by
+// tf.random.uniform on TPU in the paper's implementation.
+//
+// Counter-based generators are the natural fit for SIMD Monte-Carlo: the
+// random value for a given (step, lattice site) is a pure function of a key
+// and a counter, so every TensorCore in a pod can generate exactly the
+// numbers it needs with no shared state and no communication, and a
+// distributed run is bit-identical to a single-core run of the same global
+// lattice (see SiteUniform).
+package rng
+
+import "math"
+
+// Philox4x32-10 round constants and multipliers.
+const (
+	philoxM0 = 0xD2511F53
+	philoxM1 = 0xCD9E8D57
+	philoxW0 = 0x9E3779B9 // golden ratio
+	philoxW1 = 0xBB67AE85 // sqrt(3)-1
+	rounds   = 10
+)
+
+// Counter is the 128-bit Philox counter.
+type Counter [4]uint32
+
+// Key is the 64-bit Philox key.
+type Key [2]uint32
+
+// Block runs the Philox4x32-10 bijection: it maps (counter, key) to four
+// statistically independent uint32 values.
+func Block(ctr Counter, key Key) [4]uint32 {
+	c0, c1, c2, c3 := ctr[0], ctr[1], ctr[2], ctr[3]
+	k0, k1 := key[0], key[1]
+	for i := 0; i < rounds; i++ {
+		hi0, lo0 := mulhilo(philoxM0, c0)
+		hi1, lo1 := mulhilo(philoxM1, c2)
+		c0, c1, c2, c3 = hi1^c1^k0, lo1, hi0^c3^k1, lo0
+		k0 += philoxW0
+		k1 += philoxW1
+	}
+	return [4]uint32{c0, c1, c2, c3}
+}
+
+func mulhilo(a, b uint32) (hi, lo uint32) {
+	p := uint64(a) * uint64(b)
+	return uint32(p >> 32), uint32(p)
+}
+
+// Uint32ToUniform maps a uint32 to a float32 uniform in [0, 1) using the top
+// 24 bits, matching the resolution of a float32 mantissa.
+func Uint32ToUniform(u uint32) float32 {
+	return float32(u>>8) * (1.0 / (1 << 24))
+}
+
+// Uint32ToUniform64 maps two uint32 values to a float64 uniform in [0, 1).
+func Uint32ToUniform64(hi, lo uint32) float64 {
+	u := (uint64(hi)<<32 | uint64(lo)) >> 11 // 53 bits
+	return float64(u) * (1.0 / (1 << 53))
+}
+
+// Philox is a sequential stream built on the Philox block function. It is a
+// drop-in source of uniforms, normals and integers. The zero value is not
+// usable; construct with New.
+type Philox struct {
+	key Key
+	ctr Counter
+	buf [4]uint32
+	idx int // next unconsumed index in buf; 4 means empty
+}
+
+// New returns a Philox stream seeded with seed. Distinct seeds give
+// independent streams.
+func New(seed uint64) *Philox {
+	p := &Philox{key: Key{uint32(seed), uint32(seed >> 32)}, idx: 4}
+	return p
+}
+
+// NewWithStream returns an independent stream for the same seed. It is used
+// to give each TensorCore / goroutine its own stream: the stream index is
+// folded into the high counter words so streams never overlap.
+func NewWithStream(seed, stream uint64) *Philox {
+	p := New(seed)
+	p.ctr[2] = uint32(stream)
+	p.ctr[3] = uint32(stream >> 32)
+	return p
+}
+
+// Split returns a new independent stream derived from the parent's key and
+// the given stream index, leaving the parent untouched.
+func (p *Philox) Split(stream uint64) *Philox {
+	child := &Philox{key: p.key, idx: 4}
+	child.ctr[2] = uint32(stream)
+	child.ctr[3] = uint32(stream >> 32)
+	// Mix the stream into the key as well so Split(0) differs from parent.
+	child.key[0] ^= 0x85EBCA6B
+	child.key[1] ^= uint32(stream * 0x9E3779B97F4A7C15 >> 32)
+	return child
+}
+
+func (p *Philox) refill() {
+	p.buf = Block(p.ctr, p.key)
+	p.idx = 0
+	// 128-bit counter increment.
+	p.ctr[0]++
+	if p.ctr[0] == 0 {
+		p.ctr[1]++
+		if p.ctr[1] == 0 {
+			p.ctr[2]++
+			if p.ctr[2] == 0 {
+				p.ctr[3]++
+			}
+		}
+	}
+}
+
+// Uint32 returns the next 32 random bits.
+func (p *Philox) Uint32() uint32 {
+	if p.idx >= 4 {
+		p.refill()
+	}
+	v := p.buf[p.idx]
+	p.idx++
+	return v
+}
+
+// Uint64 returns the next 64 random bits.
+func (p *Philox) Uint64() uint64 {
+	hi := uint64(p.Uint32())
+	lo := uint64(p.Uint32())
+	return hi<<32 | lo
+}
+
+// Float32 returns a uniform float32 in [0, 1).
+func (p *Philox) Float32() float32 { return Uint32ToUniform(p.Uint32()) }
+
+// Float64 returns a uniform float64 in [0, 1).
+func (p *Philox) Float64() float64 {
+	hi := p.Uint32()
+	lo := p.Uint32()
+	return Uint32ToUniform64(hi, lo)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (p *Philox) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire-style rejection-free bounded generation with a widening multiply
+	// is overkill here; simple rejection keeps the distribution exact.
+	max := uint32(n)
+	limit := (math.MaxUint32 / max) * max
+	for {
+		v := p.Uint32()
+		if v < limit {
+			return int(v % max)
+		}
+	}
+}
+
+// NormFloat64 returns a standard normal variate (Box-Muller).
+func (p *Philox) NormFloat64() float64 {
+	for {
+		u1 := p.Float64()
+		u2 := p.Float64()
+		if u1 <= 1e-300 {
+			continue
+		}
+		r := math.Sqrt(-2 * math.Log(u1))
+		return r * math.Cos(2*math.Pi*u2)
+	}
+}
+
+// Fill fills dst with uniform float32 values in [0, 1).
+func (p *Philox) Fill(dst []float32) {
+	i := 0
+	for ; i+4 <= len(dst); i += 4 {
+		if p.idx != 4 {
+			// Drain the partial buffer first to keep the stream identical to
+			// element-wise consumption.
+			for j := 0; j < 4; j++ {
+				dst[i+j] = p.Float32()
+			}
+			continue
+		}
+		b := Block(p.ctr, p.key)
+		p.advanceCounter()
+		dst[i] = Uint32ToUniform(b[0])
+		dst[i+1] = Uint32ToUniform(b[1])
+		dst[i+2] = Uint32ToUniform(b[2])
+		dst[i+3] = Uint32ToUniform(b[3])
+	}
+	for ; i < len(dst); i++ {
+		dst[i] = p.Float32()
+	}
+}
+
+func (p *Philox) advanceCounter() {
+	p.ctr[0]++
+	if p.ctr[0] == 0 {
+		p.ctr[1]++
+		if p.ctr[1] == 0 {
+			p.ctr[2]++
+			if p.ctr[2] == 0 {
+				p.ctr[3]++
+			}
+		}
+	}
+}
+
+// State returns the current counter and key, for checkpointing.
+func (p *Philox) State() (Counter, Key, int) { return p.ctr, p.key, p.idx }

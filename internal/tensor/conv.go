@@ -1,0 +1,89 @@
+package tensor
+
+import (
+	"fmt"
+
+	"tpuising/internal/bf16"
+)
+
+// Conv2DWrap computes a 2-D cross-correlation of a rank-2 input with a small
+// rank-2 kernel under periodic (torus) boundary conditions.  With the
+// nearest-neighbour kernel
+//
+//	0 1 0
+//	1 0 1
+//	0 1 0
+//
+// it computes the sum of the four nearest neighbours of every site in one
+// pass, which is the appendix "new implementation" of the paper
+// (tf.nn.conv2d instead of batched matmul).  Inputs are rounded to bfloat16
+// with float32 accumulation, matching the MXU convolution path.
+func Conv2DWrap(input, kernel *Tensor) *Tensor {
+	if input.Rank() != 2 || kernel.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: Conv2DWrap needs rank-2 tensors, got %v and %v", input.shape, kernel.shape))
+	}
+	h, w := input.shape[0], input.shape[1]
+	kh, kw := kernel.shape[0], kernel.shape[1]
+	if kh%2 == 0 || kw%2 == 0 {
+		panic("tensor: Conv2DWrap kernel dimensions must be odd")
+	}
+	ch, cw := kh/2, kw/2
+	out := New(resultDType(input, kernel), h, w)
+	// Pre-round the kernel once.
+	kr := make([]float32, kh*kw)
+	for i, v := range kernel.data {
+		kr[i] = bf16.Round(v)
+	}
+	for i := 0; i < h; i++ {
+		for j := 0; j < w; j++ {
+			var acc float32
+			for di := 0; di < kh; di++ {
+				si := i + di - ch
+				if si < 0 {
+					si += h
+				} else if si >= h {
+					si -= h
+				}
+				rowOff := si * w
+				kOff := di * kw
+				for dj := 0; dj < kw; dj++ {
+					kv := kr[kOff+dj]
+					if kv == 0 {
+						continue
+					}
+					sj := j + dj - cw
+					if sj < 0 {
+						sj += w
+					} else if sj >= w {
+						sj -= w
+					}
+					acc += kv * bf16.Round(input.data[rowOff+sj])
+				}
+			}
+			out.data[i*w+j] = acc
+		}
+	}
+	return out.round()
+}
+
+// Conv2DWrapFLOPs returns the floating point operations performed by
+// Conv2DWrap on the given shapes (2 * H * W * non-zero kernel taps), used by
+// the device cost model.
+func Conv2DWrapFLOPs(input, kernel *Tensor) int64 {
+	taps := int64(0)
+	for _, v := range kernel.data {
+		if v != 0 {
+			taps++
+		}
+	}
+	return 2 * int64(input.shape[0]) * int64(input.shape[1]) * taps
+}
+
+// NNConvKernel returns the 3x3 nearest-neighbour convolution kernel.
+func NNConvKernel(dtype DType) *Tensor {
+	return FromSlice(dtype, []float32{
+		0, 1, 0,
+		1, 0, 1,
+		0, 1, 0,
+	}, 3, 3)
+}

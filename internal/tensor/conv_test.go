@@ -1,0 +1,124 @@
+package tensor
+
+import (
+	"testing"
+
+	"tpuising/internal/rng"
+)
+
+// bruteNeighbourSum computes the torus nearest-neighbour sum directly.
+func bruteNeighbourSum(s *Tensor) *Tensor {
+	h, w := s.Dim(0), s.Dim(1)
+	out := Zeros(h, w)
+	for i := 0; i < h; i++ {
+		for j := 0; j < w; j++ {
+			sum := s.At((i+1)%h, j) + s.At((i-1+h)%h, j) + s.At(i, (j+1)%w) + s.At(i, (j-1+w)%w)
+			out.Set(sum, i, j)
+		}
+	}
+	return out
+}
+
+func TestConv2DWrapNeighbourSum(t *testing.T) {
+	p := rng.New(11)
+	s := Zeros(16, 12)
+	for i := range s.Data() {
+		if p.Float32() < 0.5 {
+			s.Data()[i] = -1
+		} else {
+			s.Data()[i] = 1
+		}
+	}
+	got := Conv2DWrap(s, NNConvKernel(Float32))
+	want := bruteNeighbourSum(s)
+	if !got.Equal(want) {
+		t.Fatal("Conv2DWrap neighbour sum mismatch")
+	}
+}
+
+func TestConv2DWrapIdentityKernel(t *testing.T) {
+	p := rng.New(12)
+	s := Zeros(8, 8)
+	p.Fill(s.Data())
+	id := FromSlice(Float32, []float32{0, 0, 0, 0, 1, 0, 0, 0, 0}, 3, 3)
+	got := Conv2DWrap(s, id)
+	// bf16 rounding of inputs applies, so compare against rounded input.
+	if !got.Equal(s.AsType(BFloat16).AsType(Float32)) {
+		t.Fatal("identity kernel does not reproduce (bf16-rounded) input")
+	}
+}
+
+func TestConv2DWrapWrapsBoundaries(t *testing.T) {
+	s := Zeros(4, 4)
+	s.Set(1, 0, 0)
+	got := Conv2DWrap(s, NNConvKernel(Float32))
+	// The single spin at (0,0) contributes to its four torus neighbours.
+	for _, idx := range [][2]int{{0, 1}, {1, 0}, {0, 3}, {3, 0}} {
+		if got.At(idx[0], idx[1]) != 1 {
+			t.Fatalf("neighbour (%d,%d) = %v, want 1", idx[0], idx[1], got.At(idx[0], idx[1]))
+		}
+	}
+	if got.At(0, 0) != 0 || got.At(2, 2) != 0 {
+		t.Fatal("unexpected contributions")
+	}
+}
+
+func TestConv2DWrapPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Conv2DWrap(Zeros(4, 4, 4), NNConvKernel(Float32)) },
+		func() { Conv2DWrap(Zeros(4, 4), Zeros(2, 2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestConv2DWrapFLOPs(t *testing.T) {
+	in := Zeros(10, 20)
+	if got := Conv2DWrapFLOPs(in, NNConvKernel(Float32)); got != 2*10*20*4 {
+		t.Errorf("FLOPs = %d", got)
+	}
+}
+
+func TestConvMatchesMatMulNeighbourSum(t *testing.T) {
+	// The appendix claims the conv implementation computes the same nearest
+	// neighbour sums as the matmul one; verify on a single tile where the
+	// matmul form needs wrap-around corrections.
+	p := rng.New(13)
+	const n = 8
+	s := Zeros(n, n)
+	for i := range s.Data() {
+		if p.Float32() < 0.5 {
+			s.Data()[i] = -1
+		} else {
+			s.Data()[i] = 1
+		}
+	}
+	k := NeighbourKernel(Float32, n)
+	mm := Add(MatMul(s, k), MatMul(k, s))
+	// Wrap-around corrections for a single tile on a torus.
+	mm.AddSlice(s.Slice(At(-1), All()), At(0), All())
+	mm.AddSlice(s.Slice(At(0), All()), At(-1), All())
+	mm.AddSlice(s.Slice(All(), At(-1)), All(), At(0))
+	mm.AddSlice(s.Slice(All(), At(0)), All(), At(-1))
+	conv := Conv2DWrap(s, NNConvKernel(Float32))
+	if !mm.Equal(conv) {
+		t.Fatal("matmul+corrections != conv neighbour sum")
+	}
+}
+
+func BenchmarkConv2DWrap256(b *testing.B) {
+	s := Zeros(256, 256)
+	k := NNConvKernel(Float32)
+	b.SetBytes(256 * 256 * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Conv2DWrap(s, k)
+	}
+}

@@ -1,0 +1,162 @@
+package tensor
+
+import (
+	"fmt"
+
+	"tpuising/internal/bf16"
+)
+
+// MatMul multiplies tensors the way the checkerboard kernels use the MXU:
+//
+//   - a rank-2 [M,K] by b rank-2 [K,N] is an ordinary matrix product.
+//   - a rank-N (N>2) [..., M, K] by b rank-2 [K, N] multiplies every trailing
+//     [M,K] tile of a on the right by b (matmul(σ, K) in Algorithm 1/2).
+//   - a rank-2 [M, K] by b rank-N [..., K, N] multiplies every trailing [K,N]
+//     tile of b on the left by a (matmul(K, σ)).
+//
+// Inputs are rounded to bfloat16 before multiplication and products are
+// accumulated in float32, matching the MXU's numeric behaviour regardless of
+// the operand dtypes. The result dtype follows type promotion (bfloat16 only
+// when both operands are bfloat16).
+func MatMul(a, b *Tensor) *Tensor {
+	switch {
+	case a.Rank() == 2 && b.Rank() == 2:
+		return matMul2D(a, b)
+	case a.Rank() > 2 && b.Rank() == 2:
+		return matMulBatchedRight(a, b)
+	case a.Rank() == 2 && b.Rank() > 2:
+		return matMulBatchedLeft(a, b)
+	default:
+		panic(fmt.Sprintf("tensor: MatMul unsupported ranks %d x %d", a.Rank(), b.Rank()))
+	}
+}
+
+// MatMulFLOPs returns the floating point operations (multiply + add counted
+// separately, i.e. 2*MACs) performed by MatMul(a, b). It is used by the
+// device cost model.
+func MatMulFLOPs(a, b *Tensor) int64 {
+	var batch, m, k, n int64
+	switch {
+	case a.Rank() == 2 && b.Rank() == 2:
+		batch, m, k, n = 1, int64(a.shape[0]), int64(a.shape[1]), int64(b.shape[1])
+	case a.Rank() > 2 && b.Rank() == 2:
+		batch = int64(a.NumElements() / (a.Dim(-1) * a.Dim(-2)))
+		m, k, n = int64(a.Dim(-2)), int64(a.Dim(-1)), int64(b.shape[1])
+	case a.Rank() == 2 && b.Rank() > 2:
+		batch = int64(b.NumElements() / (b.Dim(-1) * b.Dim(-2)))
+		m, k, n = int64(a.shape[0]), int64(a.shape[1]), int64(b.Dim(-1))
+	default:
+		panic("tensor: MatMulFLOPs unsupported ranks")
+	}
+	return 2 * batch * m * k * n
+}
+
+func matMul2D(a, b *Tensor) *Tensor {
+	m, ka := a.shape[0], a.shape[1]
+	kb, n := b.shape[0], b.shape[1]
+	if ka != kb {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	out := New(resultDType(a, b), m, n)
+	mulTile(out.data, a.data, b.data, m, ka, n)
+	return out.round()
+}
+
+func matMulBatchedRight(a, b *Tensor) *Tensor {
+	m, k := a.Dim(-2), a.Dim(-1)
+	if b.shape[0] != k {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	n := b.shape[1]
+	outShape := a.Shape()
+	outShape[len(outShape)-1] = n
+	out := New(resultDType(a, b), outShape...)
+	tiles := a.NumElements() / (m * k)
+	for t := 0; t < tiles; t++ {
+		mulTile(out.data[t*m*n:(t+1)*m*n], a.data[t*m*k:(t+1)*m*k], b.data, m, k, n)
+	}
+	return out.round()
+}
+
+func matMulBatchedLeft(a, b *Tensor) *Tensor {
+	m, k := a.shape[0], a.shape[1]
+	if b.Dim(-2) != k {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	n := b.Dim(-1)
+	outShape := b.Shape()
+	outShape[len(outShape)-2] = m
+	out := New(resultDType(a, b), outShape...)
+	tiles := b.NumElements() / (k * n)
+	for t := 0; t < tiles; t++ {
+		mulTile(out.data[t*m*n:(t+1)*m*n], a.data, b.data[t*k*n:(t+1)*k*n], m, k, n)
+	}
+	return out.round()
+}
+
+// mulTile computes dst[m,n] = A[m,k] * B[k,n] with bfloat16-rounded inputs and
+// float32 accumulation (the MXU contract). dst is fully overwritten.
+func mulTile(dst, a, b []float32, m, k, n int) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		drow := dst[i*n : (i+1)*n]
+		for kk := 0; kk < k; kk++ {
+			av := bf16.Round(arow[kk])
+			if av == 0 {
+				continue
+			}
+			brow := b[kk*n : (kk+1)*n]
+			for j := 0; j < n; j++ {
+				drow[j] += av * bf16.Round(brow[j])
+			}
+		}
+	}
+}
+
+// NeighbourKernel returns the paper's kernel matrix K: a size x size
+// tridiagonal matrix with zeros on the diagonal and ones on the immediate
+// off-diagonals.  matmul(σ, K) + matmul(K, σ) sums the four interior nearest
+// neighbours of every site of a tile.
+func NeighbourKernel(dtype DType, size int) *Tensor {
+	k := New(dtype, size, size)
+	for i := 0; i < size; i++ {
+		if i > 0 {
+			k.data[i*size+i-1] = 1
+		}
+		if i < size-1 {
+			k.data[i*size+i+1] = 1
+		}
+	}
+	return k
+}
+
+// CompactKernel returns the paper's kernel matrix K̂: a size x size upper
+// bidiagonal matrix with ones on the diagonal and the superdiagonal, used by
+// the compact (Algorithm 2) representation.
+func CompactKernel(dtype DType, size int) *Tensor {
+	k := New(dtype, size, size)
+	for i := 0; i < size; i++ {
+		k.data[i*size+i] = 1
+		if i < size-1 {
+			k.data[i*size+i+1] = 1
+		}
+	}
+	return k
+}
+
+// CheckerboardMask returns the paper's mask matrix M: rows x cols with 1 on
+// "black" sites ((i+j) even) and 0 on "white" sites.
+func CheckerboardMask(dtype DType, rows, cols int) *Tensor {
+	m := New(dtype, rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if (i+j)%2 == 0 {
+				m.data[i*cols+j] = 1
+			}
+		}
+	}
+	return m
+}

@@ -1,0 +1,222 @@
+package tensor
+
+import (
+	"testing"
+
+	"tpuising/internal/rng"
+)
+
+func naiveMatMul(a, b *Tensor) *Tensor {
+	m, k, n := a.Dim(0), a.Dim(1), b.Dim(1)
+	out := New(Float32, m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for kk := 0; kk < k; kk++ {
+				s += a.At(i, kk) * b.At(kk, j)
+			}
+			out.Set(s, i, j)
+		}
+	}
+	return out
+}
+
+func TestMatMul2DIdentity(t *testing.T) {
+	p := rng.New(1)
+	a := Zeros(5, 5)
+	p.Fill(a.Data())
+	id := Zeros(5, 5)
+	for i := 0; i < 5; i++ {
+		id.Set(1, i, i)
+	}
+	if !MatMul(a, id).AllClose(a, 1e-2) {
+		t.Fatal("A*I != A")
+	}
+	if !MatMul(id, a).AllClose(a, 1e-2) {
+		t.Fatal("I*A != A")
+	}
+}
+
+func TestMatMul2DAgainstNaiveSpinValues(t *testing.T) {
+	// With +-1 spin values and 0/1 kernels (the Ising workload) the bf16
+	// rounding inside the MXU is exact, so results must match bit-for-bit.
+	p := rng.New(2)
+	a := Zeros(12, 12)
+	for i := range a.Data() {
+		if p.Float32() < 0.5 {
+			a.Data()[i] = -1
+		} else {
+			a.Data()[i] = 1
+		}
+	}
+	k := NeighbourKernel(Float32, 12)
+	if !MatMul(a, k).Equal(naiveMatMul(a, k)) {
+		t.Fatal("MatMul(a, K) mismatch")
+	}
+	if !MatMul(k, a).Equal(naiveMatMul(k, a)) {
+		t.Fatal("MatMul(K, a) mismatch")
+	}
+}
+
+func TestMatMulRectangular(t *testing.T) {
+	a := FromSlice(Float32, []float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice(Float32, []float32{7, 8, 9, 10, 11, 12}, 3, 2)
+	got := MatMul(a, b)
+	want := naiveMatMul(a, b)
+	if !got.AllClose(want, 1e-3) {
+		t.Fatalf("got %v want %v", got.Data(), want.Data())
+	}
+	if got.Dim(0) != 2 || got.Dim(1) != 2 {
+		t.Fatalf("shape %v", got.Shape())
+	}
+}
+
+func TestMatMulBatchedRight(t *testing.T) {
+	// [2,3,4,4] x [4,4]: every tile multiplied on the right.
+	p := rng.New(3)
+	a := New(Float32, 2, 3, 4, 4)
+	for i := range a.Data() {
+		a.Data()[i] = float32(int(p.Float32()*3) - 1)
+	}
+	k := NeighbourKernel(Float32, 4)
+	out := MatMul(a, k)
+	if got := out.Shape(); got[0] != 2 || got[1] != 3 || got[2] != 4 || got[3] != 4 {
+		t.Fatalf("shape %v", got)
+	}
+	for gm := 0; gm < 2; gm++ {
+		for gn := 0; gn < 3; gn++ {
+			tile := a.Slice(At(gm), At(gn), All(), All()).Reshape(4, 4)
+			want := naiveMatMul(tile, k)
+			gotTile := out.Slice(At(gm), At(gn), All(), All()).Reshape(4, 4)
+			if !gotTile.Equal(want) {
+				t.Fatalf("tile (%d,%d) mismatch", gm, gn)
+			}
+		}
+	}
+}
+
+func TestMatMulBatchedLeft(t *testing.T) {
+	p := rng.New(4)
+	b := New(Float32, 3, 2, 4, 4)
+	for i := range b.Data() {
+		b.Data()[i] = float32(int(p.Float32()*3) - 1)
+	}
+	k := CompactKernel(Float32, 4)
+	out := MatMul(k, b)
+	for gm := 0; gm < 3; gm++ {
+		for gn := 0; gn < 2; gn++ {
+			tile := b.Slice(At(gm), At(gn), All(), All()).Reshape(4, 4)
+			want := naiveMatMul(k, tile)
+			gotTile := out.Slice(At(gm), At(gn), All(), All()).Reshape(4, 4)
+			if !gotTile.Equal(want) {
+				t.Fatalf("tile (%d,%d) mismatch", gm, gn)
+			}
+		}
+	}
+}
+
+func TestMatMulInnerDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MatMul(Zeros(2, 3), Zeros(4, 2))
+}
+
+func TestMatMulFLOPs(t *testing.T) {
+	a, b := Zeros(4, 8), Zeros(8, 16)
+	if got := MatMulFLOPs(a, b); got != 2*4*8*16 {
+		t.Errorf("FLOPs = %d", got)
+	}
+	c := New(Float32, 3, 2, 4, 4)
+	k := Zeros(4, 4)
+	if got := MatMulFLOPs(c, k); got != 2*6*4*4*4 {
+		t.Errorf("batched right FLOPs = %d", got)
+	}
+	if got := MatMulFLOPs(k, c); got != 2*6*4*4*4 {
+		t.Errorf("batched left FLOPs = %d", got)
+	}
+}
+
+func TestNeighbourKernelStructure(t *testing.T) {
+	k := NeighbourKernel(Float32, 6)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			want := float32(0)
+			if i == j+1 || j == i+1 {
+				want = 1
+			}
+			if k.At(i, j) != want {
+				t.Fatalf("K[%d,%d] = %v, want %v", i, j, k.At(i, j), want)
+			}
+		}
+	}
+	// matmul(row vector of ones, K) gives 2 in the interior, 1 on the ends.
+	ones := Full(Float32, 1, 1, 6)
+	s := MatMul(ones, k)
+	if s.At(0, 0) != 1 || s.At(0, 3) != 2 || s.At(0, 5) != 1 {
+		t.Fatalf("row sums: %v", s.Data())
+	}
+}
+
+func TestCompactKernelStructure(t *testing.T) {
+	k := CompactKernel(Float32, 5)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			want := float32(0)
+			if j == i || j == i+1 {
+				want = 1
+			}
+			if k.At(i, j) != want {
+				t.Fatalf("K̂[%d,%d] = %v, want %v", i, j, k.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestCheckerboardMask(t *testing.T) {
+	m := CheckerboardMask(Float32, 4, 4)
+	// (i+j) even -> 1.
+	if m.At(0, 0) != 1 || m.At(0, 1) != 0 || m.At(1, 0) != 0 || m.At(1, 1) != 1 {
+		t.Fatalf("mask wrong: %v", m.Data())
+	}
+	if int(Sum(m)) != 8 {
+		t.Fatalf("mask should have 8 black sites, got %v", Sum(m))
+	}
+}
+
+func TestMXUAccumulationIsFloat32(t *testing.T) {
+	// Summing 512 ones must give exactly 512 even in bf16 mode, because
+	// accumulation is float32 (bf16 accumulation would saturate at 256+).
+	const n = 512
+	a := Full(BFloat16, 1, 1, n)
+	b := Full(BFloat16, 1, n, 1)
+	got := MatMul(a, b).At(0, 0)
+	if got != n {
+		t.Fatalf("accumulated %v ones, want %v (f32 accumulation)", got, n)
+	}
+}
+
+func BenchmarkMatMul128(b *testing.B) {
+	p := rng.New(1)
+	a := Zeros(128, 128)
+	p.Fill(a.Data())
+	k := NeighbourKernel(Float32, 128)
+	b.SetBytes(128 * 128 * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(a, k)
+	}
+}
+
+func BenchmarkMatMulBatched8x8x64(b *testing.B) {
+	p := rng.New(1)
+	a := New(Float32, 8, 8, 64, 64)
+	p.Fill(a.Data())
+	k := CompactKernel(Float32, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(a, k)
+	}
+}

@@ -1,0 +1,289 @@
+package tensor
+
+import "fmt"
+
+// Range selects elements [Start, Stop) with stride Step along one dimension.
+// Stop == 0 together with Start == 0 and Step == 0 is treated as "all" (see
+// All). Negative Start/Stop count from the end of the dimension.
+type Range struct {
+	Start, Stop, Step int
+}
+
+// All selects an entire dimension.
+func All() Range { return Range{0, 0, 0} }
+
+// At selects the single index i, keeping the dimension (size 1).
+func At(i int) Range { return Range{i, i + 1, 1} }
+
+// Span selects [start, stop) with step 1.
+func Span(start, stop int) Range { return Range{start, stop, 1} }
+
+// Stride selects [start, stop) with the given step; it expresses the
+// "0::2" / "1::2" slicing used by the compact checkerboard decomposition.
+func Stride(start, stop, step int) Range { return Range{start, stop, step} }
+
+// resolve normalises r against a dimension of the given size, returning
+// (start, stop, step, count).
+func (r Range) resolve(size int) (int, int, int, int) {
+	if r.Start == 0 && r.Stop == 0 && r.Step == 0 {
+		return 0, size, 1, size
+	}
+	start, stop, step := r.Start, r.Stop, r.Step
+	if step == 0 {
+		step = 1
+	}
+	if step <= 0 {
+		panic("tensor: non-positive slice step")
+	}
+	if start < 0 {
+		start += size
+	}
+	if stop <= 0 {
+		stop += size
+	}
+	if start < 0 || start >= size || stop < start || stop > size {
+		panic(fmt.Sprintf("tensor: slice [%d:%d:%d] out of range for size %d", r.Start, r.Stop, r.Step, size))
+	}
+	count := (stop - start + step - 1) / step
+	return start, stop, step, count
+}
+
+// sliceIndex enumerates the flat source offsets selected by ranges over shape,
+// invoking fn with the destination flat index and source flat index.
+func sliceIndex(shape []int, ranges []Range, fn func(dst, src int)) []int {
+	if len(ranges) != len(shape) {
+		panic(fmt.Sprintf("tensor: got %d ranges for rank-%d tensor", len(ranges), len(shape)))
+	}
+	starts := make([]int, len(shape))
+	steps := make([]int, len(shape))
+	counts := make([]int, len(shape))
+	for d, r := range ranges {
+		s, _, st, c := r.resolve(shape[d])
+		starts[d], steps[d], counts[d] = s, st, c
+	}
+	// Row-major strides of the source.
+	srcStrides := make([]int, len(shape))
+	stride := 1
+	for d := len(shape) - 1; d >= 0; d-- {
+		srcStrides[d] = stride
+		stride *= shape[d]
+	}
+	total := 1
+	for _, c := range counts {
+		total *= c
+	}
+	idx := make([]int, len(shape))
+	for flat := 0; flat < total; flat++ {
+		src := 0
+		for d := range shape {
+			src += (starts[d] + idx[d]*steps[d]) * srcStrides[d]
+		}
+		fn(flat, src)
+		// Increment the odometer.
+		for d := len(shape) - 1; d >= 0; d-- {
+			idx[d]++
+			if idx[d] < counts[d] {
+				break
+			}
+			idx[d] = 0
+		}
+	}
+	return counts
+}
+
+// Slice returns a copy of the sub-tensor selected by ranges (one per
+// dimension). Dimensions are preserved (single-index selections keep a
+// size-1 dimension), matching the slicing style of the paper's pseudo-code.
+func (t *Tensor) Slice(ranges ...Range) *Tensor {
+	counts := make([]int, len(t.shape))
+	for d, r := range ranges {
+		_, _, _, c := r.resolve(t.shape[d])
+		counts[d] = c
+	}
+	out := New(t.dtype, counts...)
+	sliceIndex(t.shape, ranges, func(dst, src int) { out.data[dst] = t.data[src] })
+	return out
+}
+
+// SetSlice copies src into the region of t selected by ranges. src must have
+// exactly the shape of the selected region.
+func (t *Tensor) SetSlice(src *Tensor, ranges ...Range) {
+	t.regionOp(src, ranges, func(dst *float32, v float32) { *dst = v })
+}
+
+// AddSlice adds src into the region of t selected by ranges (the "+=" used by
+// the boundary compensation steps of Algorithms 1 and 2).
+func (t *Tensor) AddSlice(src *Tensor, ranges ...Range) {
+	t.regionOp(src, ranges, func(dst *float32, v float32) { *dst += v })
+}
+
+func (t *Tensor) regionOp(src *Tensor, ranges []Range, op func(*float32, float32)) {
+	counts := make([]int, len(t.shape))
+	total := 1
+	for d, r := range ranges {
+		_, _, _, c := r.resolve(t.shape[d])
+		counts[d] = c
+		total *= c
+	}
+	if total != src.NumElements() {
+		panic(fmt.Sprintf("tensor: region %v does not match source shape %v", counts, src.shape))
+	}
+	sliceIndex(t.shape, ranges, func(dst, tsrc int) { op(&t.data[tsrc], src.data[dst]) })
+	t.round()
+}
+
+// Roll returns a copy of t circularly shifted by shift positions along axis
+// (positive shift moves element i to i+shift, wrapping), i.e. the torus
+// neighbour lookup used by the reference nearest-neighbour computation.
+func (t *Tensor) Roll(axis, shift int) *Tensor {
+	if axis < 0 {
+		axis += len(t.shape)
+	}
+	size := t.shape[axis]
+	shift = ((shift % size) + size) % size
+	out := New(t.dtype, t.shape...)
+	if shift == 0 {
+		copy(out.data, t.data)
+		return out
+	}
+	// outer = product of dims before axis, inner = product after axis.
+	outer, inner := 1, 1
+	for d := 0; d < axis; d++ {
+		outer *= t.shape[d]
+	}
+	for d := axis + 1; d < len(t.shape); d++ {
+		inner *= t.shape[d]
+	}
+	for o := 0; o < outer; o++ {
+		base := o * size * inner
+		for i := 0; i < size; i++ {
+			dst := base + ((i+shift)%size)*inner
+			src := base + i*inner
+			copy(out.data[dst:dst+inner], t.data[src:src+inner])
+		}
+	}
+	return out
+}
+
+// Concat concatenates tensors along the given axis. All inputs must share
+// dtype-compatible shapes on the other axes.
+func Concat(axis int, ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("tensor: Concat of nothing")
+	}
+	first := ts[0]
+	if axis < 0 {
+		axis += first.Rank()
+	}
+	outShape := first.Shape()
+	for _, t := range ts[1:] {
+		if t.Rank() != first.Rank() {
+			panic("tensor: Concat rank mismatch")
+		}
+		for d := range outShape {
+			if d == axis {
+				continue
+			}
+			if t.shape[d] != first.shape[d] {
+				panic(fmt.Sprintf("tensor: Concat shape mismatch %v vs %v", first.shape, t.shape))
+			}
+		}
+		outShape[axis] += t.shape[axis]
+	}
+	out := New(first.dtype, outShape...)
+	outer := 1
+	for d := 0; d < axis; d++ {
+		outer *= outShape[d]
+	}
+	innerOf := func(t *Tensor) int {
+		inner := 1
+		for d := axis; d < t.Rank(); d++ {
+			inner *= t.shape[d]
+		}
+		return inner
+	}
+	outInner := innerOf(out)
+	for o := 0; o < outer; o++ {
+		off := o * outInner
+		for _, t := range ts {
+			in := innerOf(t)
+			copy(out.data[off:off+in], t.data[o*in:(o+1)*in])
+			off += in
+		}
+	}
+	return out
+}
+
+// Interleave2D reassembles a full 2-D lattice [2R, 2C] from its four compact
+// colour planes a=σ̂00 [R,C], b=σ̂01, c=σ̂10, d=σ̂11 (the inverse of
+// CompactDecompose2D).
+func Interleave2D(a, b, c, d *Tensor) *Tensor {
+	r, cc := a.shape[0], a.shape[1]
+	out := New(a.dtype, 2*r, 2*cc)
+	for i := 0; i < r; i++ {
+		for j := 0; j < cc; j++ {
+			out.data[(2*i)*2*cc+2*j] = a.data[i*cc+j]
+			out.data[(2*i)*2*cc+2*j+1] = b.data[i*cc+j]
+			out.data[(2*i+1)*2*cc+2*j] = c.data[i*cc+j]
+			out.data[(2*i+1)*2*cc+2*j+1] = d.data[i*cc+j]
+		}
+	}
+	return out
+}
+
+// CompactDecompose2D splits a full 2-D lattice [2R, 2C] into the four compact
+// colour planes σ̂00, σ̂01, σ̂10, σ̂11 of shape [R, C] used by Algorithm 2.
+func CompactDecompose2D(t *Tensor) (a, b, c, d *Tensor) {
+	if t.Rank() != 2 || t.shape[0]%2 != 0 || t.shape[1]%2 != 0 {
+		panic(fmt.Sprintf("tensor: CompactDecompose2D needs even rank-2 shape, got %v", t.shape))
+	}
+	a = t.Slice(Stride(0, t.shape[0], 2), Stride(0, t.shape[1], 2))
+	b = t.Slice(Stride(0, t.shape[0], 2), Stride(1, t.shape[1], 2))
+	c = t.Slice(Stride(1, t.shape[0], 2), Stride(0, t.shape[1], 2))
+	d = t.Slice(Stride(1, t.shape[0], 2), Stride(1, t.shape[1], 2))
+	return a, b, c, d
+}
+
+// Tile4D reshapes a 2-D lattice [m*T, n*U] into the rank-4 grid-of-tiles
+// layout [m, n, T, U] used on the TensorCore (Figure 3-(1) of the paper).
+func Tile4D(t *Tensor, tileRows, tileCols int) *Tensor {
+	if t.Rank() != 2 {
+		panic("tensor: Tile4D needs a rank-2 tensor")
+	}
+	h, w := t.shape[0], t.shape[1]
+	if h%tileRows != 0 || w%tileCols != 0 {
+		panic(fmt.Sprintf("tensor: lattice %v not divisible into %dx%d tiles", t.shape, tileRows, tileCols))
+	}
+	m, n := h/tileRows, w/tileCols
+	out := New(t.dtype, m, n, tileRows, tileCols)
+	for gm := 0; gm < m; gm++ {
+		for gn := 0; gn < n; gn++ {
+			for r := 0; r < tileRows; r++ {
+				srcOff := (gm*tileRows+r)*w + gn*tileCols
+				dstOff := ((gm*n+gn)*tileRows + r) * tileCols
+				copy(out.data[dstOff:dstOff+tileCols], t.data[srcOff:srcOff+tileCols])
+			}
+		}
+	}
+	return out
+}
+
+// Untile4D is the inverse of Tile4D: [m, n, T, U] back to [m*T, n*U].
+func Untile4D(t *Tensor) *Tensor {
+	if t.Rank() != 4 {
+		panic("tensor: Untile4D needs a rank-4 tensor")
+	}
+	m, n, tr, tc := t.shape[0], t.shape[1], t.shape[2], t.shape[3]
+	out := New(t.dtype, m*tr, n*tc)
+	w := n * tc
+	for gm := 0; gm < m; gm++ {
+		for gn := 0; gn < n; gn++ {
+			for r := 0; r < tr; r++ {
+				srcOff := ((gm*n+gn)*tr + r) * tc
+				dstOff := (gm*tr+r)*w + gn*tc
+				copy(out.data[dstOff:dstOff+tc], t.data[srcOff:srcOff+tc])
+			}
+		}
+	}
+	return out
+}

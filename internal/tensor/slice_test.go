@@ -1,0 +1,279 @@
+package tensor
+
+import (
+	"testing"
+
+	"tpuising/internal/rng"
+)
+
+func iota2D(r, c int) *Tensor {
+	t := Zeros(r, c)
+	for i := range t.Data() {
+		t.Data()[i] = float32(i)
+	}
+	return t
+}
+
+func TestSliceAll(t *testing.T) {
+	a := iota2D(3, 4)
+	s := a.Slice(All(), All())
+	if !s.Equal(a) {
+		t.Fatal("Slice(All, All) != original")
+	}
+	s.Set(99, 0, 0)
+	if a.At(0, 0) == 99 {
+		t.Fatal("Slice must copy")
+	}
+}
+
+func TestSliceRow(t *testing.T) {
+	a := iota2D(4, 5)
+	row := a.Slice(At(2), All())
+	if row.Dim(0) != 1 || row.Dim(1) != 5 {
+		t.Fatalf("shape %v", row.Shape())
+	}
+	for j := 0; j < 5; j++ {
+		if row.At(0, j) != a.At(2, j) {
+			t.Fatal("row values wrong")
+		}
+	}
+	last := a.Slice(At(-1), All())
+	if last.At(0, 0) != a.At(3, 0) {
+		t.Fatal("negative index row wrong")
+	}
+}
+
+func TestSliceSpanAndStride(t *testing.T) {
+	a := iota2D(6, 6)
+	s := a.Slice(Span(1, 4), Span(2, 6))
+	if s.Dim(0) != 3 || s.Dim(1) != 4 {
+		t.Fatalf("shape %v", s.Shape())
+	}
+	if s.At(0, 0) != a.At(1, 2) || s.At(2, 3) != a.At(3, 5) {
+		t.Fatal("span values wrong")
+	}
+	ev := a.Slice(Stride(0, 6, 2), Stride(1, 6, 2))
+	if ev.Dim(0) != 3 || ev.Dim(1) != 3 {
+		t.Fatalf("strided shape %v", ev.Shape())
+	}
+	if ev.At(1, 1) != a.At(2, 3) {
+		t.Fatal("strided values wrong")
+	}
+}
+
+func TestSliceOutOfRangePanics(t *testing.T) {
+	a := iota2D(3, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.Slice(Span(0, 4), All())
+}
+
+func TestSetSliceAddSlice(t *testing.T) {
+	a := Zeros(4, 4)
+	patch := Full(Float32, 5, 2, 2)
+	a.SetSlice(patch, Span(1, 3), Span(1, 3))
+	if a.At(1, 1) != 5 || a.At(2, 2) != 5 || a.At(0, 0) != 0 || a.At(3, 3) != 0 {
+		t.Fatalf("SetSlice wrong: %v", a.Data())
+	}
+	a.AddSlice(patch, Span(1, 3), Span(1, 3))
+	if a.At(2, 1) != 10 {
+		t.Fatal("AddSlice wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size mismatch did not panic")
+		}
+	}()
+	a.SetSlice(patch, All(), All())
+}
+
+func TestAddSliceRank4Boundary(t *testing.T) {
+	// The exact pattern used by Algorithm 1's boundary compensation:
+	// nn[:, :, 0, :] += edge where edge has shape [m, n, 1, w].
+	nn := New(Float32, 2, 3, 4, 5)
+	edge := Full(Float32, 1, 2, 3, 1, 5)
+	nn.AddSlice(edge, All(), All(), At(0), All())
+	if nn.At(0, 0, 0, 0) != 1 || nn.At(1, 2, 0, 4) != 1 {
+		t.Fatal("boundary add missing")
+	}
+	if nn.At(0, 0, 1, 0) != 0 {
+		t.Fatal("boundary add leaked to interior")
+	}
+}
+
+func TestRoll1D(t *testing.T) {
+	a := FromSlice(Float32, []float32{0, 1, 2, 3, 4}, 5)
+	r := a.Roll(0, 1)
+	want := []float32{4, 0, 1, 2, 3}
+	for i := range want {
+		if r.Data()[i] != want[i] {
+			t.Fatalf("Roll +1 = %v", r.Data())
+		}
+	}
+	l := a.Roll(0, -1)
+	want = []float32{1, 2, 3, 4, 0}
+	for i := range want {
+		if l.Data()[i] != want[i] {
+			t.Fatalf("Roll -1 = %v", l.Data())
+		}
+	}
+	if !a.Roll(0, 5).Equal(a) || !a.Roll(0, 0).Equal(a) {
+		t.Fatal("Roll by multiple of size must be identity")
+	}
+}
+
+func TestRoll2DAxes(t *testing.T) {
+	a := iota2D(3, 4)
+	down := a.Roll(0, 1)
+	for j := 0; j < 4; j++ {
+		if down.At(0, j) != a.At(2, j) || down.At(1, j) != a.At(0, j) {
+			t.Fatal("Roll axis 0 wrong")
+		}
+	}
+	right := a.Roll(1, 1)
+	for i := 0; i < 3; i++ {
+		if right.At(i, 0) != a.At(i, 3) || right.At(i, 2) != a.At(i, 1) {
+			t.Fatal("Roll axis 1 wrong")
+		}
+	}
+	neg := a.Roll(-1, 1)
+	if !neg.Equal(right) {
+		t.Fatal("negative axis wrong")
+	}
+}
+
+func TestRollInverse(t *testing.T) {
+	p := rng.New(5)
+	a := Zeros(7, 9)
+	p.Fill(a.Data())
+	if !a.Roll(0, 3).Roll(0, -3).Equal(a) {
+		t.Fatal("Roll then un-Roll is not identity (axis 0)")
+	}
+	if !a.Roll(1, 4).Roll(1, 5).Equal(a) {
+		t.Fatal("Roll by 4 then 5 on size 9 is not identity")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := iota2D(2, 3)
+	b := Full(Float32, 9, 2, 3)
+	v := Concat(0, a, b)
+	if v.Dim(0) != 4 || v.Dim(1) != 3 {
+		t.Fatalf("shape %v", v.Shape())
+	}
+	if v.At(0, 0) != 0 || v.At(2, 0) != 9 {
+		t.Fatal("Concat axis0 values wrong")
+	}
+	h := Concat(1, a, b)
+	if h.Dim(0) != 2 || h.Dim(1) != 6 {
+		t.Fatalf("shape %v", h.Shape())
+	}
+	if h.At(1, 2) != a.At(1, 2) || h.At(1, 3) != 9 {
+		t.Fatal("Concat axis1 values wrong")
+	}
+	n := Concat(-1, a, b)
+	if !n.Equal(h) {
+		t.Fatal("negative axis concat wrong")
+	}
+}
+
+func TestConcatRollEquivalence(t *testing.T) {
+	// The paper writes the wrap-around boundary as a concat of the last grid
+	// row with all-but-last; that is exactly Roll(+1).
+	p := rng.New(6)
+	a := Zeros(5, 4)
+	p.Fill(a.Data())
+	concat := Concat(0, a.Slice(At(-1), All()), a.Slice(Span(0, 4), All()))
+	if !concat.Equal(a.Roll(0, 1)) {
+		t.Fatal("concat formulation != Roll(+1)")
+	}
+}
+
+func TestCompactDecomposeInterleaveRoundTrip(t *testing.T) {
+	p := rng.New(7)
+	full := Zeros(8, 10)
+	for i := range full.Data() {
+		if p.Float32() < 0.5 {
+			full.Data()[i] = -1
+		} else {
+			full.Data()[i] = 1
+		}
+	}
+	a, b, c, d := CompactDecompose2D(full)
+	if a.Dim(0) != 4 || a.Dim(1) != 5 {
+		t.Fatalf("compact shape %v", a.Shape())
+	}
+	// Spot-check the mapping of Figure 3-(2).
+	if a.At(1, 2) != full.At(2, 4) || b.At(1, 2) != full.At(2, 5) ||
+		c.At(1, 2) != full.At(3, 4) || d.At(1, 2) != full.At(3, 5) {
+		t.Fatal("compact plane mapping wrong")
+	}
+	back := Interleave2D(a, b, c, d)
+	if !back.Equal(full) {
+		t.Fatal("Interleave(Decompose(x)) != x")
+	}
+}
+
+func TestCompactDecomposePanicsOnOddShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	CompactDecompose2D(Zeros(3, 4))
+}
+
+func TestTileUntileRoundTrip(t *testing.T) {
+	p := rng.New(8)
+	lat := Zeros(12, 20)
+	p.Fill(lat.Data())
+	tiled := Tile4D(lat, 4, 5)
+	if got := tiled.Shape(); got[0] != 3 || got[1] != 4 || got[2] != 4 || got[3] != 5 {
+		t.Fatalf("tiled shape %v", got)
+	}
+	// Element (7, 13) lives in grid cell (1, 2), local (3, 3).
+	if tiled.At(1, 2, 3, 3) != lat.At(7, 13) {
+		t.Fatal("Tile4D mapping wrong")
+	}
+	if !Untile4D(tiled).Equal(lat) {
+		t.Fatal("Untile(Tile(x)) != x")
+	}
+}
+
+func TestTile4DPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Tile4D(Zeros(10, 10), 3, 5)
+}
+
+func TestRollMatchesSliceConcatRank4(t *testing.T) {
+	p := rng.New(9)
+	a := New(Float32, 3, 2, 4, 4)
+	p.Fill(a.Data())
+	rolled := a.Roll(0, 1)
+	manual := Concat(0, a.Slice(At(-1), All(), All(), All()), a.Slice(Span(0, 2), All(), All(), All()))
+	if !rolled.Equal(manual) {
+		t.Fatal("rank-4 Roll mismatch with concat formulation")
+	}
+}
+
+func BenchmarkRoll512(b *testing.B) {
+	a := Zeros(512, 512)
+	b.SetBytes(512 * 512 * 4)
+	for i := 0; i < b.N; i++ {
+		a.Roll(0, 1)
+	}
+}
+
+func BenchmarkSliceStride512(b *testing.B) {
+	a := Zeros(512, 512)
+	for i := 0; i < b.N; i++ {
+		a.Slice(Stride(0, 512, 2), Stride(0, 512, 2))
+	}
+}

@@ -1,0 +1,269 @@
+// Package tensor implements the dense multi-dimensional arrays that the
+// paper's checkerboard kernels are written against.  It plays the role that
+// TensorFlow tensors play in the original implementation: rank-N float32
+// storage with an optional bfloat16 value type, batched matrix multiplication
+// (the MXU workload), element-wise vector operations (the VPU workload),
+// slicing / rolling / concatenation (the "data formatting" workload) and 2-D
+// convolution (the appendix implementation).
+//
+// Tensors with DType BFloat16 store float32 values that are always rounded to
+// the nearest bfloat16 after every producing operation; matrix
+// multiplication always rounds its inputs to bfloat16 and accumulates in
+// float32, which is exactly the MXU numeric behaviour described in the paper.
+package tensor
+
+import (
+	"fmt"
+	"strings"
+
+	"tpuising/internal/bf16"
+)
+
+// DType is the value type carried by a tensor.
+type DType int
+
+const (
+	// Float32 is IEEE-754 single precision.
+	Float32 DType = iota
+	// BFloat16 is the 1-8-7 brain floating point format; values are stored as
+	// float32 but rounded through bfloat16 after every operation.
+	BFloat16
+)
+
+// String returns the TensorFlow-style dtype name.
+func (d DType) String() string {
+	switch d {
+	case Float32:
+		return "float32"
+	case BFloat16:
+		return "bfloat16"
+	default:
+		return fmt.Sprintf("DType(%d)", int(d))
+	}
+}
+
+// Bytes returns the storage size of one element of this dtype on the device
+// (bfloat16 occupies two bytes in HBM even though the host shadow is float32).
+func (d DType) Bytes() int {
+	if d == BFloat16 {
+		return 2
+	}
+	return 4
+}
+
+// Tensor is a dense, contiguous, row-major multi-dimensional array.
+type Tensor struct {
+	shape []int
+	data  []float32
+	dtype DType
+}
+
+// New returns a zero-filled tensor of the given dtype and shape.
+func New(dtype DType, shape ...int) *Tensor {
+	n := checkShape(shape)
+	return &Tensor{shape: append([]int(nil), shape...), data: make([]float32, n), dtype: dtype}
+}
+
+// Zeros returns a zero-filled float32 tensor.
+func Zeros(shape ...int) *Tensor { return New(Float32, shape...) }
+
+// Full returns a tensor filled with value v.
+func Full(dtype DType, v float32, shape ...int) *Tensor {
+	t := New(dtype, shape...)
+	if dtype == BFloat16 {
+		v = bf16.Round(v)
+	}
+	for i := range t.data {
+		t.data[i] = v
+	}
+	return t
+}
+
+// FromSlice wraps data (copied) into a tensor of the given shape.
+func FromSlice(dtype DType, data []float32, shape ...int) *Tensor {
+	n := checkShape(shape)
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: FromSlice got %d elements for shape %v (%d)", len(data), shape, n))
+	}
+	t := &Tensor{shape: append([]int(nil), shape...), data: append([]float32(nil), data...), dtype: dtype}
+	if dtype == BFloat16 {
+		bf16.RoundSlice(t.data)
+	}
+	return t
+}
+
+func checkShape(shape []int) int {
+	if len(shape) == 0 {
+		panic("tensor: empty shape")
+	}
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension in shape %v", shape))
+		}
+		n *= d
+	}
+	return n
+}
+
+// Shape returns a copy of the tensor's shape.
+func (t *Tensor) Shape() []int { return append([]int(nil), t.shape...) }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.shape) }
+
+// Dim returns the size of dimension i (negative i counts from the end).
+func (t *Tensor) Dim(i int) int {
+	if i < 0 {
+		i += len(t.shape)
+	}
+	return t.shape[i]
+}
+
+// NumElements returns the total number of elements.
+func (t *Tensor) NumElements() int { return len(t.data) }
+
+// DType returns the tensor's value type.
+func (t *Tensor) DType() DType { return t.dtype }
+
+// SizeBytes returns the device storage footprint of the tensor, accounting
+// for the dtype width (bfloat16 = 2 bytes/element).
+func (t *Tensor) SizeBytes() int64 { return int64(t.NumElements()) * int64(t.dtype.Bytes()) }
+
+// Data returns the underlying storage. Mutating it mutates the tensor; it is
+// exposed for the hot loops in the device simulators and for tests.
+func (t *Tensor) Data() []float32 { return t.data }
+
+// AsType returns a copy of t with the given dtype (rounding to bfloat16 when
+// converting to BFloat16).
+func (t *Tensor) AsType(d DType) *Tensor {
+	out := &Tensor{shape: append([]int(nil), t.shape...), data: append([]float32(nil), t.data...), dtype: d}
+	if d == BFloat16 {
+		bf16.RoundSlice(out.data)
+	}
+	return out
+}
+
+// Clone returns a deep copy of t.
+func (t *Tensor) Clone() *Tensor {
+	return &Tensor{shape: append([]int(nil), t.shape...), data: append([]float32(nil), t.data...), dtype: t.dtype}
+}
+
+// Reshape returns a tensor sharing t's data with a new shape of equal size.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := checkShape(shape)
+	if n != len(t.data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v to %v", t.shape, shape))
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: t.data, dtype: t.dtype}
+}
+
+// flatIndex converts multi-dimensional indices to a flat offset.
+func (t *Tensor) flatIndex(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: got %d indices for rank-%d tensor", len(idx), len(t.shape)))
+	}
+	off := 0
+	for d, i := range idx {
+		if i < 0 {
+			i += t.shape[d]
+		}
+		if i < 0 || i >= t.shape[d] {
+			panic(fmt.Sprintf("tensor: index %d out of range for dimension %d (size %d)", idx[d], d, t.shape[d]))
+		}
+		off = off*t.shape[d] + i
+	}
+	return off
+}
+
+// At returns the element at the given indices (negative indices count from
+// the end of the dimension, as in the paper's slicing notation).
+func (t *Tensor) At(idx ...int) float32 { return t.data[t.flatIndex(idx)] }
+
+// Set assigns the element at the given indices.
+func (t *Tensor) Set(v float32, idx ...int) {
+	if t.dtype == BFloat16 {
+		v = bf16.Round(v)
+	}
+	t.data[t.flatIndex(idx)] = v
+}
+
+// SameShape reports whether t and o have identical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool {
+	if len(t.shape) != len(o.shape) {
+		return false
+	}
+	for i := range t.shape {
+		if t.shape[i] != o.shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether t and o have identical shape and bit-identical
+// elements.
+func (t *Tensor) Equal(o *Tensor) bool {
+	if !t.SameShape(o) {
+		return false
+	}
+	for i := range t.data {
+		if t.data[i] != o.data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AllClose reports whether t and o have identical shape and elements within
+// the absolute tolerance tol.
+func (t *Tensor) AllClose(o *Tensor, tol float32) bool {
+	if !t.SameShape(o) {
+		return false
+	}
+	for i := range t.data {
+		d := t.data[i] - o.data[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// round applies the dtype rounding policy in place and returns t.
+func (t *Tensor) round() *Tensor {
+	if t.dtype == BFloat16 {
+		bf16.RoundSlice(t.data)
+	}
+	return t
+}
+
+// String renders a compact description (shape, dtype and, for small tensors,
+// the values).
+func (t *Tensor) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Tensor(%s, shape=%v", t.dtype, t.shape)
+	if len(t.data) <= 16 {
+		fmt.Fprintf(&b, ", data=%v", t.data)
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// resultDType returns the dtype of the result of an op combining a and b:
+// bfloat16 only if both operands are bfloat16, mirroring TF type promotion.
+func resultDType(a, b *Tensor) DType {
+	if a.dtype == BFloat16 && b.dtype == BFloat16 {
+		return BFloat16
+	}
+	return Float32
+}
+
+func mustSameShape(op string, a, b *Tensor) {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, a.shape, b.shape))
+	}
+}
