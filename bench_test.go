@@ -16,6 +16,7 @@ import (
 
 	"tpuising/internal/harness"
 	"tpuising/internal/ising"
+	"tpuising/internal/ising/backend"
 	"tpuising/internal/ising/checkerboard"
 	"tpuising/internal/ising/gpusim"
 	"tpuising/internal/ising/tpu"
@@ -263,6 +264,42 @@ func BenchmarkSweepGPUStyleParallel256(b *testing.B) {
 	spins := float64(256) * 256 * float64(b.N)
 	b.ReportMetric(spins/float64(b.Elapsed().Nanoseconds()), "host_flips/ns")
 }
+
+// --- Host-engine benchmarks through the Backend interface -------------------
+
+// benchHost times real sweeps of one host engine selected through the
+// backend factory and reports the measured throughput in host_flips/ns.
+// These are the numbers to compare against each other (multispin vs the
+// scalar baselines); the model_flips/ns metrics above are modelled TPU
+// throughput and live on a different axis.
+func benchHost(b *testing.B, name string, size int) {
+	eng, err := backend.New(name, backend.Config{Rows: size, Cols: size, Temperature: 2.5, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Sweep()
+	}
+	b.StopTimer()
+	spins := float64(size) * float64(size) * float64(b.N)
+	b.ReportMetric(spins/float64(b.Elapsed().Nanoseconds()), "host_flips/ns")
+}
+
+// Serial and parallel scalar baselines.
+func BenchmarkHostSerial256(b *testing.B)    { benchHost(b, "checkerboard", 256) }
+func BenchmarkHostParallel256(b *testing.B)  { benchHost(b, "gpusim", 256) }
+func BenchmarkHostParallel1024(b *testing.B) { benchHost(b, "gpusim", 1024) }
+func BenchmarkHostParallel4096(b *testing.B) { benchHost(b, "gpusim", 4096) }
+
+// Bit-packed multispin engine from 1k to 16k lattices; the 1024 and 4096
+// sizes pair with the gpusim benchmarks above for the >=10x speedup check.
+func BenchmarkHostMultispin1024(b *testing.B)  { benchHost(b, "multispin", 1024) }
+func BenchmarkHostMultispin4096(b *testing.B)  { benchHost(b, "multispin", 4096) }
+func BenchmarkHostMultispin16384(b *testing.B) { benchHost(b, "multispin", 16384) }
+
+// Shared-random multispin variant (one Philox word per 64 columns).
+func BenchmarkHostMultispinShared4096(b *testing.B) { benchHost(b, "multispin-shared", 4096) }
 
 // BenchmarkEstimateSweepCounts times the analytic work estimator at paper
 // scale (it must stay trivially cheap, since every table row calls it).

@@ -1,5 +1,6 @@
-// Command isingtpu runs one checkerboard Ising simulation on the simulated
-// TPU backend and reports its observables, step-time profile and modelled
+// Command isingtpu runs one Ising simulation on any of the repository's
+// engines -- the simulated TPU backend by default -- and reports its
+// observables, step-time profile and (for the TPU backend) modelled
 // performance. It is the general-purpose CLI over the library.
 //
 // Examples:
@@ -8,6 +9,8 @@
 //	isingtpu -size 512 -algorithm conv -dtype float32 -sweeps 500
 //	isingtpu -size 256 -pod 2x2 -sweeps 1000 -profile
 //	isingtpu -size 114688x57344 -tile 128 -estimate      # model-only, paper scale
+//	isingtpu -backend multispin -size 4096 -sweeps 200   # bit-packed host engine
+//	isingtpu -backend gpusim -size 1024 -workers 8
 package main
 
 import (
@@ -16,9 +19,11 @@ import (
 	"log"
 	"strconv"
 	"strings"
+	"time"
 
 	"tpuising/internal/device/metrics"
 	"tpuising/internal/ising"
+	"tpuising/internal/ising/backend"
 	"tpuising/internal/ising/tpu"
 	"tpuising/internal/perf"
 	"tpuising/internal/tensor"
@@ -34,7 +39,10 @@ func main() {
 	dtype := flag.String("dtype", "bfloat16", "storage precision: bfloat16 or float32")
 	pod := flag.String("pod", "", "pod core grid as NXxNY (empty = single core)")
 	seed := flag.Uint64("seed", 1, "random seed")
-	profile := flag.Bool("profile", false, "print the device work counters and the modelled step breakdown")
+	engine := flag.String("backend", "tpu",
+		"engine: "+strings.Join(backend.Names(), ", ")+" (or aliases serial, parallel)")
+	workers := flag.Int("workers", 0, "worker goroutines of the host backends (0 = GOMAXPROCS)")
+	profile := flag.Bool("profile", false, "print the work counters and the modelled step breakdown")
 	estimate := flag.Bool("estimate", false, "do not run: report the modelled performance for this configuration")
 	flag.Parse()
 
@@ -54,11 +62,33 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	name, err := backend.Canonical(*engine)
+	if err != nil {
+		log.Fatal(err)
+	}
 	tileSize := *tile
 	if tileSize == 0 {
-		tileSize = defaultTile(rows, cols)
+		tileSize = backend.DefaultTile(rows, cols)
 	}
 
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	if name != "tpu" {
+		if *estimate || podX*podY > 1 {
+			log.Fatalf("-estimate and -pod model the TPU; they do not apply to the %s backend", name)
+		}
+		for _, tpuOnly := range []string{"algorithm", "dtype", "tile"} {
+			if set[tpuOnly] {
+				log.Fatalf("-%s selects a TPU kernel option; it does not apply to the %s backend", tpuOnly, name)
+			}
+		}
+		runBackend(name, rows, cols, *temp, *seed, *workers, *sweeps, *burnin, *profile)
+		return
+	}
+	if set["workers"] {
+		log.Fatal("-workers controls the host backends; the tpu backend ignores it")
+	}
 	if *estimate {
 		runEstimate(rows, cols, tileSize, dt, perfAlg, podX, podY)
 		return
@@ -68,6 +98,38 @@ func main() {
 		return
 	}
 	runSingle(rows, cols, tileSize, dt, alg, perfAlg, *temp, *seed, *sweeps, *burnin, *profile)
+}
+
+// runBackend runs a host engine selected through the backend factory and
+// reports its observables and measured wall-clock throughput.
+func runBackend(name string, rows, cols int, temp float64, seed uint64, workers, sweeps, burnin int, profile bool) {
+	eng, err := backend.New(name, backend.Config{
+		Rows: rows, Cols: cols, Temperature: temp, Seed: seed, Workers: workers,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("backend %s: %dx%d lattice, T=%.4f (T/Tc=%.3f)\n",
+		eng.Name(), rows, cols, temp, temp/ising.CriticalTemperature())
+	for i := 0; i < burnin; i++ {
+		eng.Sweep()
+	}
+	start := time.Now()
+	for i := 0; i < sweeps; i++ {
+		eng.Sweep()
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("after %d sweeps: m = %+.5f, |m| = %.5f, E/spin = %.5f\n",
+		burnin+sweeps, eng.Magnetization(), abs(eng.Magnetization()), eng.Energy())
+	if sweeps > 0 && elapsed > 0 {
+		spins := float64(rows) * float64(cols) * float64(sweeps)
+		fmt.Printf("measured host throughput: %.4f flips/ns (%.3f ms/sweep)\n",
+			spins/float64(elapsed.Nanoseconds()),
+			elapsed.Seconds()*1e3/float64(sweeps))
+	}
+	if profile {
+		fmt.Printf("work counters: %v\n", eng.Counts())
+	}
 }
 
 func parseSize(s string) (rows, cols int, err error) {
@@ -124,17 +186,6 @@ func parsePod(s string) (x, y int, err error) {
 		return 0, 0, fmt.Errorf("bad -pod %q: want positive NXxNY", s)
 	}
 	return x, y, nil
-}
-
-// defaultTile picks the largest power-of-two tile (up to 128) that divides
-// half of both lattice dimensions, so small demo lattices work out of the box.
-func defaultTile(rows, cols int) int {
-	for _, t := range []int{128, 64, 32, 16, 8, 4, 2} {
-		if rows%(2*t) == 0 && cols%(2*t) == 0 {
-			return t
-		}
-	}
-	return 2
 }
 
 func runSingle(rows, cols, tile int, dt tensor.DType, alg tpu.Algorithm, perfAlg perf.Algorithm,

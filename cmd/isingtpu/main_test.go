@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"tpuising/internal/device/metrics"
+	"tpuising/internal/ising/backend"
 	"tpuising/internal/ising/tpu"
 	"tpuising/internal/perf"
 	"tpuising/internal/tensor"
@@ -68,14 +69,14 @@ func TestParseDTypeAndPod(t *testing.T) {
 }
 
 func TestDefaultTile(t *testing.T) {
-	if got := defaultTile(256, 256); got != 128 {
-		t.Fatalf("defaultTile(256,256) = %d", got)
+	if got := backend.DefaultTile(256, 256); got != 128 {
+		t.Fatalf("DefaultTile(256,256) = %d", got)
 	}
-	if got := defaultTile(64, 96); got != 16 {
-		t.Fatalf("defaultTile(64,96) = %d", got)
+	if got := backend.DefaultTile(64, 96); got != 16 {
+		t.Fatalf("DefaultTile(64,96) = %d", got)
 	}
-	if got := defaultTile(10, 10); got != 2 {
-		t.Fatalf("defaultTile(10,10) = %d", got)
+	if got := backend.DefaultTile(10, 10); got != 2 {
+		t.Fatalf("DefaultTile(10,10) = %d", got)
 	}
 }
 

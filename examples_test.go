@@ -1,0 +1,56 @@
+package tpuising
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// examplePackages are the runnable demos under examples/; the smoke test
+// compiles every one of them so example rot is caught by tier-1.
+var examplePackages = []string{"multicore", "phasetransition", "precision", "quickstart"}
+
+// TestExamplesBuildAndQuickstartRuns compiles all example binaries with the
+// local go toolchain and runs the quickstart demo end-to-end, checking that
+// it reports a magnetisation trace and exits cleanly.
+func TestExamplesBuildAndQuickstartRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping example builds in -short mode")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	binDir := t.TempDir()
+	args := append([]string{"build", "-o", binDir + string(os.PathSeparator)},
+		func() []string {
+			pkgs := make([]string, len(examplePackages))
+			for i, p := range examplePackages {
+				pkgs[i] = "./examples/" + p
+			}
+			return pkgs
+		}()...)
+	build := exec.Command(goBin, args...)
+	build.Env = append(os.Environ(), "CGO_ENABLED=0")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go %s failed: %v\n%s", strings.Join(args, " "), err, out)
+	}
+	for _, p := range examplePackages {
+		if _, err := os.Stat(filepath.Join(binDir, p)); err != nil {
+			t.Fatalf("example binary %s was not produced: %v", p, err)
+		}
+	}
+
+	out, err := exec.Command(filepath.Join(binDir, "quickstart")).CombinedOutput()
+	if err != nil {
+		t.Fatalf("quickstart failed: %v\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{"2-D Ising model", "magnetisation", "device work"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("quickstart output lacks %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module tpuising
+
+go 1.21

@@ -1,0 +1,73 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"tpuising/internal/ising/backend"
+)
+
+// hostBaselineBackends are the CPU engines measured by HostBaselines, in
+// table-column order: the serial reference, the GPU-style parallel baseline,
+// and the two bit-packed multispin variants.
+var hostBaselineBackends = []string{"checkerboard", "gpusim", "multispin", "multispin-shared"}
+
+// HostBaselines measures the real host-side throughput of the CPU engines on
+// the machine running the harness, one lattice size per row and one engine
+// per column. Unlike the model-driven tables (whose flips/ns are modelled
+// TPU numbers), every cell here is a wall-clock measurement, giving the
+// paper's tables a measured CPU anchor; the last column is the speedup of
+// the bit-packed multispin engine over the parallel checkerboard baseline.
+func HostBaselines(sizes []int, sweeps int) *Table {
+	t := &Table{
+		ID:    "host_baselines",
+		Title: "Measured host throughput (flips/ns) of the CPU engines vs lattice size",
+		Columns: []string{
+			"lattice", "checkerboard", "gpusim", "multispin", "multispin-shared", "multispin speedup",
+		},
+	}
+	for _, size := range sizes {
+		row := []interface{}{fmt.Sprintf("%dx%d", size, size)}
+		var parallel, multispin float64
+		for _, name := range hostBaselineBackends {
+			tput := measureHostThroughput(name, size, sweeps)
+			switch name {
+			case "gpusim":
+				parallel = tput
+			case "multispin":
+				multispin = tput
+			}
+			row = append(row, fmt.Sprintf("%.4f", tput))
+		}
+		speedup := 0.0
+		if parallel > 0 {
+			speedup = multispin / parallel
+		}
+		row = append(row, fmt.Sprintf("%.1fx", speedup))
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		"measured wall-clock host throughput on this machine, not modelled TPU throughput",
+		fmt.Sprintf("%d timed sweeps per cell after 2 warm-up sweeps; speedup is multispin over gpusim", sweeps),
+	)
+	return t
+}
+
+// measureHostThroughput times sweeps of one engine and returns flips/ns.
+func measureHostThroughput(name string, size, sweeps int) float64 {
+	eng, err := backend.New(name, backend.Config{Rows: size, Cols: size, Temperature: 2.5, Seed: 1})
+	if err != nil {
+		panic(fmt.Sprintf("harness: %v", err))
+	}
+	eng.Sweep() // warm up caches and goroutine pools
+	eng.Sweep()
+	start := time.Now()
+	for i := 0; i < sweeps; i++ {
+		eng.Sweep()
+	}
+	elapsed := time.Since(start)
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(size) * float64(size) * float64(sweeps) / float64(elapsed.Nanoseconds())
+}

@@ -1,0 +1,30 @@
+package harness
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestHostBaselinesShape runs the measured host-baseline table at a small
+// size and checks its shape and that every throughput cell is positive.
+func TestHostBaselinesShape(t *testing.T) {
+	tab := HostBaselines([]int{64, 128}, 2)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(tab.Rows))
+	}
+	if len(tab.Columns) != 6 {
+		t.Fatalf("got %d columns, want 6", len(tab.Columns))
+	}
+	for _, row := range tab.Rows {
+		for i := 1; i < 5; i++ {
+			v, err := strconv.ParseFloat(row[i], 64)
+			if err != nil || v <= 0 {
+				t.Fatalf("cell %q of row %v is not a positive throughput", row[i], row)
+			}
+		}
+		if !strings.HasSuffix(row[5], "x") {
+			t.Fatalf("speedup cell %q is not formatted as a multiple", row[5])
+		}
+	}
+}

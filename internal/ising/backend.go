@@ -1,0 +1,26 @@
+package ising
+
+import "tpuising/internal/device/metrics"
+
+// Backend is the interface every Ising engine in this repository satisfies:
+// the serial checkerboard reference, the GPU-style parallel baseline, the
+// bit-packed multispin engine and the simulated-TPU simulator. The harness,
+// the temperature-sweep driver, the CLI and the benchmarks all select engines
+// through it (see internal/ising/backend for the name-based factory).
+type Backend interface {
+	// Name identifies the engine in tables, flags and benchmark output.
+	Name() string
+	// Sweep advances the chain by one whole-lattice update (both colours).
+	Sweep()
+	// Step returns the number of colour updates performed so far (two per
+	// sweep, matching the checkerboard step-index convention).
+	Step() uint64
+	// Magnetization returns the magnetisation per spin of the current state.
+	Magnetization() float64
+	// Energy returns the energy per spin of the current state.
+	Energy() float64
+	// Counts returns the work counters accumulated since construction (or the
+	// last reset). Device-simulator backends report modelled device work;
+	// host backends report the attempted spin updates in Counts.Ops.
+	Counts() metrics.Counts
+}

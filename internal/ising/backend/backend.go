@@ -1,0 +1,166 @@
+// Package backend constructs the repository's Ising engines by name behind
+// the ising.Backend interface: the serial checkerboard reference, the
+// GPU-style parallel CPU baseline, the bit-packed multispin engine and the
+// simulated-TPU simulator. The CLI's -backend flag, the harness's host
+// baseline table and the repository benchmarks all go through New, so adding
+// an engine here makes it available everywhere at once.
+package backend
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tpuising/internal/ising"
+	"tpuising/internal/ising/checkerboard"
+	"tpuising/internal/ising/gpusim"
+	"tpuising/internal/ising/multispin"
+	"tpuising/internal/ising/tpu"
+	"tpuising/internal/rng"
+	"tpuising/internal/tensor"
+)
+
+// Config carries the union of the engine configuration parameters; each
+// engine reads the fields it understands and ignores the rest.
+type Config struct {
+	// Rows and Cols are the lattice dimensions (the multispin engines need
+	// even Rows and Cols a multiple of 64).
+	Rows, Cols int
+	// Temperature is in units of J/kB (0 = the critical temperature).
+	Temperature float64
+	// Seed seeds the engine's site-keyed random stream.
+	Seed uint64
+	// Workers is the goroutine count of the parallel host engines
+	// (0 = GOMAXPROCS).
+	Workers int
+	// TileSize is the simulated MXU tile edge of the tpu backend (0 picks the
+	// largest power-of-two tile, up to 128, that divides half of both
+	// dimensions).
+	TileSize int
+	// DType is the tpu backend's storage precision (default bfloat16).
+	DType tensor.DType
+	// Algorithm is the tpu backend's update kernel (default Algorithm 2).
+	Algorithm tpu.Algorithm
+	// Hot starts from a random (infinite-temperature) lattice instead of the
+	// cold all-up start. The tpu backend ignores it.
+	Hot bool
+}
+
+// builders maps canonical backend names to constructors.
+var builders = map[string]func(Config) (ising.Backend, error){
+	"checkerboard":     newCheckerboard,
+	"gpusim":           newGPUSim,
+	"multispin":        newMultispin(false),
+	"multispin-shared": newMultispin(true),
+	"tpu":              newTPU,
+}
+
+// aliases maps accepted spellings to canonical names.
+var aliases = map[string]string{
+	"serial":   "checkerboard",
+	"cpu":      "checkerboard",
+	"parallel": "gpusim",
+	"gpu":      "gpusim",
+}
+
+// Names returns the canonical backend names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(builders))
+	for name := range builders {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Canonical resolves a backend name or alias to its canonical form.
+func Canonical(name string) (string, error) {
+	n := strings.ToLower(strings.TrimSpace(name))
+	if a, ok := aliases[n]; ok {
+		n = a
+	}
+	if _, ok := builders[n]; !ok {
+		return "", fmt.Errorf("backend: unknown engine %q (want one of %s)", name, strings.Join(Names(), ", "))
+	}
+	return n, nil
+}
+
+// New builds the named engine. Name matching is case-insensitive and accepts
+// the aliases serial/cpu (checkerboard) and parallel/gpu (gpusim).
+func New(name string, cfg Config) (ising.Backend, error) {
+	n, err := Canonical(name)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Rows <= 0 || cfg.Cols <= 0 {
+		return nil, fmt.Errorf("backend: invalid lattice size %dx%d", cfg.Rows, cfg.Cols)
+	}
+	return builders[n](cfg)
+}
+
+// hostLattice builds the starting configuration of the host engines.
+func hostLattice(cfg Config) *ising.Lattice {
+	if cfg.Hot {
+		return ising.NewRandomLattice(cfg.Rows, cfg.Cols, rng.New(cfg.Seed))
+	}
+	return ising.NewLattice(cfg.Rows, cfg.Cols)
+}
+
+func newCheckerboard(cfg Config) (ising.Backend, error) {
+	return checkerboard.NewSampler(hostLattice(cfg), temperature(cfg), cfg.Seed), nil
+}
+
+func newGPUSim(cfg Config) (ising.Backend, error) {
+	// ParallelSweep's row-band parallelism relies on the checkerboard being
+	// bipartite on the torus, which needs even dimensions: with an odd row
+	// count the wrap-around neighbours share a colour and adjacent bands
+	// would race on them.
+	if cfg.Rows%2 != 0 || cfg.Cols%2 != 0 {
+		return nil, fmt.Errorf("backend: gpusim needs even lattice dimensions, got %dx%d", cfg.Rows, cfg.Cols)
+	}
+	return gpusim.NewSampler(hostLattice(cfg), temperature(cfg), cfg.Seed, cfg.Workers), nil
+}
+
+func newMultispin(shared bool) func(Config) (ising.Backend, error) {
+	return func(cfg Config) (ising.Backend, error) {
+		mc := multispin.Config{
+			Rows: cfg.Rows, Cols: cfg.Cols, Temperature: cfg.Temperature,
+			Seed: cfg.Seed, SharedRandom: shared, Workers: cfg.Workers,
+		}
+		if cfg.Hot {
+			mc.Initial = hostLattice(cfg)
+		}
+		return multispin.New(mc)
+	}
+}
+
+func newTPU(cfg Config) (ising.Backend, error) {
+	tile := cfg.TileSize
+	if tile == 0 {
+		tile = DefaultTile(cfg.Rows, cfg.Cols)
+	}
+	return tpu.NewSimulator(tpu.Config{
+		Rows: cfg.Rows, Cols: cfg.Cols, Temperature: cfg.Temperature,
+		TileSize: tile, DType: cfg.DType, Algorithm: cfg.Algorithm, Seed: cfg.Seed,
+	}), nil
+}
+
+// temperature applies the shared zero-means-Tc default.
+func temperature(cfg Config) float64 {
+	if cfg.Temperature == 0 {
+		return ising.CriticalTemperature()
+	}
+	return cfg.Temperature
+}
+
+// DefaultTile picks the largest power-of-two MXU tile (up to 128) that
+// divides half of both lattice dimensions, so small demo lattices work out of
+// the box on the tpu backend.
+func DefaultTile(rows, cols int) int {
+	for _, t := range []int{128, 64, 32, 16, 8, 4, 2} {
+		if rows%(2*t) == 0 && cols%(2*t) == 0 {
+			return t
+		}
+	}
+	return 2
+}

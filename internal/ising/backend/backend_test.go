@@ -1,0 +1,203 @@
+package backend_test
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"runtime"
+	"testing"
+
+	"tpuising/internal/ising"
+	"tpuising/internal/ising/backend"
+	"tpuising/internal/ising/gpusim"
+	"tpuising/internal/ising/multispin"
+	"tpuising/internal/sweep"
+)
+
+// TestEveryBackendConstructs builds every registered engine on a lattice all
+// of them accept and runs a few sweeps through the interface.
+func TestEveryBackendConstructs(t *testing.T) {
+	for _, name := range backend.Names() {
+		eng, err := backend.New(name, backend.Config{Rows: 64, Cols: 64, Temperature: 2.5, Seed: 1})
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if got, err := backend.Canonical(eng.Name()); err != nil || got != name {
+			t.Fatalf("New(%q).Name() = %q (canonical %q, %v)", name, eng.Name(), got, err)
+		}
+		eng.Sweep()
+		eng.Sweep()
+		if eng.Step() != 4 {
+			t.Fatalf("%s: Step() = %d after 2 sweeps, want 4", name, eng.Step())
+		}
+		if m := eng.Magnetization(); m < -1 || m > 1 {
+			t.Fatalf("%s: magnetisation %v out of range", name, m)
+		}
+		if e := eng.Energy(); e < -2 || e > 2 {
+			t.Fatalf("%s: energy %v out of range", name, e)
+		}
+	}
+}
+
+// TestAliasesAndErrors exercises name resolution and the error paths.
+func TestAliasesAndErrors(t *testing.T) {
+	for alias, want := range map[string]string{
+		"serial": "checkerboard", "cpu": "checkerboard",
+		"parallel": "gpusim", "GPU": "gpusim",
+		" MultiSpin ": "multispin", "tpu": "tpu",
+	} {
+		got, err := backend.Canonical(alias)
+		if err != nil || got != want {
+			t.Fatalf("Canonical(%q) = %q, %v; want %q", alias, got, err, want)
+		}
+	}
+	if _, err := backend.New("warp-drive", backend.Config{Rows: 64, Cols: 64}); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	if _, err := backend.New("multispin", backend.Config{Rows: 63, Cols: 64}); err == nil {
+		t.Fatal("multispin accepted odd rows")
+	}
+	if _, err := backend.New("gpusim", backend.Config{Rows: 63, Cols: 63}); err == nil {
+		t.Fatal("gpusim accepted odd dimensions (row-band races on an odd torus)")
+	}
+	if _, err := backend.New("tpu", backend.Config{Rows: 0, Cols: 64}); err == nil {
+		t.Fatal("zero rows accepted")
+	}
+}
+
+// measureBackend equilibrates one engine and returns the sample means of |m|
+// and the energy per spin.
+func measureBackend(t *testing.T, name string, temp float64, burnIn, samples int) (absM, energy float64) {
+	t.Helper()
+	points := sweep.RunBackends(sweep.Config{
+		Temperatures: []float64{temp},
+		BurnIn:       burnIn,
+		Samples:      samples,
+	}, func(temperature float64) ising.Backend {
+		eng, err := backend.New(name, backend.Config{
+			Rows: 64, Cols: 64, Temperature: temperature, Seed: 2026,
+		})
+		if err != nil {
+			// The closure runs on a sweep worker goroutine, where t.Fatalf
+			// must not be called; a panic still fails the test loudly.
+			panic(fmt.Sprintf("New(%q): %v", name, err))
+		}
+		return eng
+	})
+	return points[0].AbsMagnetization, points[0].Energy
+}
+
+// TestCrossBackendPhysicsAgreement is the cross-backend physics test: the
+// serial checkerboard reference and the bit-packed multispin engine simulate
+// a 64x64 lattice at T=2.0 (ordered phase) and T=3.5 (disordered phase) and
+// must agree on mean |m| and mean energy per spin within statistical
+// tolerance; at T=2.0 both must also sit near the exact Onsager values.
+func TestCrossBackendPhysicsAgreement(t *testing.T) {
+	const burnIn, samples = 400, 1600
+	for _, tc := range []struct {
+		temp       float64
+		tolCross   float64 // allowed |serial - multispin| difference
+		checkExact bool
+		tolExact   float64 // allowed distance from the infinite-lattice values
+	}{
+		{temp: 2.0, tolCross: 0.02, checkExact: true, tolExact: 0.03},
+		{temp: 3.5, tolCross: 0.03},
+	} {
+		mSerial, eSerial := measureBackend(t, "checkerboard", tc.temp, burnIn, samples)
+		mMulti, eMulti := measureBackend(t, "multispin", tc.temp, burnIn, samples)
+		if d := math.Abs(mSerial - mMulti); d > tc.tolCross {
+			t.Errorf("T=%.1f: |m| disagrees: checkerboard %.4f vs multispin %.4f (diff %.4f > %.4f)",
+				tc.temp, mSerial, mMulti, d, tc.tolCross)
+		}
+		if d := math.Abs(eSerial - eMulti); d > tc.tolCross {
+			t.Errorf("T=%.1f: E/spin disagrees: checkerboard %.4f vs multispin %.4f (diff %.4f > %.4f)",
+				tc.temp, eSerial, eMulti, d, tc.tolCross)
+		}
+		if tc.checkExact {
+			exactE := ising.ExactEnergyPerSpin(tc.temp)
+			exactM := ising.OnsagerMagnetization(tc.temp)
+			for _, m := range []struct {
+				name    string
+				absM, e float64
+			}{{"checkerboard", mSerial, eSerial}, {"multispin", mMulti, eMulti}} {
+				if d := math.Abs(m.e - exactE); d > tc.tolExact {
+					t.Errorf("T=%.1f: %s E/spin %.4f is %.4f from Onsager %.4f", tc.temp, m.name, m.e, d, exactE)
+				}
+				if d := math.Abs(m.absM - exactM); d > tc.tolExact {
+					t.Errorf("T=%.1f: %s |m| %.4f is %.4f from Onsager %.4f", tc.temp, m.name, m.absM, d, exactM)
+				}
+			}
+		}
+	}
+}
+
+// latticeHash is an FNV-1a hash of a lattice's spins.
+func latticeHash(l *ising.Lattice) uint64 {
+	h := fnv.New64a()
+	for _, s := range l.Spins {
+		h.Write([]byte{byte(s)})
+	}
+	return h.Sum64()
+}
+
+// TestDeterminismGolden: a fixed seed and config must give an identical final
+// lattice across repeated runs and across GOMAXPROCS values, for both the
+// multispin engine and the ParallelSweep baseline (both are site-keyed, so
+// scheduling must not leak into the physics).
+func TestDeterminismGolden(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	const sweeps = 20
+	run := func(name string) uint64 {
+		switch name {
+		case "multispin":
+			e, err := multispin.New(multispin.Config{Rows: 64, Cols: 128, Temperature: 2.3, Seed: 11})
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.Run(sweeps)
+			return e.Hash()
+		case "gpusim":
+			s := gpusim.NewSampler(ising.NewLattice(64, 128), 2.3, 11, 0)
+			s.Run(sweeps)
+			return latticeHash(s.Lattice)
+		}
+		panic("unknown engine")
+	}
+	for _, name := range []string{"multispin", "gpusim"} {
+		var want uint64
+		first := true
+		for _, procs := range []int{1, 2, 4, 4} { // repeated value = repeated run
+			runtime.GOMAXPROCS(procs)
+			h := run(name)
+			if first {
+				want, first = h, false
+			} else if h != want {
+				t.Fatalf("%s: GOMAXPROCS=%d produced hash %x, want %x", name, procs, h, want)
+			}
+		}
+	}
+}
+
+// TestQuenchOrdersLocally: the multispin chain is not bit-identical to the
+// checkerboard chain (different random mapping), but a hot lattice quenched
+// far below Tc must order locally in every backend -- the energy drops close
+// to the ground state even though coarsening arrests in striped domains that
+// keep |m| small. This pins the energy sign conventions through the Backend
+// interface.
+func TestQuenchOrdersLocally(t *testing.T) {
+	for _, name := range []string{"checkerboard", "multispin", "multispin-shared"} {
+		eng, err := backend.New(name, backend.Config{Rows: 64, Cols: 64, Temperature: 0.5, Seed: 3, Hot: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := eng.Energy(); math.Abs(e) > 0.2 {
+			t.Errorf("%s: hot start E/spin = %.3f, want ~0", name, e)
+		}
+		for i := 0; i < 300; i++ {
+			eng.Sweep()
+		}
+		if e := eng.Energy(); e > -1.7 {
+			t.Errorf("%s: E/spin = %.3f after quench to T=0.5, want near -2", name, e)
+		}
+	}
+}

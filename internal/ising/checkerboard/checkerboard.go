@@ -19,6 +19,7 @@ import (
 	"runtime"
 	"sync"
 
+	"tpuising/internal/device/metrics"
 	"tpuising/internal/ising"
 	"tpuising/internal/rng"
 )
@@ -108,6 +109,21 @@ func (s *Sampler) Run(n int) {
 
 // Step returns the number of colour updates performed so far.
 func (s *Sampler) Step() uint64 { return s.step }
+
+// Name identifies the engine; the Sampler is the serial reference.
+func (s *Sampler) Name() string { return "checkerboard" }
+
+// Magnetization returns the magnetisation per spin.
+func (s *Sampler) Magnetization() float64 { return s.Lattice.Magnetization() }
+
+// Energy returns the energy per spin.
+func (s *Sampler) Energy() float64 { return s.Lattice.Energy() }
+
+// Counts reports the attempted spin updates in Ops; the sampler runs on the
+// host, so no device work is modelled.
+func (s *Sampler) Counts() metrics.Counts {
+	return metrics.Counts{Ops: int64(s.step) * int64(s.Lattice.N()) / 2}
+}
 
 // ParallelSweep performs one whole-lattice update using worker goroutines
 // that partition the rows; it is the multi-core CPU baseline. Within one

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"tpuising/internal/device/metrics"
 	"tpuising/internal/device/spec"
 	"tpuising/internal/ising"
 	"tpuising/internal/ising/checkerboard"
@@ -202,5 +203,17 @@ func (s *Sampler) Run(n int) {
 // Step returns the number of colour updates performed so far.
 func (s *Sampler) Step() uint64 { return s.step }
 
+// Name identifies the engine; the Sampler is the GPU-style parallel baseline.
+func (s *Sampler) Name() string { return "gpusim" }
+
 // Magnetization returns the magnetisation per spin.
 func (s *Sampler) Magnetization() float64 { return s.Lattice.Magnetization() }
+
+// Energy returns the energy per spin.
+func (s *Sampler) Energy() float64 { return s.Lattice.Energy() }
+
+// Counts reports the attempted spin updates in Ops; the sampler runs on the
+// host, so no device work is modelled.
+func (s *Sampler) Counts() metrics.Counts {
+	return metrics.Counts{Ops: int64(s.step) * int64(s.Lattice.N()) / 2}
+}

@@ -1,0 +1,212 @@
+package multispin
+
+import (
+	"testing"
+
+	"tpuising/internal/ising"
+	"tpuising/internal/rng"
+)
+
+// randomLattice fills a lattice with spins drawn from the given stream.
+func randomLattice(rows, cols int, p *rng.Philox) *ising.Lattice {
+	l := ising.NewLattice(rows, cols)
+	for i := range l.Spins {
+		if p.Float32() < 0.5 {
+			l.Spins[i] = -1
+		}
+	}
+	return l
+}
+
+// referenceUpdateColor is the scalar reference of one colour update: it
+// recomputes every accept/reject decision with plain lattice arithmetic and
+// the engine's own per-site randoms and thresholds.
+func referenceUpdateColor(e *Engine, l *ising.Lattice, parity int, step uint64) {
+	before := l.Clone()
+	for r := 0; r < l.Rows; r++ {
+		for c := 0; c < l.Cols; c++ {
+			if (r+c)%2 != parity {
+				continue
+			}
+			d := 0
+			s := before.At(r, c)
+			for _, nb := range [][2]int{{r - 1, c}, {r + 1, c}, {r, c - 1}, {r, c + 1}} {
+				if before.At(nb[0], nb[1]) != s {
+					d++
+				}
+			}
+			var u uint64
+			if e.shared {
+				u = uint64(e.wordRand(step, r, c/WordBits))
+			} else {
+				u = uint64(e.siteRand(step, r, c))
+			}
+			flip := false
+			switch d {
+			case 0:
+				flip = u < e.t8
+			case 1:
+				flip = u < e.t4
+			default:
+				flip = true
+			}
+			if flip {
+				l.Flip(r, c)
+			}
+		}
+	}
+}
+
+// TestBitLevelEquivalence is the bit-level property test: for random small
+// lattices, temperatures and steps, one bulk colour update must produce
+// exactly the accept/reject decisions of the scalar reference given the same
+// per-site randoms.
+func TestBitLevelEquivalence(t *testing.T) {
+	p := rng.New(7)
+	for _, shared := range []bool{false, true} {
+		for trial := 0; trial < 20; trial++ {
+			rows := 2 * (1 + p.Intn(4))        // 2..8
+			cols := WordBits * (1 + p.Intn(3)) // 64..192
+			temp := 1.5 + 2.5*p.Float64()
+			e, err := New(Config{
+				Rows: rows, Cols: cols, Temperature: temp,
+				Seed: uint64(trial)*13 + 1, SharedRandom: shared, Workers: 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			start := randomLattice(rows, cols, p)
+			if err := e.SetLattice(start); err != nil {
+				t.Fatal(err)
+			}
+			want := start.Clone()
+			step := uint64(p.Intn(1000))
+			for parity := 0; parity < 2; parity++ {
+				e.updateColor(parity, step+uint64(parity))
+				referenceUpdateColor(e, want, parity, step+uint64(parity))
+				if got := e.Lattice(); !got.Equal(want) {
+					t.Fatalf("shared=%v trial %d: %dx%d at T=%.3f parity %d: bulk and scalar decisions differ",
+						shared, trial, rows, cols, temp, parity)
+				}
+			}
+		}
+	}
+}
+
+// TestObservablesMatchLattice checks the bitwise magnetisation and energy
+// against the int8 reference on random configurations (exact integers, so
+// exact equality is required).
+func TestObservablesMatchLattice(t *testing.T) {
+	p := rng.New(3)
+	for trial := 0; trial < 10; trial++ {
+		rows, cols := 2*(1+p.Intn(5)), WordBits*(1+p.Intn(3))
+		l := randomLattice(rows, cols, p)
+		e, err := New(Config{Rows: rows, Cols: cols, Temperature: 2.5, Initial: l})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := e.SumSpins(), l.SumSpins(); got != want {
+			t.Fatalf("SumSpins = %d, lattice says %d", got, want)
+		}
+		if got, want := e.Energy(), l.Energy(); got != want {
+			t.Fatalf("Energy = %v, lattice says %v", got, want)
+		}
+		if !e.Lattice().Equal(l) {
+			t.Fatal("Lattice round-trip changed the configuration")
+		}
+	}
+}
+
+// TestDeterminismAcrossWorkers: fixed seed + fixed config must give the same
+// final lattice hash regardless of the worker count, in both random modes.
+func TestDeterminismAcrossWorkers(t *testing.T) {
+	for _, shared := range []bool{false, true} {
+		var want uint64
+		for i, workers := range []int{1, 2, 3, 7, 16} {
+			e, err := New(Config{
+				Rows: 48, Cols: 128, Temperature: 2.2, Seed: 99,
+				SharedRandom: shared, Workers: workers,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.Run(25)
+			h := e.Hash()
+			if i == 0 {
+				want = h
+			} else if h != want {
+				t.Fatalf("shared=%v: workers=%d hash %x, workers=1 hash %x", shared, workers, h, want)
+			}
+		}
+	}
+}
+
+// TestHotPhaseDecorrelates is a sanity check that the dynamics actually move:
+// a cold lattice at very high temperature must lose nearly all magnetisation.
+func TestHotPhaseDecorrelates(t *testing.T) {
+	e, err := New(Config{Rows: 64, Cols: 64, Temperature: 50, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(50)
+	if m := e.Magnetization(); m > 0.2 || m < -0.2 {
+		t.Fatalf("magnetisation %v did not decay at T=50", m)
+	}
+	if e.Step() != 100 {
+		t.Fatalf("Step() = %d after 50 sweeps, want 100", e.Step())
+	}
+}
+
+// TestColdPhaseStaysOrdered: far below Tc a cold lattice must stay close to
+// fully magnetised.
+func TestColdPhaseStaysOrdered(t *testing.T) {
+	e, err := New(Config{Rows: 64, Cols: 64, Temperature: 1.0, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(50)
+	if m := e.Magnetization(); m < 0.95 {
+		t.Fatalf("magnetisation %v decayed at T=1.0", m)
+	}
+}
+
+// TestConfigValidation exercises the constructor's error paths.
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Rows: 3, Cols: 64, Temperature: 2},
+		{Rows: 0, Cols: 64, Temperature: 2},
+		{Rows: 4, Cols: 60, Temperature: 2},
+		{Rows: 4, Cols: 0, Temperature: 2},
+		{Rows: 4, Cols: 64, Temperature: -1},
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New(%+v) accepted an invalid config", cfg)
+		}
+	}
+	e, err := New(Config{Rows: 4, Cols: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Temperature() != ising.CriticalTemperature() {
+		t.Fatalf("zero temperature did not default to Tc")
+	}
+	if e.Name() != "multispin" {
+		t.Fatalf("Name() = %q", e.Name())
+	}
+	if (&Engine{shared: true}).Name() != "multispin-shared" {
+		t.Fatal("shared Name() wrong")
+	}
+}
+
+// TestCountsTrackAttempts checks the host work counter.
+func TestCountsTrackAttempts(t *testing.T) {
+	e, err := New(Config{Rows: 8, Cols: 64, Temperature: 2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(4)
+	if got, want := e.Counts().Ops, int64(4*8*64); got != want {
+		t.Fatalf("Counts().Ops = %d, want %d", got, want)
+	}
+}

@@ -126,6 +126,12 @@ func (s *Simulator) Config() Config { return s.cfg }
 // StepCount returns the number of colour updates performed so far.
 func (s *Simulator) StepCount() uint64 { return s.step }
 
+// Step is StepCount under the name the ising.Backend interface uses.
+func (s *Simulator) Step() uint64 { return s.step }
+
+// Name identifies the engine in tables and benchmark output.
+func (s *Simulator) Name() string { return "tpu" }
+
 // Sweep performs one whole-lattice update (black then white), the unit of
 // Monte-Carlo time used in all the paper's throughput numbers.
 func (s *Simulator) Sweep() {

@@ -22,6 +22,19 @@ func TestBlockDeterministic(t *testing.T) {
 	}
 }
 
+// TestBlockPairMatchesBlock: the interleaved double block must be exactly
+// Block applied to each counter -- it is a throughput optimisation, not a
+// different generator.
+func TestBlockPairMatchesBlock(t *testing.T) {
+	f := func(ca, cb Counter, key Key) bool {
+		a, b := BlockPair(ca, cb, key)
+		return a == Block(ca, key) && b == Block(cb, key)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestBlockBijectionNoCollisionsSmall(t *testing.T) {
 	// The Philox block function is a bijection for a fixed key; sample a few
 	// thousand counters and verify no collisions in the outputs.

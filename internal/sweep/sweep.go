@@ -17,7 +17,8 @@ import (
 
 // Chain is one Markov chain at a fixed temperature. All the samplers in this
 // repository (the TPU simulators, the CPU checkerboard and Metropolis
-// baselines and the GPU-style baseline) satisfy it.
+// baselines, the GPU-style baseline and the multispin engine) satisfy it;
+// every ising.Backend is a Chain (and an EnergyChain).
 type Chain interface {
 	// Sweep advances the chain by one whole-lattice update.
 	Sweep()
@@ -102,6 +103,15 @@ func Run(cfg Config, newChain func(temperature float64) Chain) []Point {
 	}
 	wg.Wait()
 	return points
+}
+
+// RunBackends is Run for engines selected through the ising.Backend
+// interface (every Backend reports energy, so the points always carry the
+// mean energy per spin). newBackend must return an independent engine for
+// the given temperature; it is called once per temperature, possibly from
+// different goroutines.
+func RunBackends(cfg Config, newBackend func(temperature float64) ising.Backend) []Point {
+	return Run(cfg, func(temperature float64) Chain { return newBackend(temperature) })
 }
 
 // measure runs one chain and collects its observables.
