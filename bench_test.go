@@ -273,7 +273,13 @@ func BenchmarkSweepGPUStyleParallel256(b *testing.B) {
 // scalar baselines); the model_flips/ns metrics above are modelled TPU
 // throughput and live on a different axis.
 func benchHost(b *testing.B, name string, size int) {
-	eng, err := backend.New(name, backend.Config{Rows: size, Cols: size, Temperature: 2.5, Seed: 1})
+	benchBackend(b, name, backend.Config{Rows: size, Cols: size, Temperature: 2.5, Seed: 1})
+}
+
+// benchBackend builds one engine from the factory, times its sweeps and
+// reports the measured throughput in host_flips/ns.
+func benchBackend(b *testing.B, name string, cfg backend.Config) {
+	eng, err := backend.New(name, cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -282,7 +288,7 @@ func benchHost(b *testing.B, name string, size int) {
 		eng.Sweep()
 	}
 	b.StopTimer()
-	spins := float64(size) * float64(size) * float64(b.N)
+	spins := float64(cfg.Rows) * float64(cfg.Cols) * float64(b.N)
 	b.ReportMetric(spins/float64(b.Elapsed().Nanoseconds()), "host_flips/ns")
 }
 
@@ -300,6 +306,28 @@ func BenchmarkHostMultispin16384(b *testing.B) { benchHost(b, "multispin", 16384
 
 // Shared-random multispin variant (one Philox word per 64 columns).
 func BenchmarkHostMultispinShared4096(b *testing.B) { benchHost(b, "multispin-shared", 4096) }
+
+// benchSharded times the mesh-sharded multispin engine on a gridR x gridC
+// shard grid: one goroutine per simulated mesh core, packed halo exchange
+// through the interconnect fabric each half-sweep. Comparing grids at a
+// fixed lattice size shows the aggregate host_flips/ns scaling with the
+// shard count (and where the per-sweep exchange overhead starts to bite).
+func benchSharded(b *testing.B, size, gridR, gridC int) {
+	benchBackend(b, "sharded", backend.Config{
+		Rows: size, Cols: size, Temperature: 2.5, Seed: 1, GridR: gridR, GridC: gridC,
+	})
+}
+
+// One shard (the multispin baseline plus exchange overhead) up to 16 shards
+// on the same 4096^2 lattice.
+func BenchmarkSharded1x1_4096(b *testing.B) { benchSharded(b, 4096, 1, 1) }
+func BenchmarkSharded1x2_4096(b *testing.B) { benchSharded(b, 4096, 1, 2) }
+func BenchmarkSharded2x2_4096(b *testing.B) { benchSharded(b, 4096, 2, 2) }
+func BenchmarkSharded2x4_4096(b *testing.B) { benchSharded(b, 4096, 2, 4) }
+func BenchmarkSharded4x4_4096(b *testing.B) { benchSharded(b, 4096, 4, 4) }
+
+// A 16k lattice where halo traffic is tiny relative to shard compute.
+func BenchmarkSharded4x4_16384(b *testing.B) { benchSharded(b, 16384, 4, 4) }
 
 // BenchmarkEstimateSweepCounts times the analytic work estimator at paper
 // scale (it must stay trivially cheap, since every table row calls it).

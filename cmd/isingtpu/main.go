@@ -11,6 +11,7 @@
 //	isingtpu -size 114688x57344 -tile 128 -estimate      # model-only, paper scale
 //	isingtpu -backend multispin -size 4096 -sweeps 200   # bit-packed host engine
 //	isingtpu -backend gpusim -size 1024 -workers 8
+//	isingtpu -backend sharded -shards 2x4 -size 4096     # multispin over a simulated mesh
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"time"
 
 	"tpuising/internal/device/metrics"
+	"tpuising/internal/interconnect"
 	"tpuising/internal/ising"
 	"tpuising/internal/ising/backend"
 	"tpuising/internal/ising/tpu"
@@ -42,6 +44,8 @@ func main() {
 	engine := flag.String("backend", "tpu",
 		"engine: "+strings.Join(backend.Names(), ", ")+" (or aliases serial, parallel)")
 	workers := flag.Int("workers", 0, "worker goroutines of the host backends (0 = GOMAXPROCS)")
+	shards := flag.String("shards", "",
+		"shard grid of the sharded backend as RxC (shards along rows x shards along columns)")
 	profile := flag.Bool("profile", false, "print the work counters and the modelled step breakdown")
 	estimate := flag.Bool("estimate", false, "do not run: report the modelled performance for this configuration")
 	flag.Parse()
@@ -62,6 +66,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	gridR, gridC, err := parseShards(*shards)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// backend.Canonical's error already lists every registered engine name,
+	// so a typo in -backend tells the user what the valid choices are.
 	name, err := backend.Canonical(*engine)
 	if err != nil {
 		log.Fatal(err)
@@ -74,16 +84,25 @@ func main() {
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 
+	if set["shards"] && name != "sharded" {
+		log.Fatalf("-shards selects the shard grid of the sharded backend; it does not apply to the %s backend (valid backends: %s)",
+			name, strings.Join(backend.Names(), ", "))
+	}
+	if set["workers"] && name == "sharded" {
+		log.Fatal("-workers controls the band parallelism of the other host backends; the sharded backend's parallelism is its shard grid (use -shards RxC)")
+	}
 	if name != "tpu" {
 		if *estimate || podX*podY > 1 {
-			log.Fatalf("-estimate and -pod model the TPU; they do not apply to the %s backend", name)
+			log.Fatalf("-estimate and -pod model the TPU; they do not apply to the %s backend (valid backends: %s)",
+				name, strings.Join(backend.Names(), ", "))
 		}
 		for _, tpuOnly := range []string{"algorithm", "dtype", "tile"} {
 			if set[tpuOnly] {
-				log.Fatalf("-%s selects a TPU kernel option; it does not apply to the %s backend", tpuOnly, name)
+				log.Fatalf("-%s selects a TPU kernel option; it does not apply to the %s backend (valid backends: %s)",
+					tpuOnly, name, strings.Join(backend.Names(), ", "))
 			}
 		}
-		runBackend(name, rows, cols, *temp, *seed, *workers, *sweeps, *burnin, *profile)
+		runBackend(name, rows, cols, gridR, gridC, *temp, *seed, *workers, *sweeps, *burnin, *profile)
 		return
 	}
 	if set["workers"] {
@@ -102,15 +121,21 @@ func main() {
 
 // runBackend runs a host engine selected through the backend factory and
 // reports its observables and measured wall-clock throughput.
-func runBackend(name string, rows, cols int, temp float64, seed uint64, workers, sweeps, burnin int, profile bool) {
+func runBackend(name string, rows, cols, gridR, gridC int, temp float64, seed uint64, workers, sweeps, burnin int, profile bool) {
 	eng, err := backend.New(name, backend.Config{
 		Rows: rows, Cols: cols, Temperature: temp, Seed: seed, Workers: workers,
+		GridR: gridR, GridC: gridC,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("backend %s: %dx%d lattice, T=%.4f (T/Tc=%.3f)\n",
-		eng.Name(), rows, cols, temp, temp/ising.CriticalTemperature())
+	if name == "sharded" {
+		fmt.Printf("backend %s: %dx%d lattice over a %dx%d shard mesh (%d cores), T=%.4f (T/Tc=%.3f)\n",
+			eng.Name(), rows, cols, gridR, gridC, gridR*gridC, temp, temp/ising.CriticalTemperature())
+	} else {
+		fmt.Printf("backend %s: %dx%d lattice, T=%.4f (T/Tc=%.3f)\n",
+			eng.Name(), rows, cols, temp, temp/ising.CriticalTemperature())
+	}
 	for i := 0; i < burnin; i++ {
 		eng.Sweep()
 	}
@@ -129,6 +154,12 @@ func runBackend(name string, rows, cols int, temp float64, seed uint64, workers,
 	}
 	if profile {
 		fmt.Printf("work counters: %v\n", eng.Counts())
+		if name == "sharded" {
+			rep := perf.ShardTraffic(perf.ShardSpec{Rows: rows, Cols: cols, GridR: gridR, GridC: gridC},
+				interconnect.DefaultLinkParams())
+			fmt.Printf("modelled interconnect: %d B/link/sweep (rows), %d B/link/sweep (cols), permute %.2f us/sweep\n",
+				rep.RowLinkBytes, rep.ColLinkBytes, rep.PermuteSec*1e6)
+		}
 	}
 }
 
@@ -186,6 +217,26 @@ func parsePod(s string) (x, y int, err error) {
 		return 0, 0, fmt.Errorf("bad -pod %q: want positive NXxNY", s)
 	}
 	return x, y, nil
+}
+
+// parseShards parses the -shards grid as RxC (shards along the rows first,
+// matching how lattice sizes are written).
+func parseShards(s string) (gridR, gridC int, err error) {
+	if s == "" {
+		return 1, 1, nil
+	}
+	parts := strings.SplitN(strings.ToLower(s), "x", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("bad -shards %q: want RxC (e.g. 2x4)", s)
+	}
+	gridR, err = strconv.Atoi(parts[0])
+	if err == nil {
+		gridC, err = strconv.Atoi(parts[1])
+	}
+	if err != nil || gridR <= 0 || gridC <= 0 {
+		return 0, 0, fmt.Errorf("bad -shards %q: want positive RxC (e.g. 2x4)", s)
+	}
+	return gridR, gridC, nil
 }
 
 func runSingle(rows, cols, tile int, dt tensor.DType, alg tpu.Algorithm, perfAlg perf.Algorithm,

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"strings"
 	"testing"
 
 	"tpuising/internal/device/metrics"
@@ -64,6 +65,34 @@ func TestParseDTypeAndPod(t *testing.T) {
 	for _, bad := range []string{"4", "0x2", "ax2"} {
 		if _, _, err := parsePod(bad); err == nil {
 			t.Fatalf("parsePod(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseShards(t *testing.T) {
+	if r, c, err := parseShards(""); err != nil || r != 1 || c != 1 {
+		t.Fatalf("parseShards('') = %d,%d,%v", r, c, err)
+	}
+	if r, c, err := parseShards("2x4"); err != nil || r != 2 || c != 4 {
+		t.Fatalf("parseShards(2x4) = %d,%d,%v", r, c, err)
+	}
+	for _, bad := range []string{"2", "0x2", "2x0", "ax2", "-1x2"} {
+		if _, _, err := parseShards(bad); err == nil {
+			t.Fatalf("parseShards(%q) should fail", bad)
+		}
+	}
+}
+
+// TestBackendErrorListsNames: a bad -backend value must name every valid
+// engine from the factory registry, not fail bare.
+func TestBackendErrorListsNames(t *testing.T) {
+	_, err := backend.Canonical("warp-drive")
+	if err == nil {
+		t.Fatal("unknown backend should fail")
+	}
+	for _, name := range backend.Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list backend %q", err, name)
 		}
 	}
 }

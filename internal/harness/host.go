@@ -4,7 +4,10 @@ import (
 	"fmt"
 	"time"
 
+	"tpuising/internal/interconnect"
+	"tpuising/internal/ising"
 	"tpuising/internal/ising/backend"
+	"tpuising/internal/perf"
 )
 
 // hostBaselineBackends are the CPU engines measured by HostBaselines, in
@@ -53,12 +56,65 @@ func HostBaselines(sizes []int, sweeps int) *Table {
 	return t
 }
 
+// HostShardScaling measures the sharded multispin engine on one lattice size
+// across shard grids, pairing every measured host_flips/ns cell with the
+// modelled interconnect traffic of its halo exchanges (perf.ShardTraffic):
+// packed bytes per link per sweep and the modelled collective-permute time on
+// the TPU v3 link parameters. The byte counts are exact — the engine's
+// measured comm counters reproduce them — so the table reads like the
+// paper's Table 4 with a measured host column.
+func HostShardScaling(size int, grids [][2]int, sweeps int) *Table {
+	t := &Table{
+		ID: "host_shard_scaling",
+		Title: fmt.Sprintf(
+			"Measured sharded-multispin throughput on a %dx%d lattice vs modelled interconnect traffic", size, size),
+		Columns: []string{
+			"shards", "host_flips/ns", "speedup", "row link B/sweep", "col link B/sweep", "model permute us/sweep",
+		},
+	}
+	link := interconnect.DefaultLinkParams()
+	var base float64
+	for _, g := range grids {
+		eng, err := backend.New("sharded", backend.Config{
+			Rows: size, Cols: size, Temperature: 2.5, Seed: 1, GridR: g[0], GridC: g[1],
+		})
+		if err != nil {
+			panic(fmt.Sprintf("harness: %v", err))
+		}
+		tput := measureThroughput(eng, size, sweeps)
+		if base == 0 {
+			base = tput
+		}
+		rep := perf.ShardTraffic(perf.ShardSpec{Rows: size, Cols: size, GridR: g[0], GridC: g[1]}, link)
+		t.AddRow(
+			fmt.Sprintf("%dx%d", g[0], g[1]),
+			fmt.Sprintf("%.4f", tput),
+			fmt.Sprintf("%.2fx", tput/base),
+			fmt.Sprintf("%d", rep.RowLinkBytes),
+			fmt.Sprintf("%d", rep.ColLinkBytes),
+			fmt.Sprintf("%.2f", rep.PermuteSec*1e6),
+		)
+	}
+	t.Notes = append(t.Notes,
+		"host_flips/ns is measured wall clock on this machine; traffic and permute time are modelled",
+		"halos are bit-packed (1 bit/spin): a link moves 4 halo messages per sweep (2 colours x 2 directions)",
+		fmt.Sprintf("%d timed sweeps per cell after 2 warm-up sweeps; speedup is relative to the first grid", sweeps),
+	)
+	return t
+}
+
 // measureHostThroughput times sweeps of one engine and returns flips/ns.
 func measureHostThroughput(name string, size, sweeps int) float64 {
 	eng, err := backend.New(name, backend.Config{Rows: size, Cols: size, Temperature: 2.5, Seed: 1})
 	if err != nil {
 		panic(fmt.Sprintf("harness: %v", err))
 	}
+	return measureThroughput(eng, size, sweeps)
+}
+
+// measureThroughput times sweeps of an already-built engine (after two
+// warm-up sweeps) and returns flips/ns.
+func measureThroughput(eng ising.Backend, size, sweeps int) float64 {
 	eng.Sweep() // warm up caches and goroutine pools
 	eng.Sweep()
 	start := time.Now()

@@ -28,3 +28,33 @@ func TestHostBaselinesShape(t *testing.T) {
 		}
 	}
 }
+
+// TestHostShardScalingShape runs the sharded scaling table at a small size
+// and checks that the measured and modelled columns are populated sensibly.
+func TestHostShardScalingShape(t *testing.T) {
+	tab := HostShardScaling(128, [][2]int{{1, 1}, {2, 1}}, 2)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(tab.Rows))
+	}
+	if len(tab.Columns) != 6 {
+		t.Fatalf("got %d columns, want 6", len(tab.Columns))
+	}
+	for _, row := range tab.Rows {
+		if v, err := strconv.ParseFloat(row[1], 64); err != nil || v <= 0 {
+			t.Fatalf("throughput cell %q of row %v is not positive", row[1], row)
+		}
+		if !strings.HasSuffix(row[2], "x") {
+			t.Fatalf("speedup cell %q is not formatted as a multiple", row[2])
+		}
+		for i := 3; i < 6; i++ {
+			if v, err := strconv.ParseFloat(row[i], 64); err != nil || v <= 0 {
+				t.Fatalf("modelled cell %q of row %v is not positive", row[i], row)
+			}
+		}
+	}
+	// The packed row halo of a 128-wide shard is 128 bits = 16 bytes, four
+	// messages per link per sweep.
+	if tab.Rows[0][3] != "64" {
+		t.Fatalf("row link bytes = %s, want 64", tab.Rows[0][3])
+	}
+}

@@ -1,0 +1,16 @@
+// Package interconnect models the TPU Pod's dedicated 2-D toroidal mesh
+// network between TensorCores and implements the XLA communication
+// primitives the paper relies on: CollectivePermute (used for halo exchange
+// of sub-lattice boundaries) and all-reduce (used for global observables).
+//
+// The data movement is real (goroutine-to-goroutine through channels, so the
+// distributed simulator genuinely exchanges boundary tensors), while the
+// *time* of each collective comes from a per-hop latency + link bandwidth
+// cost model, which is what reproduces the "collective permute" column of
+// Tables 3 and 4.
+//
+// The fabric carries two payload kinds: tensors (the TPU simulator's halo
+// planes) and raw bit-packed uint64 words (the sharded multispin engine's
+// halos, which a float tensor cannot carry exactly); both share the same
+// lockstep collective semantics and the same cost model.
+package interconnect

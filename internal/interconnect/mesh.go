@@ -1,13 +1,3 @@
-// Package interconnect models the TPU Pod's dedicated 2-D toroidal mesh
-// network between TensorCores and implements the XLA communication
-// primitives the paper relies on: CollectivePermute (used for halo exchange
-// of sub-lattice boundaries) and all-reduce (used for global observables).
-//
-// The data movement is real (goroutine-to-goroutine through channels, so the
-// distributed simulator genuinely exchanges boundary tensors), while the
-// *time* of each collective comes from a per-hop latency + link bandwidth
-// cost model, which is what reproduces the "collective permute" column of
-// Tables 3 and 4.
 package interconnect
 
 import (
@@ -148,10 +138,12 @@ func sqrtf(x float64) float64 {
 }
 
 // Fabric is the runtime data plane of the mesh: it actually moves tensors
-// between the goroutines that model the cores.
+// (and packed bit words, for the host multispin engines) between the
+// goroutines that model the cores.
 type Fabric struct {
-	mesh  *Mesh
-	boxes []chan *tensor.Tensor
+	mesh      *Mesh
+	boxes     []chan *tensor.Tensor
+	wordBoxes []chan []uint64
 
 	mu        sync.Mutex
 	reduceBuf []float64
@@ -164,11 +156,13 @@ func NewFabric(m *Mesh) *Fabric {
 	f := &Fabric{
 		mesh:      m,
 		boxes:     make([]chan *tensor.Tensor, n),
+		wordBoxes: make([]chan []uint64, n),
 		reduceBuf: make([]float64, n),
 		barrier:   newCyclicBarrier(n),
 	}
 	for i := range f.boxes {
 		f.boxes[i] = make(chan *tensor.Tensor, 1)
+		f.wordBoxes[i] = make(chan []uint64, 1)
 	}
 	return f
 }
@@ -207,6 +201,33 @@ func (f *Fabric) CollectivePermute(self int, data *tensor.Tensor, pairs [][2]int
 	}
 	// Closing barrier: no core may start the next collective (and reuse the
 	// mailboxes) until every core has drained its delivery from this one.
+	f.barrier.Await()
+	return out
+}
+
+// CollectivePermuteWords is CollectivePermute for packed bit payloads: the
+// bit-packed multispin engines exchange their halo rows and columns as raw
+// uint64 words (64 spins per word), which a float tensor cannot carry
+// exactly. Semantics are identical to CollectivePermute — every core calls it
+// with the same pairs, contributes data, receives the payload of the core
+// that lists it as destination (or a zero slice of the same length), and no
+// core leaves until all deliveries of the collective have drained.
+func (f *Fabric) CollectivePermuteWords(self int, data []uint64, pairs [][2]int) []uint64 {
+	for _, p := range pairs {
+		if p[0] == self {
+			f.wordBoxes[p[1]] <- append([]uint64(nil), data...)
+		}
+	}
+	var out []uint64
+	for _, p := range pairs {
+		if p[1] == self {
+			out = <-f.wordBoxes[self]
+			break
+		}
+	}
+	if out == nil {
+		out = make([]uint64, len(data))
+	}
 	f.barrier.Await()
 	return out
 }

@@ -1,7 +1,7 @@
 // Package backend constructs the repository's Ising engines by name behind
 // the ising.Backend interface: the serial checkerboard reference, the
-// GPU-style parallel CPU baseline, the bit-packed multispin engine and the
-// simulated-TPU simulator. The CLI's -backend flag, the harness's host
+// GPU-style parallel CPU baseline, the bit-packed multispin engine, its
+// mesh-sharded pod decomposition and the simulated-TPU simulator. The CLI's -backend flag, the harness's host
 // baseline table and the repository benchmarks all go through New, so adding
 // an engine here makes it available everywhere at once.
 package backend
@@ -15,6 +15,7 @@ import (
 	"tpuising/internal/ising/checkerboard"
 	"tpuising/internal/ising/gpusim"
 	"tpuising/internal/ising/multispin"
+	"tpuising/internal/ising/sharded"
 	"tpuising/internal/ising/tpu"
 	"tpuising/internal/rng"
 	"tpuising/internal/tensor"
@@ -33,6 +34,10 @@ type Config struct {
 	// Workers is the goroutine count of the parallel host engines
 	// (0 = GOMAXPROCS).
 	Workers int
+	// GridR and GridC are the shard grid dimensions of the sharded backend
+	// (0 = 1): GridR shards along the rows, GridC along the columns, one
+	// simulated mesh core per shard. The other engines ignore them.
+	GridR, GridC int
 	// TileSize is the simulated MXU tile edge of the tpu backend (0 picks the
 	// largest power-of-two tile, up to 128, that divides half of both
 	// dimensions).
@@ -52,6 +57,7 @@ var builders = map[string]func(Config) (ising.Backend, error){
 	"gpusim":           newGPUSim,
 	"multispin":        newMultispin(false),
 	"multispin-shared": newMultispin(true),
+	"sharded":          newSharded,
 	"tpu":              newTPU,
 }
 
@@ -132,6 +138,17 @@ func newMultispin(shared bool) func(Config) (ising.Backend, error) {
 		}
 		return multispin.New(mc)
 	}
+}
+
+func newSharded(cfg Config) (ising.Backend, error) {
+	sc := sharded.Config{
+		Rows: cfg.Rows, Cols: cfg.Cols, GridR: cfg.GridR, GridC: cfg.GridC,
+		Temperature: cfg.Temperature, Seed: cfg.Seed,
+	}
+	if cfg.Hot {
+		sc.Initial = hostLattice(cfg)
+	}
+	return sharded.New(sc)
 }
 
 func newTPU(cfg Config) (ising.Backend, error) {

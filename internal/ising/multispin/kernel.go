@@ -1,0 +1,137 @@
+package multispin
+
+import (
+	"math"
+
+	"tpuising/internal/ising"
+	"tpuising/internal/rng"
+)
+
+// Kernel is the reusable core of the bit-packed Metropolis update: the two
+// integer acceptance thresholds, the Philox key and the random-sharing mode.
+// It is deliberately free of any lattice geometry — UpdateRow is handed the
+// packed words of one row plus its neighbours and the row's *global*
+// coordinates, so the whole-lattice Engine and the mesh-sharded engine
+// (internal/ising/sharded) evaluate exactly the same pure function of
+// (seed, step, global site) and stay bit-identical to each other.
+type Kernel struct {
+	// T4 and T8 are the 33-bit integer acceptance thresholds for one and zero
+	// disagreeing neighbours (see acceptThreshold).
+	T4, T8 uint64
+	// Key is the site-keyed Philox key derived from the seed.
+	Key rng.Key
+	// Shared selects one random per 64-column word instead of one per site.
+	Shared bool
+}
+
+// NewKernel derives the kernel of a temperature/seed pair. The key derivation
+// matches rng.NewSiteKeyed, making the kernel one more member of the
+// repository's site-keyed family.
+func NewKernel(temperature float64, seed uint64, shared bool) Kernel {
+	k := Kernel{
+		Key:    rng.Key{uint32(seed), uint32(seed>>32) ^ 0x1BD11BDA},
+		Shared: shared,
+	}
+	k.SetTemperature(temperature)
+	return k
+}
+
+// SetTemperature recomputes the acceptance thresholds for a new temperature,
+// leaving the key and the sharing mode untouched.
+func (k *Kernel) SetTemperature(temperature float64) {
+	if temperature <= 0 {
+		panic("multispin: temperature must be positive")
+	}
+	beta := ising.Beta(temperature)
+	k.T4 = acceptThreshold(math.Exp(-4 * beta * ising.J))
+	k.T8 = acceptThreshold(math.Exp(-8 * beta * ising.J))
+}
+
+// UpdateRow performs the colour update of the active sites of one packed
+// lattice row, in place. row holds the W words of the row; north and south
+// are the rows above and below (pre-update snapshots are fine: every
+// neighbour bit consumed belongs to the opposite colour, which this update
+// does not write). westWrap is the word logically west of row[0] (only its
+// bit 63 is consumed) and eastWrap the word logically east of row[W-1] (only
+// its bit 0 is consumed); the whole-lattice engine passes the row's own end
+// words for the torus wrap, a shard passes its neighbour's halo.
+//
+// globalRow and wordOff are the row's global row index and the global word
+// index of row[0]: they key the site randoms and select the active-colour
+// parity, so a shard updating a window of a larger lattice draws exactly the
+// randoms the whole-lattice engine would.
+func (k Kernel) UpdateRow(row, north, south []uint64, westWrap, eastWrap uint64, globalRow, wordOff, parity int, step uint64) {
+	W := len(row)
+	s0, s1 := uint32(step), uint32(step>>32)
+	t4, t8 := k.T4, k.T8
+	// Columns of the active colour in this row have parity p.
+	p := (parity + globalRow) & 1
+	cmask := uint64(evenMask)
+	if p == 1 {
+		cmask = ^cmask
+	}
+	for w := 0; w < W; w++ {
+		cur := row[w]
+		eastSrc, westSrc := eastWrap, westWrap
+		if w+1 < W {
+			eastSrc = row[w+1]
+		}
+		if w > 0 {
+			westSrc = row[w-1]
+		}
+		east := (cur >> 1) | (eastSrc << 63)
+		west := (cur << 1) | (westSrc >> 63)
+		// d-bits: 1 where the site disagrees with that neighbour.
+		d1, d2, d3, d4 := cur^north[w], cur^south[w], cur^east, cur^west
+		// Bit-sliced sum of the four d-bits into a 3-bit count per site.
+		h0, c0 := d1^d2, d1&d2
+		h1, c1 := d3^d4, d3&d4
+		low := h0 ^ h1
+		ca := h0 & h1
+		mid := c0 ^ c1 ^ ca
+		hi := (c0 & c1) | (ca & (c0 ^ c1))
+		ge2 := mid | hi           // >= 2 disagreeing neighbours: always accept
+		one := low &^ mid &^ hi   // exactly 1: accept with prob exp(-4 beta)
+		zero := ^(low | mid | hi) // exactly 0: accept with prob exp(-8 beta)
+		var a4, a8 uint64
+		gw := w + wordOff
+		if k.Shared {
+			// One random shared by the whole word.
+			u := uint64(rng.Block(rng.Counter{s0, s1, uint32(int64(globalRow)), uint32(gw)}, k.Key)[0])
+			a4 = ^uint64(0) * ((u - t4) >> 63)
+			a8 = ^uint64(0) * ((u - t8) >> 63)
+		} else {
+			// One random per active site: lane j&3 of the Philox block keyed
+			// by (step, row, j>>2), where j = column/2 is the site's ordinal
+			// among same-colour sites in the row. The word's 32 active sites
+			// consume 8 blocks with no waste, generated two at a time so the
+			// multiplies of independent blocks overlap in the pipeline.
+			base := uint32(gw * 8)
+			rr := uint32(int64(globalRow))
+			for j := 0; j < 32; j += 8 {
+				ba, bb := rng.BlockPair(
+					rng.Counter{s0, s1, rr, base + uint32(j>>2)},
+					rng.Counter{s0, s1, rr, base + uint32(j>>2) + 1},
+					k.Key)
+				pos := uint(2*j + p)
+				a4 |= ((uint64(ba[0]) - t4) >> 63) << pos
+				a8 |= ((uint64(ba[0]) - t8) >> 63) << pos
+				a4 |= ((uint64(ba[1]) - t4) >> 63) << (pos + 2)
+				a8 |= ((uint64(ba[1]) - t8) >> 63) << (pos + 2)
+				a4 |= ((uint64(ba[2]) - t4) >> 63) << (pos + 4)
+				a8 |= ((uint64(ba[2]) - t8) >> 63) << (pos + 4)
+				a4 |= ((uint64(ba[3]) - t4) >> 63) << (pos + 6)
+				a8 |= ((uint64(ba[3]) - t8) >> 63) << (pos + 6)
+				a4 |= ((uint64(bb[0]) - t4) >> 63) << (pos + 8)
+				a8 |= ((uint64(bb[0]) - t8) >> 63) << (pos + 8)
+				a4 |= ((uint64(bb[1]) - t4) >> 63) << (pos + 10)
+				a8 |= ((uint64(bb[1]) - t8) >> 63) << (pos + 10)
+				a4 |= ((uint64(bb[2]) - t4) >> 63) << (pos + 12)
+				a8 |= ((uint64(bb[2]) - t8) >> 63) << (pos + 12)
+				a4 |= ((uint64(bb[3]) - t4) >> 63) << (pos + 14)
+				a8 |= ((uint64(bb[3]) - t8) >> 63) << (pos + 14)
+			}
+		}
+		row[w] = cur ^ ((ge2 | (one & a4) | (zero & a8)) & cmask)
+	}
+}

@@ -27,7 +27,6 @@ package multispin
 import (
 	"fmt"
 	"hash/fnv"
-	"math"
 	"math/bits"
 	"runtime"
 	"sync"
@@ -68,11 +67,8 @@ type Engine struct {
 	rows, cols, words int
 	spins             []uint64 // rows*words, row-major; bit i of word (r,w) = spin (r, w*64+i)
 	temperature       float64
-	beta              float64
-	t4, t8            uint64 // accept thresholds for 1 and 0 disagreeing neighbours
-	key               rng.Key
+	kern              Kernel // thresholds, Philox key and random-sharing mode
 	step              uint64
-	shared            bool
 	workers           int
 	halo              []uint64 // scratch for the per-band boundary-row snapshots
 }
@@ -93,17 +89,14 @@ func New(cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("multispin: temperature must be positive, got %g", temp)
 	}
 	e := &Engine{
-		rows:    cfg.Rows,
-		cols:    cfg.Cols,
-		words:   cfg.Cols / WordBits,
-		shared:  cfg.SharedRandom,
-		workers: cfg.Workers,
-		// Same key derivation as rng.NewSiteKeyed, so the engine is one more
-		// member of the repository's site-keyed family.
-		key:   rng.Key{uint32(cfg.Seed), uint32(cfg.Seed>>32) ^ 0x1BD11BDA},
-		spins: make([]uint64, cfg.Rows*cfg.Cols/WordBits),
+		rows:        cfg.Rows,
+		cols:        cfg.Cols,
+		words:       cfg.Cols / WordBits,
+		workers:     cfg.Workers,
+		temperature: temp,
+		kern:        NewKernel(temp, cfg.Seed, cfg.SharedRandom),
+		spins:       make([]uint64, cfg.Rows*cfg.Cols/WordBits),
 	}
-	e.SetTemperature(temp)
 	if cfg.Initial != nil {
 		if err := e.SetLattice(cfg.Initial); err != nil {
 			return nil, err
@@ -123,10 +116,7 @@ func (e *Engine) SetTemperature(t float64) {
 		panic("multispin: temperature must be positive")
 	}
 	e.temperature = t
-	beta := ising.Beta(t)
-	e.beta = beta
-	e.t4 = acceptThreshold(math.Exp(-4 * beta * ising.J))
-	e.t8 = acceptThreshold(math.Exp(-8 * beta * ising.J))
+	e.kern.SetTemperature(t)
 }
 
 // acceptThreshold maps an acceptance probability to the 33-bit integer
@@ -143,7 +133,7 @@ func acceptThreshold(p float64) uint64 {
 
 // Name identifies the engine ("multispin" or "multispin-shared").
 func (e *Engine) Name() string {
-	if e.shared {
+	if e.kern.Shared {
 		return "multispin-shared"
 	}
 	return "multispin"
@@ -254,8 +244,6 @@ func (e *Engine) rowWords(r int) []uint64 {
 // values and the result is independent of the banding.
 func (e *Engine) updateColorRows(parity int, step uint64, r0, r1 int, northHalo, southHalo []uint64) {
 	W := e.words
-	s0, s1 := uint32(step), uint32(step>>32)
-	t4, t8 := e.t4, e.t8
 	for r := r0; r < r1; r++ {
 		row := e.rowWords(r)
 		north := e.rowWords((r - 1 + e.rows) % e.rows)
@@ -266,76 +254,10 @@ func (e *Engine) updateColorRows(parity int, step uint64, r0, r1 int, northHalo,
 		if r == r1-1 && southHalo != nil {
 			south = southHalo
 		}
-		// Columns of the active colour in this row have parity p.
-		p := (parity + r) & 1
-		cmask := uint64(evenMask)
-		if p == 1 {
-			cmask = ^cmask
-		}
-		for w := 0; w < W; w++ {
-			cur := row[w]
-			wE, wW := w+1, w-1
-			if wE == W {
-				wE = 0
-			}
-			if wW < 0 {
-				wW = W - 1
-			}
-			east := (cur >> 1) | (row[wE] << 63)
-			west := (cur << 1) | (row[wW] >> 63)
-			// d-bits: 1 where the site disagrees with that neighbour.
-			d1, d2, d3, d4 := cur^north[w], cur^south[w], cur^east, cur^west
-			// Bit-sliced sum of the four d-bits into a 3-bit count per site.
-			h0, c0 := d1^d2, d1&d2
-			h1, c1 := d3^d4, d3&d4
-			low := h0 ^ h1
-			ca := h0 & h1
-			mid := c0 ^ c1 ^ ca
-			hi := (c0 & c1) | (ca & (c0 ^ c1))
-			ge2 := mid | hi           // >= 2 disagreeing neighbours: always accept
-			one := low &^ mid &^ hi   // exactly 1: accept with prob exp(-4 beta)
-			zero := ^(low | mid | hi) // exactly 0: accept with prob exp(-8 beta)
-			var a4, a8 uint64
-			if e.shared {
-				// One random shared by the whole word.
-				u := uint64(rng.Block(rng.Counter{s0, s1, uint32(int64(r)), uint32(w)}, e.key)[0])
-				a4 = ^uint64(0) * ((u - t4) >> 63)
-				a8 = ^uint64(0) * ((u - t8) >> 63)
-			} else {
-				// One random per active site: lane j&3 of the Philox block
-				// keyed by (step, row, j>>2), where j = column/2 is the
-				// site's ordinal among same-colour sites in the row. The
-				// word's 32 active sites consume 8 blocks with no waste,
-				// generated two at a time so the multiplies of independent
-				// blocks overlap in the pipeline.
-				base := uint32(w * 8)
-				rr := uint32(int64(r))
-				for k := 0; k < 32; k += 8 {
-					ba, bb := rng.BlockPair(
-						rng.Counter{s0, s1, rr, base + uint32(k>>2)},
-						rng.Counter{s0, s1, rr, base + uint32(k>>2) + 1},
-						e.key)
-					pos := uint(2*k + p)
-					a4 |= ((uint64(ba[0]) - t4) >> 63) << pos
-					a8 |= ((uint64(ba[0]) - t8) >> 63) << pos
-					a4 |= ((uint64(ba[1]) - t4) >> 63) << (pos + 2)
-					a8 |= ((uint64(ba[1]) - t8) >> 63) << (pos + 2)
-					a4 |= ((uint64(ba[2]) - t4) >> 63) << (pos + 4)
-					a8 |= ((uint64(ba[2]) - t8) >> 63) << (pos + 4)
-					a4 |= ((uint64(ba[3]) - t4) >> 63) << (pos + 6)
-					a8 |= ((uint64(ba[3]) - t8) >> 63) << (pos + 6)
-					a4 |= ((uint64(bb[0]) - t4) >> 63) << (pos + 8)
-					a8 |= ((uint64(bb[0]) - t8) >> 63) << (pos + 8)
-					a4 |= ((uint64(bb[1]) - t4) >> 63) << (pos + 10)
-					a8 |= ((uint64(bb[1]) - t8) >> 63) << (pos + 10)
-					a4 |= ((uint64(bb[2]) - t4) >> 63) << (pos + 12)
-					a8 |= ((uint64(bb[2]) - t8) >> 63) << (pos + 12)
-					a4 |= ((uint64(bb[3]) - t4) >> 63) << (pos + 14)
-					a8 |= ((uint64(bb[3]) - t8) >> 63) << (pos + 14)
-				}
-			}
-			row[w] = cur ^ ((ge2 | (one & a4) | (zero & a8)) & cmask)
-		}
+		// The torus wraps east of the last word onto the row's first word and
+		// west of the first word onto its last (only one bit of each is
+		// consumed, and it always belongs to the inactive colour).
+		e.kern.UpdateRow(row, north, south, row[W-1], row[0], r, 0, parity, step)
 	}
 }
 
@@ -346,12 +268,12 @@ func (e *Engine) updateColorRows(parity int, step uint64, r0, r1 int, northHalo,
 func (e *Engine) siteRand(step uint64, r, c int) uint32 {
 	j := c >> 1
 	ctr := rng.Counter{uint32(step), uint32(step >> 32), uint32(int64(r)), uint32(j >> 2)}
-	return rng.Block(ctr, e.key)[j&3]
+	return rng.Block(ctr, e.kern.Key)[j&3]
 }
 
 // wordRand returns the shared random of word w of row r in shared mode.
 func (e *Engine) wordRand(step uint64, r, w int) uint32 {
-	return rng.Block(rng.Counter{uint32(step), uint32(step >> 32), uint32(int64(r)), uint32(w)}, e.key)[0]
+	return rng.Block(rng.Counter{uint32(step), uint32(step >> 32), uint32(int64(r)), uint32(w)}, e.kern.Key)[0]
 }
 
 // Spin returns the spin at (row, col) as +-1 (no wrapping).

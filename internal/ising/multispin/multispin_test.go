@@ -36,7 +36,7 @@ func referenceUpdateColor(e *Engine, l *ising.Lattice, parity int, step uint64) 
 				}
 			}
 			var u uint64
-			if e.shared {
+			if e.kern.Shared {
 				u = uint64(e.wordRand(step, r, c/WordBits))
 			} else {
 				u = uint64(e.siteRand(step, r, c))
@@ -44,9 +44,9 @@ func referenceUpdateColor(e *Engine, l *ising.Lattice, parity int, step uint64) 
 			flip := false
 			switch d {
 			case 0:
-				flip = u < e.t8
+				flip = u < e.kern.T8
 			case 1:
-				flip = u < e.t4
+				flip = u < e.kern.T4
 			default:
 				flip = true
 			}
@@ -194,7 +194,7 @@ func TestConfigValidation(t *testing.T) {
 	if e.Name() != "multispin" {
 		t.Fatalf("Name() = %q", e.Name())
 	}
-	if (&Engine{shared: true}).Name() != "multispin-shared" {
+	if (&Engine{kern: Kernel{Shared: true}}).Name() != "multispin-shared" {
 		t.Fatal("shared Name() wrong")
 	}
 }

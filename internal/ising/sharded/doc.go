@@ -1,0 +1,27 @@
+// Package sharded partitions a large 2-D Ising lattice into an R x C grid of
+// shards mapped onto the simulated pod mesh (internal/pod), runs the
+// bit-packed multispin kernel (internal/ising/multispin) on every shard in
+// parallel, and exchanges packed halo rows and columns between mesh
+// neighbours through the interconnect fabric each checkerboard half-sweep.
+// This is the paper's pod decomposition (Figure 5, Tables 2-4) applied to the
+// host engine family: sub-lattice per core, boundary spins traded with the
+// four torus neighbours through collective permutes, periodic boundaries
+// wrapping across the mesh torus.
+//
+// Each shard owns shardRows x shardCols spins stored 64 per uint64 word.
+// Before a colour update every shard snapshots four halos from its
+// neighbours: the packed row above (north) and below (south), and two packed
+// *bit columns* — one boundary spin per row, 64 rows per word — carrying the
+// east neighbour's first column and the west neighbour's last column. A halo
+// is a pre-update snapshot, which is sufficient because every neighbour bit
+// the checkerboard update consumes belongs to the colour that the half-sweep
+// does not write. Row halos move shardCols/8 bytes per link, column halos
+// shardRows/8 bytes — the 1 bit/spin packing the paper's bfloat16
+// implementation cannot reach.
+//
+// The engine draws its randoms from the shared multispin.Kernel keyed by
+// *global* (seed, step, row, column), so a sharded run is bit-identical to
+// the whole-lattice multispin engine at the same seed, for every shard grid
+// — the property the distributed correctness tests assert, mirroring how the
+// paper validates the TPU pod against the single-core implementation.
+package sharded

@@ -1,0 +1,227 @@
+package sharded
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"tpuising/internal/ising"
+	"tpuising/internal/ising/multispin"
+	"tpuising/internal/perf"
+	"tpuising/internal/rng"
+)
+
+// newPair builds a sharded engine and the whole-lattice multispin reference
+// with identical physics configuration.
+func newPair(t *testing.T, rows, cols, gridR, gridC int, temp float64, seed uint64, shared, hot bool) (*Engine, *multispin.Engine) {
+	t.Helper()
+	var initial *ising.Lattice
+	if hot {
+		initial = ising.NewRandomLattice(rows, cols, rng.New(seed))
+	}
+	sh, err := New(Config{
+		Rows: rows, Cols: cols, GridR: gridR, GridC: gridC,
+		Temperature: temp, Seed: seed, SharedRandom: shared, Initial: initial,
+	})
+	if err != nil {
+		t.Fatalf("sharded.New(%dx%d grid %dx%d): %v", rows, cols, gridR, gridC, err)
+	}
+	ref, err := multispin.New(multispin.Config{
+		Rows: rows, Cols: cols, Temperature: temp, Seed: seed,
+		SharedRandom: shared, Workers: 1, Initial: initial,
+	})
+	if err != nil {
+		t.Fatalf("multispin.New(%dx%d): %v", rows, cols, err)
+	}
+	return sh, ref
+}
+
+// TestBitIdenticalToMultispin is the distributed-correctness property the
+// paper checks for its pod runs: at a fixed seed the sharded engine must
+// produce exactly the configuration of the whole-lattice multispin engine,
+// for every shard grid (including the 1x1 degenerate grid, non-square grids,
+// single-word-wide shards and single-row shards).
+func TestBitIdenticalToMultispin(t *testing.T) {
+	cases := []struct {
+		rows, cols   int
+		gridR, gridC int
+	}{
+		{64, 128, 1, 1}, // degenerate: one shard, self-exchange over the torus
+		{64, 128, 2, 2},
+		{64, 128, 4, 1},
+		{64, 128, 1, 2},  // shards one word wide: east and west wraps both halo
+		{64, 128, 2, 1},  // hot start exercised below
+		{2, 128, 2, 1},   // single-row shards: north and south both halo
+		{128, 256, 2, 4}, // non-square grids on a larger lattice
+		{128, 256, 4, 2},
+	}
+	for _, tc := range cases {
+		for _, mode := range []struct {
+			name        string
+			shared, hot bool
+		}{
+			{"persite-cold", false, false},
+			{"persite-hot", false, true},
+			{"shared-hot", true, true},
+		} {
+			sh, ref := newPair(t, tc.rows, tc.cols, tc.gridR, tc.gridC, 2.4, 7, mode.shared, mode.hot)
+			for sweep := 1; sweep <= 6; sweep++ {
+				sh.Sweep()
+				ref.Sweep()
+				if sh.Hash() != ref.Hash() {
+					t.Fatalf("%dx%d grid %dx%d %s: configurations diverge at sweep %d",
+						tc.rows, tc.cols, tc.gridR, tc.gridC, mode.name, sweep)
+				}
+			}
+			if sh.Magnetization() != ref.Magnetization() {
+				t.Errorf("%dx%d grid %dx%d %s: magnetisation %v != %v",
+					tc.rows, tc.cols, tc.gridR, tc.gridC, mode.name, sh.Magnetization(), ref.Magnetization())
+			}
+			if math.Abs(sh.Energy()-ref.Energy()) > 1e-12 {
+				t.Errorf("%dx%d grid %dx%d %s: energy %v != %v",
+					tc.rows, tc.cols, tc.gridR, tc.gridC, mode.name, sh.Energy(), ref.Energy())
+			}
+		}
+	}
+}
+
+// TestDegenerateGridIsSingleShard: the 1x1 grid runs the plain multispin
+// chain on one mesh core (all four halo exchanges are torus self-loops).
+func TestDegenerateGridIsSingleShard(t *testing.T) {
+	e, err := New(Config{Rows: 64, Cols: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.NumShards() != 1 {
+		t.Fatalf("NumShards = %d, want 1", e.NumShards())
+	}
+	if r, c := e.Grid(); r != 1 || c != 1 {
+		t.Fatalf("Grid() = %dx%d, want 1x1", r, c)
+	}
+	e.Run(3)
+	c := e.Counts()
+	if c.CommHops != 0 {
+		t.Errorf("single-shard self-exchanges should traverse 0 hops, got %d", c.CommHops)
+	}
+	if c.CommEvents != 3*8 {
+		t.Errorf("CommEvents = %d, want %d", c.CommEvents, 3*8)
+	}
+}
+
+// TestConfigValidation: indivisible lattices and bad grids must be rejected
+// with errors that say what the constraint is.
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want string // substring of the expected error
+	}{
+		{Config{Rows: 63, Cols: 128}, "rows must be even"},
+		{Config{Rows: 64, Cols: 100}, "multiple of 64"},
+		{Config{Rows: 64, Cols: 128, GridR: 3}, "do not divide over 3 shard rows"},
+		{Config{Rows: 64, Cols: 128, GridC: 3}, "do not divide over 3 shard columns"},
+		{Config{Rows: 64, Cols: 128, GridC: 4}, "do not divide over 4 shard columns"}, // 2 words over 4 shards
+		{Config{Rows: 64, Cols: 128, GridR: -2}, "shard grid must be positive"},
+		{Config{Rows: 64, Cols: 128, Temperature: -1}, "temperature must be positive"},
+	}
+	for _, tc := range cases {
+		_, err := New(tc.cfg)
+		if err == nil {
+			t.Errorf("New(%+v) should fail", tc.cfg)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("New(%+v) error %q does not mention %q", tc.cfg, err, tc.want)
+		}
+	}
+	if _, err := New(Config{Rows: 64, Cols: 128, Initial: ising.NewLattice(32, 128)}); err == nil {
+		t.Error("mismatched initial lattice should fail")
+	}
+}
+
+// TestOnsagerPhysics: the sharded chain must reproduce the exact
+// infinite-lattice observables in the ordered phase (T=2.0) and be
+// disordered above Tc (T=3.5) — the correctness check of the paper's
+// Figure 4, run on a 2x2 shard grid.
+func TestOnsagerPhysics(t *testing.T) {
+	const burnIn, samples = 300, 600
+	measure := func(temp float64) (absM, energy float64) {
+		e, err := New(Config{Rows: 128, Cols: 128, GridR: 2, GridC: 2, Temperature: temp, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Run(burnIn)
+		for i := 0; i < samples; i++ {
+			e.Sweep()
+			absM += math.Abs(e.Magnetization())
+			energy += e.Energy()
+		}
+		return absM / samples, energy / samples
+	}
+
+	absM, energy := measure(2.0)
+	if want := ising.OnsagerMagnetization(2.0); math.Abs(absM-want) > 0.03 {
+		t.Errorf("T=2.0: |m| = %.4f, want Onsager %.4f +- 0.03", absM, want)
+	}
+	if want := ising.ExactEnergyPerSpin(2.0); math.Abs(energy-want) > 0.03 {
+		t.Errorf("T=2.0: E/spin = %.4f, want exact %.4f +- 0.03", energy, want)
+	}
+
+	absM, _ = measure(3.5)
+	if absM > 0.1 {
+		t.Errorf("T=3.5: |m| = %.4f, want disordered (< 0.1)", absM)
+	}
+}
+
+// TestCommCountsMatchShardTraffic: the engine's measured interconnect
+// counters must reproduce the perf model's analytic per-sweep traffic
+// exactly — the property that lets benchtables print modelled traffic next
+// to measured throughput.
+func TestCommCountsMatchShardTraffic(t *testing.T) {
+	for _, grid := range [][2]int{{1, 1}, {2, 2}, {2, 3}, {4, 1}} {
+		e, err := New(Config{Rows: 96, Cols: 192 * grid[1], GridR: grid[0], GridC: grid[1], Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const sweeps = 5
+		e.Run(sweeps)
+		rep := perf.ShardTraffic(perf.ShardSpec{
+			Rows: e.Rows(), Cols: e.Cols(), GridR: grid[0], GridC: grid[1],
+		}, e.Pod().Mesh().Link)
+		c := e.Counts()
+		if c.CommBytes != sweeps*rep.TotalBytes {
+			t.Errorf("grid %v: measured CommBytes %d != modelled %d", grid, c.CommBytes, sweeps*rep.TotalBytes)
+		}
+		if c.CommEvents != sweeps*rep.Events {
+			t.Errorf("grid %v: measured CommEvents %d != modelled %d", grid, c.CommEvents, sweeps*rep.Events)
+		}
+		if c.Ops != sweeps*int64(e.N()) {
+			t.Errorf("grid %v: Ops = %d, want %d", grid, c.Ops, sweeps*int64(e.N()))
+		}
+		if rep.PermuteSec <= 0 {
+			t.Errorf("grid %v: modelled permute time should be positive", grid)
+		}
+	}
+}
+
+// TestObservablesMatchGatheredLattice: the packed observables must agree with
+// the scalar ones computed from the gathered global lattice.
+func TestObservablesMatchGatheredLattice(t *testing.T) {
+	e, err := New(Config{Rows: 64, Cols: 128, GridR: 2, GridC: 2, Temperature: 2.6, Seed: 5,
+		Initial: ising.NewRandomLattice(64, 128, rng.New(5))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(4)
+	l := e.Lattice()
+	if got, want := e.Magnetization(), l.Magnetization(); got != want {
+		t.Errorf("Magnetization %v != lattice %v", got, want)
+	}
+	if got, want := e.Energy(), l.Energy(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Energy %v != lattice %v", got, want)
+	}
+	for _, rc := range [][2]int{{0, 0}, {31, 63}, {32, 64}, {63, 127}} {
+		if got, want := e.Spin(rc[0], rc[1]), l.At(rc[0], rc[1]); got != want {
+			t.Errorf("Spin(%d,%d) = %d, lattice %d", rc[0], rc[1], got, want)
+		}
+	}
+}

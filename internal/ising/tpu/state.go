@@ -1,25 +1,3 @@
-// Package tpu implements the paper's contribution: the checkerboard
-// Metropolis update for the 2-D Ising model expressed as dense tensor
-// operations on the (simulated) TPU TensorCore, in the three variants the
-// paper describes:
-//
-//   - Algorithm 1 ("UpdateNaive"): the full lattice in the rank-4
-//     [m, n, T, T] grid-of-tiles layout, nearest-neighbour sums via two
-//     matrix multiplications with the tridiagonal kernel K, and a mask to
-//     freeze the colour that is not being updated.
-//   - Algorithm 2 ("UpdateOptim"): the lattice reorganised into the four
-//     compact colour planes σ̂00, σ̂01, σ̂10, σ̂11 with the bidiagonal kernel
-//     K̂, eliminating the redundant work of Algorithm 1.
-//   - The appendix "new implementation" ("UpdateConv"): nearest-neighbour
-//     sums via a 2-D convolution.
-//
-// A single-core Simulator runs any of the three on one TensorCore; the
-// DistSimulator domain-decomposes the lattice over a pod of TensorCores and
-// exchanges sub-lattice boundaries with collective-permute, as in Section 5
-// of the paper.  All variants draw their per-site uniforms from a counter
-// (site)-keyed Philox generator, so every variant — and every domain
-// decomposition — produces bit-identical Markov chains in float32, which is
-// the basis of the cross-validation tests.
 package tpu
 
 import (

@@ -1,0 +1,90 @@
+package perf
+
+import (
+	"fmt"
+
+	"tpuising/internal/interconnect"
+)
+
+// ShardSpec describes the host sharded-multispin decomposition (see
+// internal/ising/sharded) for interconnect-traffic modelling: a Rows x Cols
+// global lattice split into a GridR x GridC grid of shards, one per mesh
+// core, exchanging bit-packed halos each checkerboard half-sweep.
+type ShardSpec struct {
+	// Rows and Cols are the global lattice dimensions.
+	Rows, Cols int
+	// GridR and GridC are the shard grid dimensions.
+	GridR, GridC int
+}
+
+// ShardTrafficReport is the modelled interconnect traffic of one sweep of the
+// sharded multispin engine. The byte counts are exact mirrors of what the
+// engine's halo exchanges move through the fabric (the engine's measured
+// Counts().CommBytes reproduces TotalBytes), and the permute time applies the
+// same link cost model that prices the paper's collective-permute column.
+type ShardTrafficReport struct {
+	// RowHaloBytes is the payload of one packed row-halo message: the shard's
+	// boundary row at 1 bit per spin (shard cols / 8).
+	RowHaloBytes int64
+	// ColHaloBytes is the payload of one packed column-halo message: one
+	// boundary spin per shard row, packed 64 per word.
+	ColHaloBytes int64
+	// RowLinkBytes is the traffic crossing one vertical (north-south) link
+	// per sweep, both directions: two row-halo messages each way.
+	RowLinkBytes int64
+	// ColLinkBytes is the traffic crossing one horizontal (east-west) link
+	// per sweep, both directions.
+	ColLinkBytes int64
+	// TotalBytes is the pod-wide bytes moved per sweep (what the engine's
+	// comm counters accumulate).
+	TotalBytes int64
+	// Events is the pod-wide number of collective operations per sweep
+	// (eight per core: four halos, two colours).
+	Events int64
+	// PermuteSec is the modelled wall time of one sweep's eight lockstep
+	// collective permutes under the given link parameters.
+	PermuteSec float64
+}
+
+// ShardTraffic models the per-sweep halo-exchange traffic of the sharded
+// multispin engine on a GridC x GridR torus mesh. It panics if the lattice
+// does not decompose over the grid (the engine itself rejects such configs
+// with an error).
+func ShardTraffic(s ShardSpec, link interconnect.LinkParams) ShardTrafficReport {
+	if s.GridR <= 0 || s.GridC <= 0 || s.Rows <= 0 || s.Cols <= 0 {
+		panic(fmt.Sprintf("perf: invalid shard spec %+v", s))
+	}
+	if s.Rows%s.GridR != 0 || s.Cols%(s.GridC*64) != 0 {
+		panic(fmt.Sprintf("perf: %dx%d lattice does not decompose over a %dx%d shard grid",
+			s.Rows, s.Cols, s.GridR, s.GridC))
+	}
+	shardRows := s.Rows / s.GridR
+	shardWords := s.Cols / 64 / s.GridC
+	colWords := (shardRows + 63) / 64
+	cores := int64(s.GridR * s.GridC)
+
+	rep := ShardTrafficReport{
+		RowHaloBytes: int64(shardWords) * 8,
+		ColHaloBytes: int64(colWords) * 8,
+	}
+	// Per half-sweep each core sends one row halo each way (north, south) and
+	// one column halo each way (east, west); a sweep is two half-sweeps.
+	rep.RowLinkBytes = 4 * rep.RowHaloBytes
+	rep.ColLinkBytes = 4 * rep.ColHaloBytes
+	rep.TotalBytes = cores * (4*rep.RowHaloBytes + 4*rep.ColHaloBytes)
+	rep.Events = cores * 8
+
+	mesh := interconnect.NewMesh(s.GridC, s.GridR)
+	mesh.Link = link
+	for _, x := range []struct {
+		dx, dy int
+		bytes  int64
+	}{
+		{0, 1, rep.RowHaloBytes}, {0, -1, rep.RowHaloBytes},
+		{-1, 0, rep.ColHaloBytes}, {1, 0, rep.ColHaloBytes},
+	} {
+		sec, _ := mesh.PermuteCost(mesh.ShiftPairs(x.dx, x.dy), x.bytes)
+		rep.PermuteSec += 2 * sec // two colour updates per sweep
+	}
+	return rep
+}

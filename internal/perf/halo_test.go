@@ -1,0 +1,59 @@
+package perf
+
+import (
+	"testing"
+
+	"tpuising/internal/interconnect"
+)
+
+// TestShardTrafficBytes checks the analytic halo-traffic counts on a grid
+// whose numbers are easy to verify by hand: a 128x128 lattice on 2x2 shards
+// has 64x64-spin shards, so a row halo is one 64-bit word (8 bytes) and a
+// column halo packs 64 boundary spins into one word (8 bytes).
+func TestShardTrafficBytes(t *testing.T) {
+	rep := ShardTraffic(ShardSpec{Rows: 128, Cols: 128, GridR: 2, GridC: 2},
+		interconnect.DefaultLinkParams())
+	if rep.RowHaloBytes != 8 || rep.ColHaloBytes != 8 {
+		t.Fatalf("halo bytes = %d/%d, want 8/8", rep.RowHaloBytes, rep.ColHaloBytes)
+	}
+	if rep.RowLinkBytes != 32 || rep.ColLinkBytes != 32 {
+		t.Fatalf("link bytes = %d/%d, want 32/32", rep.RowLinkBytes, rep.ColLinkBytes)
+	}
+	if want := int64(4 * (4*8 + 4*8)); rep.TotalBytes != want {
+		t.Fatalf("TotalBytes = %d, want %d", rep.TotalBytes, want)
+	}
+	if rep.Events != 32 {
+		t.Fatalf("Events = %d, want 32", rep.Events)
+	}
+	if rep.PermuteSec <= 0 {
+		t.Fatal("PermuteSec should be positive")
+	}
+}
+
+// TestShardTrafficSyncGrowth: the modelled permute time must grow with the
+// core grid (the paper's Table 4 observation that the collective time rises
+// slowly with pod size even though the per-link payload shrinks).
+func TestShardTrafficSyncGrowth(t *testing.T) {
+	link := interconnect.DefaultLinkParams()
+	small := ShardTraffic(ShardSpec{Rows: 512, Cols: 512, GridR: 2, GridC: 2}, link)
+	large := ShardTraffic(ShardSpec{Rows: 512, Cols: 512, GridR: 8, GridC: 8}, link)
+	if large.PermuteSec <= small.PermuteSec {
+		t.Fatalf("permute time should grow with the grid: 8x8 %.3gs <= 2x2 %.3gs",
+			large.PermuteSec, small.PermuteSec)
+	}
+	if large.RowHaloBytes >= small.RowHaloBytes {
+		t.Fatalf("per-message payload should shrink with the grid")
+	}
+}
+
+// TestShardTrafficRejectsIndivisible: a lattice that does not decompose over
+// the grid must panic (the engine reports the same condition as an error).
+func TestShardTrafficRejectsIndivisible(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for indivisible decomposition")
+		}
+	}()
+	ShardTraffic(ShardSpec{Rows: 100, Cols: 128, GridR: 3, GridC: 1},
+		interconnect.DefaultLinkParams())
+}

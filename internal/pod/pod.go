@@ -136,6 +136,24 @@ func (r *Replica) ShiftExchange(data *tensor.Tensor, dx, dy int) *tensor.Tensor 
 	return r.CollectivePermute(data, r.pod.mesh.ShiftPairs(dx, dy))
 }
 
+// CollectivePermuteWords is CollectivePermute for packed bit payloads
+// (uint64 words carrying 64 spins each, as used by the sharded multispin
+// engine). The exchanged bytes and hop count are charged to this core's
+// communication profile exactly like the tensor collective.
+func (r *Replica) CollectivePermuteWords(data []uint64, pairs [][2]int) []uint64 {
+	out := r.pod.fabric.CollectivePermuteWords(r.ID, data, pairs)
+	bytes := int64(len(data)) * 8
+	_, hops := r.pod.mesh.PermuteCost(pairs, bytes)
+	r.Core.RecordComm(bytes, int64(hops))
+	return out
+}
+
+// ShiftExchangeWords sends packed words to the core at (+dx, +dy) and returns
+// the words received from the core at (-dx, -dy).
+func (r *Replica) ShiftExchangeWords(data []uint64, dx, dy int) []uint64 {
+	return r.CollectivePermuteWords(data, r.pod.mesh.ShiftPairs(dx, dy))
+}
+
 // AllReduceSum returns the sum of v over all cores (blocking until every
 // replica contributes).
 func (r *Replica) AllReduceSum(v float64) float64 {

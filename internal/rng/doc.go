@@ -1,0 +1,11 @@
+// Package rng implements the Philox4x32-10 counter-based pseudo-random number
+// generator (Salmon et al., SC 2011), the generator family used by
+// tf.random.uniform on TPU in the paper's implementation.
+//
+// Counter-based generators are the natural fit for SIMD Monte-Carlo: the
+// random value for a given (step, lattice site) is a pure function of a key
+// and a counter, so every TensorCore in a pod can generate exactly the
+// numbers it needs with no shared state and no communication, and a
+// distributed run is bit-identical to a single-core run of the same global
+// lattice (see SiteUniform).
+package rng

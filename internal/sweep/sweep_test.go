@@ -6,6 +6,7 @@ import (
 
 	"tpuising/internal/ising"
 	"tpuising/internal/ising/checkerboard"
+	"tpuising/internal/ising/sharded"
 )
 
 // cpuChain adapts the CPU checkerboard sampler to the Chain interface.
@@ -140,6 +141,35 @@ func TestRunEdgeCases(t *testing.T) {
 		}
 	}()
 	Run(Config{Temperatures: []float64{2.0}}, newCPUChain(8, 1))
+}
+
+// TestRunBackendsSharded drives the mesh-sharded multispin engine through
+// RunBackends across the phase transition: the sweep layer must see it as
+// just another Backend, and its physics must order below Tc and disorder
+// above (each temperature runs its own independent pod).
+func TestRunBackendsSharded(t *testing.T) {
+	points := RunBackends(Config{
+		Temperatures: []float64{1.8, 3.6},
+		BurnIn:       150,
+		Samples:      150,
+	}, func(temperature float64) ising.Backend {
+		e, err := sharded.New(sharded.Config{
+			Rows: 64, Cols: 64, GridR: 2, GridC: 1, Temperature: temperature, Seed: 9,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return e
+	})
+	if points[0].AbsMagnetization < 0.9 {
+		t.Errorf("sharded |m| at T=1.8 = %.3f, want ordered (> 0.9)", points[0].AbsMagnetization)
+	}
+	if points[1].AbsMagnetization > 0.2 {
+		t.Errorf("sharded |m| at T=3.6 = %.3f, want disordered (< 0.2)", points[1].AbsMagnetization)
+	}
+	if points[0].Energy >= points[1].Energy {
+		t.Errorf("energy should rise with temperature: %.3f >= %.3f", points[0].Energy, points[1].Energy)
+	}
 }
 
 func TestBinderCrossingNearTc(t *testing.T) {
