@@ -22,6 +22,8 @@ import (
 	"tpuising/internal/ising/tpu"
 	"tpuising/internal/perf"
 	"tpuising/internal/rng"
+	"tpuising/internal/sweep"
+	"tpuising/internal/tempering"
 	"tpuising/internal/tensor"
 )
 
@@ -328,6 +330,42 @@ func BenchmarkSharded4x4_4096(b *testing.B) { benchSharded(b, 4096, 4, 4) }
 
 // A 16k lattice where halo traffic is tiny relative to shard compute.
 func BenchmarkSharded4x4_16384(b *testing.B) { benchSharded(b, 16384, 4, 4) }
+
+// benchTempering times one round (5 sweeps per replica + one swap phase) of
+// a parallel-tempering ensemble of multispin replicas across the default
+// critical window. Aggregate host_flips/ns across all replicas: comparing
+// replica counts at a fixed size shows the ensemble scaling with the
+// machine's cores, and comparing against BenchmarkHostMultispin* shows the
+// swap phases (two 8-byte energy messages per pair) cost essentially
+// nothing.
+func benchTempering(b *testing.B, size, replicas int) {
+	const swapInterval = 5
+	ens, err := tempering.New(tempering.Config{
+		Temperatures: sweep.CriticalWindow(tempering.DefaultWindow(size*size, replicas), replicas),
+		SwapInterval: swapInterval,
+		Seed:         1,
+	}, func(slot int, temperature float64) (ising.Backend, error) {
+		return backend.New("multispin", backend.Config{
+			Rows: size, Cols: size, Temperature: temperature,
+			Seed: tempering.ReplicaSeed(1, slot),
+		})
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ens.Round()
+	}
+	b.StopTimer()
+	spins := float64(size) * float64(size) * float64(replicas) * float64(swapInterval) * float64(b.N)
+	b.ReportMetric(spins/float64(b.Elapsed().Nanoseconds()), "host_flips/ns")
+}
+
+func BenchmarkTempering2_1024(b *testing.B) { benchTempering(b, 1024, 2) }
+func BenchmarkTempering4_1024(b *testing.B) { benchTempering(b, 1024, 4) }
+func BenchmarkTempering8_1024(b *testing.B) { benchTempering(b, 1024, 8) }
+func BenchmarkTempering8_4096(b *testing.B) { benchTempering(b, 4096, 8) }
 
 // BenchmarkEstimateSweepCounts times the analytic work estimator at paper
 // scale (it must stay trivially cheap, since every table row calls it).

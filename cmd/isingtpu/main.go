@@ -12,6 +12,7 @@
 //	isingtpu -backend multispin -size 4096 -sweeps 200   # bit-packed host engine
 //	isingtpu -backend gpusim -size 1024 -workers 8
 //	isingtpu -backend sharded -shards 2x4 -size 4096     # multispin over a simulated mesh
+//	isingtpu -temper 8 -backend multispin -size 256      # replica exchange over 8 temperatures
 package main
 
 import (
@@ -28,6 +29,8 @@ import (
 	"tpuising/internal/ising/backend"
 	"tpuising/internal/ising/tpu"
 	"tpuising/internal/perf"
+	"tpuising/internal/sweep"
+	"tpuising/internal/tempering"
 	"tpuising/internal/tensor"
 )
 
@@ -42,10 +45,15 @@ func main() {
 	pod := flag.String("pod", "", "pod core grid as NXxNY (empty = single core)")
 	seed := flag.Uint64("seed", 1, "random seed")
 	engine := flag.String("backend", "tpu",
-		"engine: "+strings.Join(backend.Names(), ", ")+" (or aliases serial, parallel)")
+		"engine from the internal/ising/backend registry: "+strings.Join(backend.Names(), ", ")+
+			" (aliases: serial/cpu = checkerboard, parallel/gpu = gpusim); see the backend-choice table in README.md")
 	workers := flag.Int("workers", 0, "worker goroutines of the host backends (0 = GOMAXPROCS)")
 	shards := flag.String("shards", "",
-		"shard grid of the sharded backend as RxC (shards along rows x shards along columns)")
+		"shard grid of the sharded backend as RxC (R shards along rows x C along columns); the other registry backends ("+
+			strings.Join(backend.Names(), ", ")+") reject it — see the backend-choice table in README.md")
+	temper := flag.String("temper", "",
+		"replica exchange: N temperature replicas of the selected -backend, as N or N:Tmin,Tmax (default window sized for healthy swap acceptance)")
+	swapint := flag.Int("swapint", 10, "sweeps between replica-exchange swap attempts (with -temper)")
 	profile := flag.Bool("profile", false, "print the work counters and the modelled step breakdown")
 	estimate := flag.Bool("estimate", false, "do not run: report the modelled performance for this configuration")
 	flag.Parse()
@@ -88,6 +96,34 @@ func main() {
 		log.Fatalf("-shards selects the shard grid of the sharded backend; it does not apply to the %s backend (valid backends: %s)",
 			name, strings.Join(backend.Names(), ", "))
 	}
+	// The TPU kernel options only make sense when the engine is the tpu
+	// simulator — in single-chain and temper mode alike.
+	if name != "tpu" {
+		for _, tpuOnly := range []string{"algorithm", "dtype", "tile"} {
+			if set[tpuOnly] {
+				log.Fatalf("-%s selects a TPU kernel option; it does not apply to the %s backend (valid backends: %s)",
+					tpuOnly, name, strings.Join(backend.Names(), ", "))
+			}
+		}
+	}
+	if *temper != "" {
+		replicas, tmin, tmax, err := parseTemper(*temper)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *estimate || podX*podY > 1 {
+			log.Fatal("-estimate and -pod model a single TPU chain; they do not apply to -temper")
+		}
+		if set["temp"] {
+			log.Fatal("-temp sets the single-chain temperature; with -temper the ladder window is -temper N:Tmin,Tmax")
+		}
+		runTemper(name, rows, cols, gridR, gridC, tileSize, dt, alg, replicas, tmin, tmax,
+			*swapint, *seed, *workers, *sweeps, *burnin, *profile)
+		return
+	}
+	if set["swapint"] {
+		log.Fatal("-swapint sets the replica-exchange swap interval; it only applies with -temper")
+	}
 	if set["workers"] && name == "sharded" {
 		log.Fatal("-workers controls the band parallelism of the other host backends; the sharded backend's parallelism is its shard grid (use -shards RxC)")
 	}
@@ -95,12 +131,6 @@ func main() {
 		if *estimate || podX*podY > 1 {
 			log.Fatalf("-estimate and -pod model the TPU; they do not apply to the %s backend (valid backends: %s)",
 				name, strings.Join(backend.Names(), ", "))
-		}
-		for _, tpuOnly := range []string{"algorithm", "dtype", "tile"} {
-			if set[tpuOnly] {
-				log.Fatalf("-%s selects a TPU kernel option; it does not apply to the %s backend (valid backends: %s)",
-					tpuOnly, name, strings.Join(backend.Names(), ", "))
-			}
 		}
 		runBackend(name, rows, cols, gridR, gridC, *temp, *seed, *workers, *sweeps, *burnin, *profile)
 		return
@@ -160,6 +190,93 @@ func runBackend(name string, rows, cols, gridR, gridC int, temp float64, seed ui
 			fmt.Printf("modelled interconnect: %d B/link/sweep (rows), %d B/link/sweep (cols), permute %.2f us/sweep\n",
 				rep.RowLinkBytes, rep.ColLinkBytes, rep.PermuteSec*1e6)
 		}
+	}
+}
+
+// parseTemper parses the -temper value: "N" or "N:Tmin,Tmax". With no
+// explicit window it returns tmin = tmax = 0, and runTemper sizes the window
+// around Tc for healthy swap acceptance (tempering.DefaultWindow).
+func parseTemper(s string) (replicas int, tmin, tmax float64, err error) {
+	spec, window, hasWindow := strings.Cut(s, ":")
+	replicas, err = strconv.Atoi(spec)
+	if err != nil || replicas < 2 {
+		return 0, 0, 0, fmt.Errorf("bad -temper %q: want at least 2 replicas as N or N:Tmin,Tmax", s)
+	}
+	if hasWindow {
+		lo, hi, ok := strings.Cut(window, ",")
+		if ok {
+			tmin, err = strconv.ParseFloat(lo, 64)
+			if err == nil {
+				tmax, err = strconv.ParseFloat(hi, 64)
+			}
+		}
+		if !ok || err != nil || tmin <= 0 || tmax <= tmin {
+			return 0, 0, 0, fmt.Errorf("bad -temper %q: want N:Tmin,Tmax with 0 < Tmin < Tmax", s)
+		}
+	}
+	return replicas, tmin, tmax, nil
+}
+
+// runTemper runs the replica-exchange mode: a ladder of `replicas` evenly
+// spaced temperatures in [tmin, tmax], each replica an independent instance
+// of the selected backend, coupled by Metropolis swaps every swapInterval
+// sweeps (internal/tempering). Every printed number is a pure function of
+// the configuration and seed — no wall-clock measurements — so the output is
+// identical for every -workers value (asserted by tests).
+func runTemper(name string, rows, cols, gridR, gridC, tile int, dt tensor.DType, alg tpu.Algorithm,
+	replicas int, tmin, tmax float64,
+	swapInterval int, seed uint64, workers, sweeps, burnin int, profile bool) {
+	if tmin == 0 && tmax == 0 {
+		tc := ising.CriticalTemperature()
+		w := tempering.DefaultWindow(rows*cols, replicas)
+		tmin, tmax = tc*(1-w), tc*(1+w)
+	}
+	ens, err := tempering.New(tempering.Config{
+		Temperatures: sweep.TemperatureGrid(tmin, tmax, replicas),
+		SwapInterval: swapInterval,
+		Seed:         seed,
+		Workers:      workers,
+	}, func(slot int, temperature float64) (ising.Backend, error) {
+		return backend.New(name, backend.Config{
+			Rows: rows, Cols: cols, Temperature: temperature,
+			Seed: tempering.ReplicaSeed(seed, slot), Workers: workers,
+			GridR: gridR, GridC: gridC,
+			TileSize: tile, DType: dt, Algorithm: alg,
+		})
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tc := ising.CriticalTemperature()
+	fmt.Printf("parallel tempering: %d replicas of backend %s, %dx%d lattice, T in [%.4f, %.4f], swap attempt every %d sweeps\n",
+		replicas, ens.Backend(0).Name(), rows, cols, tmin, tmax, swapInterval)
+	burnRounds := (burnin + swapInterval - 1) / swapInterval
+	rounds := sweeps / swapInterval
+	if rounds < 1 {
+		rounds = 1
+	}
+	ens.RunRounds(burnRounds)
+	ens.Sample(rounds)
+	rep := ens.Report()
+	fmt.Printf("after %d burn-in + %d measured rounds: %d round trips, overall swap acceptance %.3f (%d/%d)\n",
+		burnRounds, rounds, rep.RoundTrips, rep.Acceptance(), rep.SwapAccepts, rep.SwapAttempts)
+	fmt.Println("slot  T        T/Tc    |m|       +-        U4        E/spin    tau     swap acc")
+	for t, rr := range rep.Replicas {
+		acc := "    -"
+		if t < len(rep.Replicas)-1 {
+			acc = fmt.Sprintf("%.3f", rr.PairAcceptance)
+		}
+		fmt.Printf("%4d  %.4f  %.4f  %.5f  %.5f  %+.5f  %+.5f  %6.2f  %s\n",
+			t, rr.Temperature, rr.Temperature/tc, rr.AbsMagnetization, rr.AbsMagnetizationErr,
+			rr.Binder, rr.Energy, rr.AutocorrTime, acc)
+	}
+	if profile {
+		counts := ens.SwapCounts()
+		model := perf.ExchangeTraffic(perf.ExchangeSpec{Replicas: replicas, Rounds: int(ens.Rounds())},
+			interconnect.DefaultLinkParams())
+		fmt.Printf("swap traffic: %d B in %d messages (model: %d B, %d messages, %.2f us total exchange time)\n",
+			counts.CommBytes, counts.CommEvents, model.TotalBytes, model.Events, model.ExchangeSec*1e6)
+		fmt.Printf("ensemble work counters: %v\n", ens.Counts())
 	}
 }
 

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"os"
+	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -79,6 +82,56 @@ func TestParseShards(t *testing.T) {
 	for _, bad := range []string{"2", "0x2", "2x0", "ax2", "-1x2"} {
 		if _, _, err := parseShards(bad); err == nil {
 			t.Fatalf("parseShards(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseTemper(t *testing.T) {
+	if n, lo, hi, err := parseTemper("8"); err != nil || n != 8 || lo != 0 || hi != 0 {
+		t.Fatalf("parseTemper(8) = %d,%g,%g,%v (no window should defer to the default)", n, lo, hi, err)
+	}
+	if n, lo, hi, err := parseTemper("4:2.0,2.6"); err != nil || n != 4 || lo != 2.0 || hi != 2.6 {
+		t.Fatalf("parseTemper(4:2.0,2.6) = %d,%g,%g,%v", n, lo, hi, err)
+	}
+	for _, bad := range []string{"", "1", "x", "4:2.6,2.0", "4:2.0", "4:-1,2.0", "4:0,2.0"} {
+		if _, _, _, err := parseTemper(bad); err == nil {
+			t.Errorf("parseTemper(%q) should fail", bad)
+		}
+	}
+}
+
+// TestTemperOutputDeterministicAcrossWorkers is the end-to-end acceptance
+// check: the temper-mode report contains no wall-clock numbers, so the full
+// stdout must be byte-identical for -workers 1 and -workers 8.
+func TestTemperOutputDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CLI build in -short mode")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	bin := filepath.Join(t.TempDir(), "isingtpu")
+	build := exec.Command(goBin, "build", "-o", bin, ".")
+	build.Env = append(os.Environ(), "CGO_ENABLED=0")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building isingtpu: %v\n%s", err, out)
+	}
+	run := func(workers string) string {
+		out, err := exec.Command(bin, "-temper", "8", "-backend", "multispin",
+			"-size", "64", "-sweeps", "100", "-workers", workers, "-profile").CombinedOutput()
+		if err != nil {
+			t.Fatalf("isingtpu -temper (workers=%s): %v\n%s", workers, err, out)
+		}
+		return string(out)
+	}
+	w1, w8 := run("1"), run("8")
+	if w1 != w8 {
+		t.Fatalf("temper output differs between -workers 1 and -workers 8:\n--- w1\n%s\n--- w8\n%s", w1, w8)
+	}
+	for _, want := range []string{"parallel tempering", "swap acc", "round trips", "U4", "swap traffic"} {
+		if !strings.Contains(w1, want) {
+			t.Errorf("temper output lacks %q:\n%s", want, w1)
 		}
 	}
 }

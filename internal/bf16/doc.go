@@ -1,0 +1,9 @@
+// Package bf16 implements the bfloat16 floating-point format used by the TPU
+// matrix unit (MXU): 1 sign bit, 8 exponent bits, 7 mantissa bits.
+//
+// The TPU stores activations and MXU inputs in bfloat16 and accumulates in
+// float32.  This package provides the conversion (round-to-nearest-even, the
+// hardware behaviour), and helpers to round float32 values and slices
+// "through" bfloat16, which is how the tensor package emulates bfloat16
+// storage on top of float32 host arithmetic.
+package bf16

@@ -1,0 +1,21 @@
+// Package device groups the simulated TPU v3 hardware: its sub-packages
+// model the functional units the paper profiles and the numbers behind the
+// performance model.
+//
+//   - spec holds the published hardware constants (peak FLOPS, HBM size and
+//     bandwidth, power) of the TPU v3 and the comparison devices.
+//   - mxu models the 128x128 systolic matrix unit (bfloat16 multiply,
+//     float32 accumulate).
+//   - vpu models the vector unit that executes element-wise arithmetic and
+//     random-number generation.
+//   - hbm models high-bandwidth-memory capacity limits and the (8, 128)
+//     tiling that decides when a lattice fits on a core.
+//   - metrics defines the work counters (MXU / VPU / data formatting /
+//     communication) shared by the instrumented simulators and the analytic
+//     estimator in internal/perf.
+//   - tensorcore composes the units into one simulated core that executes
+//     tensor programs while attributing every operation to a counter.
+//
+// This parent package carries no code; it exists so `go doc` maps the
+// directory the same way ARCHITECTURE.md does.
+package device

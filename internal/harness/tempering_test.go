@@ -1,0 +1,41 @@
+package harness
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestHostTemperingScalingShape runs the tempering scaling table at a small
+// size and checks that the measured and modelled columns are populated
+// sensibly.
+func TestHostTemperingScalingShape(t *testing.T) {
+	tab := HostTemperingScaling(64, []int{2, 4}, 2)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(tab.Rows))
+	}
+	if len(tab.Columns) != 7 {
+		t.Fatalf("got %d columns, want 7", len(tab.Columns))
+	}
+	for _, row := range tab.Rows {
+		if v, err := strconv.ParseFloat(row[1], 64); err != nil || v <= 0 {
+			t.Fatalf("throughput cell %q of row %v is not positive", row[1], row)
+		}
+		if acc, err := strconv.ParseFloat(row[3], 64); err != nil || acc < 0 || acc > 1 {
+			t.Fatalf("acceptance cell %q of row %v is not a ratio", row[3], row)
+		}
+		if _, err := strconv.Atoi(row[4]); err != nil {
+			t.Fatalf("round-trip cell %q of row %v is not an integer", row[4], row)
+		}
+		for i := 5; i < 7; i++ {
+			if v, err := strconv.ParseFloat(row[i], 64); err != nil || v <= 0 {
+				t.Fatalf("modelled cell %q of row %v is not positive", row[i], row)
+			}
+		}
+	}
+	// Two replicas attempt one swap on even rounds only. The cell covers all
+	// three swap phases the ensemble ran (warm-up + 2 timed): rounds 0 and 2
+	// attempt one 16-byte exchange each, so 32 bytes over 3 rounds = 10.7.
+	if tab.Rows[0][5] != "10.7" {
+		t.Fatalf("model swap B/round = %s, want 10.7", tab.Rows[0][5])
+	}
+}

@@ -1,0 +1,15 @@
+// Package hlo is a small XLA/HLO-like graph representation of TensorCore
+// programs: a builder with shape inference, optimisation passes (dead-code
+// elimination, elementwise fusion and HBM layout assignment) and an
+// interpreter that dispatches the compiled program onto the simulated
+// TensorCore.
+//
+// It models the programming stack of Section 2 of the paper: the computation
+// is expressed once as a graph, compiled (with a one-off overhead), and then
+// the compiled program is stepped as many times as required without host
+// intervention — which is what makes the Just-In-Time compilation cost
+// negligible for simulations running millions of sweeps (Section 5.1). The
+// fusion pass also quantifies why keeping tensor shapes aligned to the
+// (8, 128) HBM tiling matters: the layout pass reports the padding waste for
+// misaligned shapes.
+package hlo

@@ -24,3 +24,19 @@ type Backend interface {
 	// host backends report the attempted spin updates in Counts.Ops.
 	Counts() metrics.Counts
 }
+
+// Tempered is the optional extension of Backend that the replica-exchange
+// layer (internal/tempering) requires of its replicas: the engine must expose
+// its spin count, so swap decisions can use the extensive (total) energy, and
+// it must be able to continue its chain at a new temperature after an
+// accepted swap re-labels the replica. Every registered engine implements it
+// — the host engines recompute their acceptance thresholds, and the tpu
+// simulator re-derives beta as in an annealing schedule.
+type Tempered interface {
+	Backend
+	// N returns the number of spins of the lattice.
+	N() int
+	// SetTemperature changes the simulation temperature; the chain continues
+	// from the current configuration.
+	SetTemperature(t float64)
+}

@@ -203,6 +203,13 @@ func (s *Sampler) Run(n int) {
 // Step returns the number of colour updates performed so far.
 func (s *Sampler) Step() uint64 { return s.step }
 
+// N returns the number of spins.
+func (s *Sampler) N() int { return s.Lattice.N() }
+
+// SetTemperature changes the simulation temperature; the chain continues from
+// the current configuration (used by the replica-exchange layer).
+func (s *Sampler) SetTemperature(t float64) { s.Beta = ising.Beta(t) }
+
 // Name identifies the engine; the Sampler is the GPU-style parallel baseline.
 func (s *Sampler) Name() string { return "gpusim" }
 

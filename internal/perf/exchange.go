@@ -1,0 +1,103 @@
+package perf
+
+import (
+	"fmt"
+
+	"tpuising/internal/interconnect"
+)
+
+// EnergyMessageBytes is the payload of one replica-exchange message: the
+// extensive (total) energy of one replica as a float64.
+const EnergyMessageBytes = 8
+
+// ExchangeSpec describes a parallel-tempering run (see internal/tempering)
+// for swap-traffic modelling: Replicas temperature replicas attempting
+// Metropolis swaps between adjacent pairs every swap round, with the pairing
+// alternating between even pairs ((0,1),(2,3),...) on even rounds and odd
+// pairs ((1,2),(3,4),...) on odd rounds, starting from round 0.
+type ExchangeSpec struct {
+	// Replicas is the number of temperature replicas (>= 2).
+	Replicas int
+	// Rounds is the number of swap rounds, starting with the even pairing.
+	Rounds int
+}
+
+// ExchangeTrafficReport is the modelled interconnect traffic of the swap
+// phases of a parallel-tempering run. The counts are exact mirrors of what
+// the tempering orchestrator accumulates in its swap counters (its
+// SwapCounts().CommBytes reproduces TotalBytes), and the exchange time
+// applies the same link cost model that prices the paper's
+// collective-permute column. Between swap rounds no replica data crosses the
+// fabric at all: an accepted swap re-labels the two replicas' temperatures
+// in place instead of moving lattice configurations, so the entire exchange
+// layer costs two tiny energy messages per attempted pair, independent of
+// lattice size.
+type ExchangeTrafficReport struct {
+	// PairBytes is the traffic of one attempted pair swap: each replica sends
+	// its 8-byte total energy to the other (the accept/reject decision is a
+	// pure function of the two energies and the shared pair/round-keyed
+	// random, so both sides reach it without further messages).
+	PairBytes int64
+	// EvenPairs and OddPairs are the attempted pairs per even / odd round.
+	EvenPairs, OddPairs int64
+	// Attempts is the total attempted pair swaps over Rounds rounds.
+	Attempts int64
+	// TotalBytes is the total bytes moved by all swap phases (what the
+	// orchestrator's swap comm counters accumulate).
+	TotalBytes int64
+	// Events is the total messages (two per attempted pair).
+	Events int64
+	// Hops is the total link hops (adjacent replicas are one hop apart).
+	Hops int64
+	// ExchangeSec is the modelled wall time of all swap phases: each round is
+	// one lockstep exchange of the active pairs' energy messages on a
+	// Replicas x 1 chain under the given link parameters.
+	ExchangeSec float64
+}
+
+// ExchangeTraffic models the swap traffic of a parallel-tempering run. It
+// panics on a spec the tempering orchestrator itself would reject.
+func ExchangeTraffic(s ExchangeSpec, link interconnect.LinkParams) ExchangeTrafficReport {
+	if s.Replicas < 2 || s.Rounds < 0 {
+		panic(fmt.Sprintf("perf: invalid exchange spec %+v", s))
+	}
+	rep := ExchangeTrafficReport{
+		PairBytes: 2 * EnergyMessageBytes,
+		EvenPairs: int64(s.Replicas / 2),
+		OddPairs:  int64((s.Replicas - 1) / 2),
+	}
+	evenRounds := int64((s.Rounds + 1) / 2)
+	oddRounds := int64(s.Rounds / 2)
+	rep.Attempts = evenRounds*rep.EvenPairs + oddRounds*rep.OddPairs
+	rep.TotalBytes = rep.Attempts * rep.PairBytes
+	rep.Events = 2 * rep.Attempts
+	rep.Hops = 2 * rep.Attempts
+
+	// Wall time: all active pairs of a round exchange concurrently, so one
+	// round costs one lockstep permute of an 8-byte message on the replica
+	// chain (mapped onto a Replicas x 1 mesh).
+	mesh := interconnect.NewMesh(s.Replicas, 1)
+	mesh.Link = link
+	for _, n := range []struct {
+		rounds int64
+		pairs  int64
+		parity int
+	}{{evenRounds, rep.EvenPairs, 0}, {oddRounds, rep.OddPairs, 1}} {
+		if n.rounds == 0 || n.pairs == 0 {
+			continue
+		}
+		sec, _ := mesh.PermuteCost(exchangePairs(s.Replicas, n.parity), EnergyMessageBytes)
+		rep.ExchangeSec += float64(n.rounds) * sec
+	}
+	return rep
+}
+
+// exchangePairs returns the source->destination pairs of one swap round's
+// energy exchange: both directions of every active adjacent pair.
+func exchangePairs(replicas, parity int) [][2]int {
+	var pairs [][2]int
+	for t := parity; t+1 < replicas; t += 2 {
+		pairs = append(pairs, [2]int{t, t + 1}, [2]int{t + 1, t})
+	}
+	return pairs
+}

@@ -1,0 +1,75 @@
+package perf
+
+import (
+	"testing"
+
+	"tpuising/internal/interconnect"
+)
+
+func TestExchangeTrafficCounts(t *testing.T) {
+	link := interconnect.DefaultLinkParams()
+	cases := []struct {
+		replicas, rounds            int
+		wantEven, wantOdd, attempts int64
+	}{
+		// Even count: 8 replicas -> 4 even pairs, 3 odd pairs. 5 rounds run
+		// even, odd, even, odd, even = 3 even + 2 odd phases.
+		{8, 5, 4, 3, 3*4 + 2*3},
+		// Odd count: 5 replicas -> 2 even pairs, 2 odd pairs.
+		{5, 7, 2, 2, 4*2 + 3*2},
+		// Two replicas: odd rounds attempt nothing.
+		{2, 4, 1, 0, 2},
+		{3, 0, 1, 1, 0},
+	}
+	for _, c := range cases {
+		rep := ExchangeTraffic(ExchangeSpec{Replicas: c.replicas, Rounds: c.rounds}, link)
+		if rep.EvenPairs != c.wantEven || rep.OddPairs != c.wantOdd {
+			t.Errorf("%d replicas: pairs = %d/%d, want %d/%d",
+				c.replicas, rep.EvenPairs, rep.OddPairs, c.wantEven, c.wantOdd)
+		}
+		if rep.Attempts != c.attempts {
+			t.Errorf("%d replicas x %d rounds: attempts = %d, want %d",
+				c.replicas, c.rounds, rep.Attempts, c.attempts)
+		}
+		if rep.PairBytes != 2*EnergyMessageBytes {
+			t.Errorf("PairBytes = %d, want %d", rep.PairBytes, 2*EnergyMessageBytes)
+		}
+		if rep.TotalBytes != rep.Attempts*rep.PairBytes {
+			t.Errorf("TotalBytes = %d, want attempts*pairBytes = %d", rep.TotalBytes, rep.Attempts*rep.PairBytes)
+		}
+		if rep.Events != 2*rep.Attempts || rep.Hops != 2*rep.Attempts {
+			t.Errorf("Events/Hops = %d/%d, want %d each", rep.Events, rep.Hops, 2*rep.Attempts)
+		}
+		if c.rounds > 0 && rep.ExchangeSec <= 0 {
+			t.Errorf("%d rounds: ExchangeSec = %g, want > 0", c.rounds, rep.ExchangeSec)
+		}
+	}
+}
+
+// TestExchangeTrafficIndependentOfLatticeSize documents the point of
+// label-swapping: the spec has no lattice dimensions at all, and the per-pair
+// payload is two fixed-size energies.
+func TestExchangeTrafficScaling(t *testing.T) {
+	link := interconnect.DefaultLinkParams()
+	small := ExchangeTraffic(ExchangeSpec{Replicas: 4, Rounds: 10}, link)
+	big := ExchangeTraffic(ExchangeSpec{Replicas: 4, Rounds: 20}, link)
+	if big.TotalBytes != 2*small.TotalBytes {
+		t.Errorf("doubling rounds should double traffic: %d vs %d", small.TotalBytes, big.TotalBytes)
+	}
+	if big.ExchangeSec <= small.ExchangeSec {
+		t.Errorf("more rounds must cost more time: %g vs %g", small.ExchangeSec, big.ExchangeSec)
+	}
+}
+
+func TestExchangeTrafficPanics(t *testing.T) {
+	for _, spec := range []ExchangeSpec{{Replicas: 1, Rounds: 5}, {Replicas: 4, Rounds: -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ExchangeTraffic(%+v) should panic", spec)
+				}
+			}()
+			ExchangeTraffic(spec, interconnect.DefaultLinkParams())
+		}()
+	}
+}

@@ -1,26 +1,3 @@
-// Package perf is the performance model that converts the device work
-// counters of an (instrumented or estimated) checkerboard sweep into the
-// quantities the paper reports: step time and its breakdown by functional
-// unit (Table 3), throughput in flips/ns (Tables 1, 2, 6, 7), energy per flip
-// (Tables 1, 2), collective-permute time (Table 4) and the roofline/FLOPS
-// utilisation analysis (Table 5).
-//
-// # Calibration
-//
-// The model structure is fixed — each work category is divided by an
-// effective sustained rate, communication follows the interconnect link
-// model, and a constant per-operation dispatch overhead accounts for the
-// graph-launch cost that dominates small lattices. The effective rates are
-// calibrated once against a single anchor configuration, the per-core
-// [896x128, 448x128] bfloat16 lattice of Table 2 (step time 575 ms) split by
-// the measured fractions of Table 3 (59.6% MXU, 12% VPU, 28.2% data
-// formatting). Every other row of every table follows from the model without
-// further per-row constants; see EXPERIMENTS.md for the resulting deviations.
-//
-// The calibrated effective MXU rate (~4.9e12 MAC/s, 16% of the hardware peak)
-// reflects that the nearest-neighbour matrix multiplications are memory
-// bound, which is exactly what the paper's roofline analysis reports (Table
-// 5: ~76% of the memory-bound roofline, ~9.3% of peak).
 package perf
 
 import (

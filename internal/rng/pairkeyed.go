@@ -1,0 +1,34 @@
+package rng
+
+// PairKeyed generates the random uniform used to accept or reject the
+// replica-exchange swap of a specific pair of adjacent temperatures at a
+// specific swap round, as a pure function of (seed, round, pair).
+//
+// It is the exchange-layer sibling of SiteKeyed: because the value depends
+// only on the pair index and the round counter — never on which goroutine
+// evaluates it or in what order the pairs are visited — a parallel-tempering
+// run is deterministic at fixed seed and independent of GOMAXPROCS and of the
+// orchestrator's worker count (asserted by the tempering determinism tests).
+// The key derivation differs from NewSiteKeyed's, so swap decisions are
+// statistically independent of every site-keyed stream drawn from the same
+// seed.
+type PairKeyed struct {
+	key Key
+}
+
+// NewPairKeyed returns a pair-keyed generator for the given seed.
+func NewPairKeyed(seed uint64) *PairKeyed {
+	return &PairKeyed{key: Key{uint32(seed) ^ 0x9E3779B9, uint32(seed>>32) ^ 0x243F6A88}}
+}
+
+// Uniform returns the uniform [0,1) variate for (round, pair) as a float64
+// (swap acceptances multiply extensive energies, so they deserve the full
+// 53-bit resolution).
+func (p *PairKeyed) Uniform(round uint64, pair int) float64 {
+	ctr := Counter{uint32(round), uint32(round >> 32), uint32(int64(pair)), 0x50524550} // "PREP"
+	b := Block(ctr, p.key)
+	return Uint32ToUniform64(b[0], b[1])
+}
+
+// Key returns the generator key (for reproducibility records).
+func (p *PairKeyed) Key() Key { return p.key }

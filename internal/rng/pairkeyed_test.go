@@ -1,0 +1,55 @@
+package rng
+
+import "testing"
+
+func TestPairKeyedDeterministic(t *testing.T) {
+	a, b := NewPairKeyed(42), NewPairKeyed(42)
+	for round := uint64(0); round < 8; round++ {
+		for pair := 0; pair < 4; pair++ {
+			if a.Uniform(round, pair) != b.Uniform(round, pair) {
+				t.Fatalf("same (seed, round, pair) must give the same uniform")
+			}
+		}
+	}
+}
+
+func TestPairKeyedVariesWithEveryInput(t *testing.T) {
+	p := NewPairKeyed(42)
+	base := p.Uniform(3, 1)
+	if p.Uniform(4, 1) == base {
+		t.Error("round change should change the uniform")
+	}
+	if p.Uniform(3, 2) == base {
+		t.Error("pair change should change the uniform")
+	}
+	if NewPairKeyed(43).Uniform(3, 1) == base {
+		t.Error("seed change should change the uniform")
+	}
+}
+
+// TestPairKeyedIndependentOfSiteKeyed: the two generators derive different
+// Philox keys from the same seed, so the swap-decision stream never reuses
+// site randoms.
+func TestPairKeyedIndependentOfSiteKeyed(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 42, 1 << 40} {
+		if NewPairKeyed(seed).Key() == NewSiteKeyed(seed).Key() {
+			t.Errorf("seed %d: pair and site keys collide", seed)
+		}
+	}
+}
+
+func TestPairKeyedUniformRange(t *testing.T) {
+	p := NewPairKeyed(7)
+	var sum float64
+	const n = 4096
+	for i := 0; i < n; i++ {
+		u := p.Uniform(uint64(i), i%7)
+		if u < 0 || u >= 1 {
+			t.Fatalf("uniform %g out of [0, 1)", u)
+		}
+		sum += u
+	}
+	if mean := sum / n; mean < 0.45 || mean > 0.55 {
+		t.Errorf("mean of %d uniforms = %.4f, want ~0.5", n, mean)
+	}
+}

@@ -1,0 +1,12 @@
+// Package stats provides the sample statistics used to turn Markov-chain
+// samples into the quantities reported in the paper's Figures 4 and 7:
+// means with error bars, higher moments, the Binder parameter (the kurtosis
+// of the magnetisation), and simple autocorrelation/binning analysis so that
+// error bars account for the correlation of successive Monte-Carlo samples.
+//
+// It also carries the observables of the replica-exchange layer
+// (internal/tempering): per-pair swap-acceptance ratios, walker round-trip
+// counting over a temperature ladder, and the effective sample size implied
+// by the integrated autocorrelation time. docs/PHYSICS.md explains how each
+// statistic is validated against exact results.
+package stats

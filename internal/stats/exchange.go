@@ -1,0 +1,62 @@
+package stats
+
+// This file holds the observables of the replica-exchange (parallel
+// tempering) layer: swap-acceptance ratios, walker round-trip counting over
+// a temperature ladder, and the effective sample size that the integrated
+// autocorrelation time implies. internal/tempering reports all of them per
+// replica; see docs/PHYSICS.md for how they are validated.
+
+// AcceptanceRatio returns accepted/attempted as a float64 (0 when nothing
+// was attempted). It is the per-pair swap-acceptance observable of the
+// replica-exchange layer; a healthy temperature ladder keeps it roughly flat
+// across pairs, conventionally in the 20-40% range.
+func AcceptanceRatio(accepted, attempted int64) float64 {
+	if attempted <= 0 {
+		return 0
+	}
+	return float64(accepted) / float64(attempted)
+}
+
+// RoundTrips counts the completed round trips of one walker's
+// temperature-index trajectory over a ladder whose indices span [lo, hi]: a
+// round trip is lo -> hi -> lo. Visits to intermediate indices do not reset
+// progress; the walker only needs to touch both ends. Round-trip counts are
+// the standard diffusion diagnostic of parallel tempering — a ladder with no
+// round trips is not mixing replicas between the hot and cold ends. This is
+// the reference form over a recorded trajectory; internal/tempering counts
+// trips incrementally with the same state machine, and its tests assert the
+// two agree.
+func RoundTrips(path []int, lo, hi int) int {
+	if hi <= lo {
+		return 0
+	}
+	trips := 0
+	// dir = +1 once the walker has touched lo (heading up), -1 once it has
+	// touched hi (heading back down), 0 before it touches either end.
+	dir := 0
+	for _, t := range path {
+		switch {
+		case t <= lo:
+			if dir == -1 {
+				trips++
+			}
+			dir = +1
+		case t >= hi:
+			if dir == +1 {
+				dir = -1
+			}
+		}
+	}
+	return trips
+}
+
+// EffectiveSampleSize returns the number of effectively independent samples
+// in a correlated chain, N / tau, using the integrated autocorrelation time
+// of IntegratedAutocorrTime. It is what turns a tempering run's raw sample
+// count into an honest error-bar denominator.
+func EffectiveSampleSize(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return float64(len(xs)) / IntegratedAutocorrTime(xs)
+}

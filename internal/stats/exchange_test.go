@@ -1,0 +1,59 @@
+package stats
+
+import "testing"
+
+func TestAcceptanceRatio(t *testing.T) {
+	if got := AcceptanceRatio(3, 4); got != 0.75 {
+		t.Errorf("AcceptanceRatio(3, 4) = %g", got)
+	}
+	if got := AcceptanceRatio(0, 0); got != 0 {
+		t.Errorf("AcceptanceRatio(0, 0) = %g, want 0", got)
+	}
+	if got := AcceptanceRatio(5, -1); got != 0 {
+		t.Errorf("AcceptanceRatio with negative attempts = %g, want 0", got)
+	}
+}
+
+func TestRoundTrips(t *testing.T) {
+	cases := []struct {
+		name   string
+		path   []int
+		lo, hi int
+		want   int
+	}{
+		{"empty", nil, 0, 3, 0},
+		{"never leaves bottom", []int{0, 0, 0}, 0, 3, 0},
+		{"one trip", []int{0, 1, 2, 3, 2, 1, 0}, 0, 3, 1},
+		{"touching both ends suffices", []int{0, 3, 0}, 0, 3, 1},
+		{"top first then full trip", []int{3, 2, 0, 1, 3, 0}, 0, 3, 1},
+		{"two trips", []int{0, 3, 0, 3, 0}, 0, 3, 2},
+		{"half trip does not count", []int{0, 1, 2, 3}, 0, 3, 0},
+		{"wandering without the top", []int{0, 1, 2, 1, 0, 1, 0}, 0, 3, 0},
+		{"degenerate ladder", []int{0, 0}, 0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := RoundTrips(c.path, c.lo, c.hi); got != c.want {
+			t.Errorf("%s: RoundTrips(%v, %d, %d) = %d, want %d", c.name, c.path, c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestEffectiveSampleSize(t *testing.T) {
+	if got := EffectiveSampleSize(nil); got != 0 {
+		t.Errorf("EffectiveSampleSize(nil) = %g", got)
+	}
+	// Alternating series: negative lag-1 autocorrelation truncates the tau
+	// sum immediately, so tau = 1 and ESS = N.
+	alt := []float64{1, -1, 1, -1, 1, -1, 1, -1}
+	if got := EffectiveSampleSize(alt); got != float64(len(alt)) {
+		t.Errorf("alternating series ESS = %g, want %d", got, len(alt))
+	}
+	// A strongly correlated ramp must lose effective samples.
+	ramp := make([]float64, 100)
+	for i := range ramp {
+		ramp[i] = float64(i)
+	}
+	if got := EffectiveSampleSize(ramp); got >= float64(len(ramp)) {
+		t.Errorf("correlated series ESS = %g, want < %d", got, len(ramp))
+	}
+}

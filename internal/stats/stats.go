@@ -1,8 +1,3 @@
-// Package stats provides the sample statistics used to turn Markov-chain
-// samples into the quantities reported in the paper's Figures 4 and 7:
-// means with error bars, higher moments, the Binder parameter (the kurtosis
-// of the magnetisation), and simple autocorrelation/binning analysis so that
-// error bars account for the correlation of successive Monte-Carlo samples.
 package stats
 
 import "math"

@@ -1,8 +1,3 @@
-// Package sweep drives temperature sweeps of the Ising simulators and
-// collects the observables the paper uses for its correctness study (Figures
-// 4 and 7): the average magnetisation m(T) and the Binder parameter U4(T)
-// over a grid of temperatures around the critical point, for several lattice
-// sizes and both precisions.
 package sweep
 
 import (

@@ -1,0 +1,82 @@
+package sweep
+
+import (
+	"sort"
+
+	"tpuising/internal/ising"
+	"tpuising/internal/tempering"
+)
+
+// RunTempering is Run with the temperatures coupled by replica exchange: the
+// grid becomes a parallel-tempering ladder (internal/tempering) whose
+// replicas attempt Metropolis swaps between adjacent temperatures every
+// swapInterval sweeps, which near Tc decorrelates the chains far faster than
+// the independent chains of Run. Config fields keep their meaning, with
+// rounds as the clock: BurnIn is converted to whole tempering rounds,
+// Interval is the number of rounds between measurements, and Parallel bounds
+// how many replicas sweep concurrently (never affecting any result). seed
+// drives only the swap decisions; newBackend seeds the replicas' own chains
+// and must return an engine implementing ising.Tempered (every host backend
+// does — the tpu simulator does not).
+//
+// The returned points follow the order of cfg.Temperatures like Run's; the
+// accompanying report carries the exchange-layer observables (per-pair swap
+// acceptance, round trips, autocorrelation times). It panics on a config the
+// tempering orchestrator rejects, mirroring Run's handling of bad configs.
+func RunTempering(cfg Config, swapInterval int, seed uint64,
+	newBackend func(temperature float64) ising.Backend) ([]Point, tempering.Report) {
+	c := cfg.withDefaults()
+	if c.Samples <= 0 {
+		panic("sweep: Samples must be positive")
+	}
+	// The ladder must ascend; remember where each ladder slot came from so
+	// the points can be returned in the caller's grid order.
+	order := make([]int, len(c.Temperatures))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return c.Temperatures[order[a]] < c.Temperatures[order[b]]
+	})
+	ladder := make([]float64, len(order))
+	for t, idx := range order {
+		ladder[t] = c.Temperatures[idx]
+	}
+
+	ens, err := tempering.New(tempering.Config{
+		Temperatures: ladder,
+		SwapInterval: swapInterval,
+		Seed:         seed,
+		Workers:      c.Parallel,
+	}, func(_ int, temperature float64) (ising.Backend, error) {
+		return newBackend(temperature), nil
+	})
+	if err != nil {
+		panic("sweep: " + err.Error())
+	}
+	if c.BurnIn > 0 {
+		si := swapInterval
+		if si <= 0 {
+			si = 1
+		}
+		ens.RunRounds((c.BurnIn + si - 1) / si)
+	}
+	for i := 0; i < c.Samples; i++ {
+		ens.RunRounds(c.Interval)
+		ens.Measure()
+	}
+
+	rep := ens.Report()
+	points := make([]Point, len(c.Temperatures))
+	for t, rr := range rep.Replicas {
+		points[order[t]] = Point{
+			Temperature:         rr.Temperature,
+			AbsMagnetization:    rr.AbsMagnetization,
+			AbsMagnetizationErr: rr.AbsMagnetizationErr,
+			Binder:              rr.Binder,
+			Energy:              rr.Energy,
+			Samples:             rr.Samples,
+		}
+	}
+	return points, rep
+}

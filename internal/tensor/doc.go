@@ -1,0 +1,13 @@
+// Package tensor implements the dense multi-dimensional arrays that the
+// paper's checkerboard kernels are written against.  It plays the role that
+// TensorFlow tensors play in the original implementation: rank-N float32
+// storage with an optional bfloat16 value type, batched matrix multiplication
+// (the MXU workload), element-wise vector operations (the VPU workload),
+// slicing / rolling / concatenation (the "data formatting" workload) and 2-D
+// convolution (the appendix implementation).
+//
+// Tensors with DType BFloat16 store float32 values that are always rounded to
+// the nearest bfloat16 after every producing operation; matrix
+// multiplication always rounds its inputs to bfloat16 and accumulates in
+// float32, which is exactly the MXU numeric behaviour described in the paper.
+package tensor
