@@ -1,0 +1,88 @@
+// Command isingd is the long-running simulation daemon: a REST service over
+// the backend registry that queues JSON job specs on a bounded worker pool,
+// streams observables as NDJSON while jobs run, deduplicates identical
+// queries through a result cache, and checkpoints snapshottable jobs so a
+// restarted daemon resumes them bit-identically (internal/service).
+//
+// Endpoints (see internal/service/http.go):
+//
+//	POST   /v1/jobs             submit a job spec
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        job status
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /v1/jobs/{id}/result final result (202 until done)
+//	GET    /v1/jobs/{id}/stream NDJSON observable stream
+//	GET    /v1/stats            server counters
+//
+// Example session:
+//
+//	isingd -addr localhost:8765 -checkpoint-dir /var/lib/isingd &
+//	curl -s localhost:8765/v1/jobs -d '{"backend":"multispin","rows":256,"cols":256,"sweeps":10000,"seed":7}'
+//	curl -s localhost:8765/v1/jobs/job-000001/stream      # NDJSON while it runs
+//	curl -s localhost:8765/v1/jobs/job-000001/result      # encode.Result when done
+//
+// On SIGINT/SIGTERM the daemon stops accepting work, writes a final
+// checkpoint for every running snapshottable job and exits; restarting over
+// the same -checkpoint-dir resumes those jobs where they stopped.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tpuising/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8765", "listen address")
+	workers := flag.Int("workers", 2, "worker pool size (concurrent jobs)")
+	queue := flag.Int("queue", 64, "queued-job bound; submissions beyond it are rejected")
+	ckptDir := flag.String("checkpoint-dir", "", "directory for job checkpoints (empty = no checkpointing)")
+	ckptInterval := flag.Int("checkpoint-interval", 1000, "default sweeps between checkpoints for snapshottable backends")
+	cacheSize := flag.Int("cache", 256, "result cache entries (negative = disable caching)")
+	history := flag.Int("history", 1024, "finished jobs kept queryable (negative = keep forever)")
+	flag.Parse()
+
+	srv, skipped := service.New(service.Config{
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		CheckpointDir:      *ckptDir,
+		CheckpointInterval: *ckptInterval,
+		CacheSize:          *cacheSize,
+		JobHistory:         *history,
+	})
+	for _, err := range skipped {
+		log.Printf("isingd: skipping checkpoint: %v", err)
+	}
+	if resumed := srv.Stats().JobsResumed; resumed > 0 {
+		log.Printf("isingd: resumed %d checkpointed job(s) from %s", resumed, *ckptDir)
+	}
+
+	httpServer := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpServer.ListenAndServe() }()
+	log.Printf("isingd: serving on %s (%d workers, queue %d)", *addr, srv.Workers(), *queue)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("isingd: %v, shutting down", sig)
+	case err := <-errc:
+		log.Fatalf("isingd: %v", err)
+	}
+	// Close the service first: it checkpoints running snapshottable jobs for
+	// the next daemon and ends open NDJSON streams, so the HTTP drain below
+	// finishes promptly.
+	srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = httpServer.Shutdown(ctx)
+	log.Print("isingd: stopped")
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"tpuising/internal/service"
+	"tpuising/internal/service/encode"
+)
+
+// TestDaemonEndpointSmoke is the CI endpoint smoke: it mounts the daemon's
+// handler on a test listener and performs the canonical client loop —
+// submit a job, poll its status, read the NDJSON stream, fetch the result —
+// asserting each hop speaks the documented wire format.
+func TestDaemonEndpointSmoke(t *testing.T) {
+	srv, skipped := service.New(service.Config{Workers: 2})
+	if len(skipped) != 0 {
+		t.Fatalf("service.New skipped: %v", skipped)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Submit.
+	spec := []byte(`{"backend":"multispin","rows":16,"cols":64,"sweeps":40,"seed":3,"sample_interval":10}`)
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var submitted service.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&submitted); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit returned %d", resp.StatusCode)
+	}
+	if submitted.ID == "" {
+		t.Fatalf("submit status has no job ID: %+v", submitted)
+	}
+
+	// Poll.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + submitted.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st service.JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if st.State == service.StateDone {
+			break
+		}
+		if st.State == service.StateFailed || time.Now().After(deadline) {
+			t.Fatalf("job did not complete: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Stream: a finished job still replays its full sample history.
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + submitted.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	scanner := bufio.NewScanner(resp.Body)
+	for scanner.Scan() {
+		var sm encode.Sample
+		if err := json.Unmarshal(scanner.Bytes(), &sm); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", scanner.Text(), err)
+		}
+		lines++
+	}
+	resp.Body.Close()
+	if lines != 4 {
+		t.Fatalf("stream replayed %d samples, want 4", lines)
+	}
+
+	// Fetch the result.
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + submitted.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var result encode.Result
+	if err := json.NewDecoder(resp.Body).Decode(&result); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result returned %d", resp.StatusCode)
+	}
+	if result.Backend != "multispin" || result.Rows != 16 || result.Cols != 64 ||
+		result.Sweeps != 40 || result.Samples != 4 || result.Step != 80 {
+		t.Fatalf("result: %+v", result)
+	}
+}

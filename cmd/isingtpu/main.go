@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strconv"
 	"strings"
 	"time"
@@ -29,6 +30,7 @@ import (
 	"tpuising/internal/ising/backend"
 	"tpuising/internal/ising/tpu"
 	"tpuising/internal/perf"
+	"tpuising/internal/service/encode"
 	"tpuising/internal/sweep"
 	"tpuising/internal/tempering"
 	"tpuising/internal/tensor"
@@ -45,17 +47,19 @@ func main() {
 	pod := flag.String("pod", "", "pod core grid as NXxNY (empty = single core)")
 	seed := flag.Uint64("seed", 1, "random seed")
 	engine := flag.String("backend", "tpu",
-		"engine from the internal/ising/backend registry: "+strings.Join(backend.Names(), ", ")+
+		"engine from the internal/ising/backend registry: "+backend.List()+
 			" (aliases: serial/cpu = checkerboard, parallel/gpu = gpusim); see the backend-choice table in README.md")
 	workers := flag.Int("workers", 0, "worker goroutines of the host backends (0 = GOMAXPROCS)")
 	shards := flag.String("shards", "",
 		"shard grid of the sharded backend as RxC (R shards along rows x C along columns); the other registry backends ("+
-			strings.Join(backend.Names(), ", ")+") reject it — see the backend-choice table in README.md")
+			backend.List()+") reject it — see the backend-choice table in README.md")
 	temper := flag.String("temper", "",
 		"replica exchange: N temperature replicas of the selected -backend, as N or N:Tmin,Tmax (default window sized for healthy swap acceptance)")
 	swapint := flag.Int("swapint", 10, "sweeps between replica-exchange swap attempts (with -temper)")
 	profile := flag.Bool("profile", false, "print the work counters and the modelled step breakdown")
 	estimate := flag.Bool("estimate", false, "do not run: report the modelled performance for this configuration")
+	jsonOut := flag.Bool("json", false,
+		"print the run's result as one JSON line (internal/service/encode.Result, the isingd wire format) instead of prose")
 	flag.Parse()
 
 	rows, cols, err := parseSize(*size)
@@ -94,7 +98,7 @@ func main() {
 
 	if set["shards"] && name != "sharded" {
 		log.Fatalf("-shards selects the shard grid of the sharded backend; it does not apply to the %s backend (valid backends: %s)",
-			name, strings.Join(backend.Names(), ", "))
+			name, backend.List())
 	}
 	// The TPU kernel options only make sense when the engine is the tpu
 	// simulator — in single-chain and temper mode alike.
@@ -102,8 +106,16 @@ func main() {
 		for _, tpuOnly := range []string{"algorithm", "dtype", "tile"} {
 			if set[tpuOnly] {
 				log.Fatalf("-%s selects a TPU kernel option; it does not apply to the %s backend (valid backends: %s)",
-					tpuOnly, name, strings.Join(backend.Names(), ", "))
+					tpuOnly, name, backend.List())
 			}
+		}
+	}
+	if *jsonOut {
+		if *profile {
+			log.Fatal("-profile prints a prose report; it does not combine with -json")
+		}
+		if *estimate || podX*podY > 1 {
+			log.Fatal("-json prints a run result; it does not apply to -estimate or -pod")
 		}
 	}
 	if *temper != "" {
@@ -118,7 +130,7 @@ func main() {
 			log.Fatal("-temp sets the single-chain temperature; with -temper the ladder window is -temper N:Tmin,Tmax")
 		}
 		runTemper(name, rows, cols, gridR, gridC, tileSize, dt, alg, replicas, tmin, tmax,
-			*swapint, *seed, *workers, *sweeps, *burnin, *profile)
+			*swapint, *seed, *workers, *sweeps, *burnin, *profile, *jsonOut)
 		return
 	}
 	if set["swapint"] {
@@ -130,9 +142,9 @@ func main() {
 	if name != "tpu" {
 		if *estimate || podX*podY > 1 {
 			log.Fatalf("-estimate and -pod model the TPU; they do not apply to the %s backend (valid backends: %s)",
-				name, strings.Join(backend.Names(), ", "))
+				name, backend.List())
 		}
-		runBackend(name, rows, cols, gridR, gridC, *temp, *seed, *workers, *sweeps, *burnin, *profile)
+		runBackend(name, rows, cols, gridR, gridC, *temp, *seed, *workers, *sweeps, *burnin, *profile, *jsonOut)
 		return
 	}
 	if set["workers"] {
@@ -146,12 +158,13 @@ func main() {
 		runPod(rows, cols, tileSize, dt, podX, podY, *temp, *seed, *sweeps, *burnin, *profile)
 		return
 	}
-	runSingle(rows, cols, tileSize, dt, alg, perfAlg, *temp, *seed, *sweeps, *burnin, *profile)
+	runSingle(rows, cols, tileSize, dt, alg, perfAlg, *temp, *seed, *sweeps, *burnin, *profile, *jsonOut)
 }
 
 // runBackend runs a host engine selected through the backend factory and
-// reports its observables and measured wall-clock throughput.
-func runBackend(name string, rows, cols, gridR, gridC int, temp float64, seed uint64, workers, sweeps, burnin int, profile bool) {
+// reports its observables and measured wall-clock throughput (as prose, or
+// as one encode.Result JSON line with -json — the isingd wire format).
+func runBackend(name string, rows, cols, gridR, gridC int, temp float64, seed uint64, workers, sweeps, burnin int, profile, jsonOut bool) {
 	eng, err := backend.New(name, backend.Config{
 		Rows: rows, Cols: cols, Temperature: temp, Seed: seed, Workers: workers,
 		GridR: gridR, GridC: gridC,
@@ -159,12 +172,14 @@ func runBackend(name string, rows, cols, gridR, gridC int, temp float64, seed ui
 	if err != nil {
 		log.Fatal(err)
 	}
-	if name == "sharded" {
-		fmt.Printf("backend %s: %dx%d lattice over a %dx%d shard mesh (%d cores), T=%.4f (T/Tc=%.3f)\n",
-			eng.Name(), rows, cols, gridR, gridC, gridR*gridC, temp, temp/ising.CriticalTemperature())
-	} else {
-		fmt.Printf("backend %s: %dx%d lattice, T=%.4f (T/Tc=%.3f)\n",
-			eng.Name(), rows, cols, temp, temp/ising.CriticalTemperature())
+	if !jsonOut {
+		if name == "sharded" {
+			fmt.Printf("backend %s: %dx%d lattice over a %dx%d shard mesh (%d cores), T=%.4f (T/Tc=%.3f)\n",
+				eng.Name(), rows, cols, gridR, gridC, gridR*gridC, temp, temp/ising.CriticalTemperature())
+		} else {
+			fmt.Printf("backend %s: %dx%d lattice, T=%.4f (T/Tc=%.3f)\n",
+				eng.Name(), rows, cols, temp, temp/ising.CriticalTemperature())
+		}
 	}
 	for i := 0; i < burnin; i++ {
 		eng.Sweep()
@@ -174,6 +189,19 @@ func runBackend(name string, rows, cols, gridR, gridC int, temp float64, seed ui
 		eng.Sweep()
 	}
 	elapsed := time.Since(start)
+	if jsonOut {
+		r := encode.Result{Backend: eng.Name(), Rows: rows, Cols: cols,
+			Temperature: temp, Seed: seed, Sweeps: sweeps, BurnIn: burnin}
+		encode.Observables(&r, eng)
+		r.ElapsedSec = elapsed.Seconds()
+		if sweeps > 0 && elapsed > 0 {
+			r.FlipsPerNs = float64(rows) * float64(cols) * float64(sweeps) / float64(elapsed.Nanoseconds())
+		}
+		if err := encode.WriteLine(os.Stdout, r); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	fmt.Printf("after %d sweeps: m = %+.5f, |m| = %.5f, E/spin = %.5f\n",
 		burnin+sweeps, eng.Magnetization(), abs(eng.Magnetization()), eng.Energy())
 	if sweeps > 0 && elapsed > 0 {
@@ -225,7 +253,7 @@ func parseTemper(s string) (replicas int, tmin, tmax float64, err error) {
 // identical for every -workers value (asserted by tests).
 func runTemper(name string, rows, cols, gridR, gridC, tile int, dt tensor.DType, alg tpu.Algorithm,
 	replicas int, tmin, tmax float64,
-	swapInterval int, seed uint64, workers, sweeps, burnin int, profile bool) {
+	swapInterval int, seed uint64, workers, sweeps, burnin int, profile, jsonOut bool) {
 	if tmin == 0 && tmax == 0 {
 		tc := ising.CriticalTemperature()
 		w := tempering.DefaultWindow(rows*cols, replicas)
@@ -248,8 +276,10 @@ func runTemper(name string, rows, cols, gridR, gridC, tile int, dt tensor.DType,
 		log.Fatal(err)
 	}
 	tc := ising.CriticalTemperature()
-	fmt.Printf("parallel tempering: %d replicas of backend %s, %dx%d lattice, T in [%.4f, %.4f], swap attempt every %d sweeps\n",
-		replicas, ens.Backend(0).Name(), rows, cols, tmin, tmax, swapInterval)
+	if !jsonOut {
+		fmt.Printf("parallel tempering: %d replicas of backend %s, %dx%d lattice, T in [%.4f, %.4f], swap attempt every %d sweeps\n",
+			replicas, ens.Backend(0).Name(), rows, cols, tmin, tmax, swapInterval)
+	}
 	burnRounds := (burnin + swapInterval - 1) / swapInterval
 	rounds := sweeps / swapInterval
 	if rounds < 1 {
@@ -258,6 +288,20 @@ func runTemper(name string, rows, cols, gridR, gridC, tile int, dt tensor.DType,
 	ens.RunRounds(burnRounds)
 	ens.Sample(rounds)
 	rep := ens.Report()
+	if jsonOut {
+		// Deliberately no elapsed_sec/flips_per_ns here: temper output stays
+		// free of wall-clock numbers so it is byte-identical for every
+		// -workers value, matching the prose report's contract.
+		r := encode.Result{Backend: ens.Backend(0).Name(), Rows: rows, Cols: cols,
+			Temperature: tmin, Seed: seed, Sweeps: sweeps, BurnIn: burnin}
+		encode.Observables(&r, ens.Backend(0))
+		encode.Tempering(&r, rep)
+		r.Ops = ens.Counts().Ops
+		if err := encode.WriteLine(os.Stdout, r); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	fmt.Printf("after %d burn-in + %d measured rounds: %d round trips, overall swap acceptance %.3f (%d/%d)\n",
 		burnRounds, rounds, rep.RoundTrips, rep.Acceptance(), rep.SwapAccepts, rep.SwapAttempts)
 	fmt.Println("slot  T        T/Tc    |m|       +-        U4        E/spin    tau     swap acc")
@@ -357,16 +401,36 @@ func parseShards(s string) (gridR, gridC int, err error) {
 }
 
 func runSingle(rows, cols, tile int, dt tensor.DType, alg tpu.Algorithm, perfAlg perf.Algorithm,
-	temp float64, seed uint64, sweeps, burnin int, profile bool) {
+	temp float64, seed uint64, sweeps, burnin int, profile, jsonOut bool) {
 	sim := tpu.NewSimulator(tpu.Config{
 		Rows: rows, Cols: cols, Temperature: temp, TileSize: tile,
 		DType: dt, Algorithm: alg, Seed: seed,
 	})
-	fmt.Printf("single core: %dx%d lattice, T=%.4f (T/Tc=%.3f), %v, tile %d\n",
-		rows, cols, temp, temp/ising.CriticalTemperature(), alg, tile)
+	if !jsonOut {
+		fmt.Printf("single core: %dx%d lattice, T=%.4f (T/Tc=%.3f), %v, tile %d\n",
+			rows, cols, temp, temp/ising.CriticalTemperature(), alg, tile)
+	}
 	sim.Run(burnin)
 	sim.ResetCounts()
+	start := time.Now()
 	sim.Run(sweeps)
+	if jsonOut {
+		r := encode.Result{Backend: sim.Name(), Rows: rows, Cols: cols,
+			Temperature: temp, Seed: seed, Sweeps: sweeps, BurnIn: burnin}
+		encode.Observables(&r, sim)
+		elapsed := time.Since(start)
+		r.ElapsedSec = elapsed.Seconds()
+		if sweeps > 0 && elapsed > 0 {
+			// Wall-clock speed of the simulator on this host, like the other
+			// backends — NOT the modelled TPU throughput (-profile/-estimate
+			// report that).
+			r.FlipsPerNs = float64(rows) * float64(cols) * float64(sweeps) / float64(elapsed.Nanoseconds())
+		}
+		if err := encode.WriteLine(os.Stdout, r); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	fmt.Printf("after %d sweeps: m = %+.5f, |m| = %.5f, E/spin = %.5f\n",
 		burnin+sweeps, sim.Magnetization(), abs(sim.Magnetization()), sim.Energy())
 	if profile {

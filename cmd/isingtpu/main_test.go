@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -11,6 +12,8 @@ import (
 	"tpuising/internal/ising/backend"
 	"tpuising/internal/ising/tpu"
 	"tpuising/internal/perf"
+	"tpuising/internal/service"
+	"tpuising/internal/service/encode"
 	"tpuising/internal/tensor"
 )
 
@@ -133,6 +136,79 @@ func TestTemperOutputDeterministicAcrossWorkers(t *testing.T) {
 		if !strings.Contains(w1, want) {
 			t.Errorf("temper output lacks %q:\n%s", want, w1)
 		}
+	}
+}
+
+// TestJSONOutputSharesServiceEncoding builds the CLI and checks that -json
+// emits one internal/service/encode.Result line whose deterministic fields
+// are byte-identical to what the simulation service computes for the same
+// spec — the CLI and isingd share a single machine-readable encoding.
+func TestJSONOutputSharesServiceEncoding(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CLI build in -short mode")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	bin := filepath.Join(t.TempDir(), "isingtpu")
+	build := exec.Command(goBin, "build", "-o", bin, ".")
+	build.Env = append(os.Environ(), "CGO_ENABLED=0")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building isingtpu: %v\n%s", err, out)
+	}
+
+	out, err := exec.Command(bin, "-json", "-backend", "multispin",
+		"-size", "16x64", "-temp", "2.4", "-sweeps", "50", "-burnin", "10", "-seed", "3").CombinedOutput()
+	if err != nil {
+		t.Fatalf("isingtpu -json: %v\n%s", err, out)
+	}
+	var r encode.Result
+	if err := json.Unmarshal(out, &r); err != nil {
+		t.Fatalf("-json output is not one JSON line: %v\n%s", err, out)
+	}
+	if r.Backend != "multispin" || r.Rows != 16 || r.Cols != 64 || r.Seed != 3 ||
+		r.Sweeps != 50 || r.BurnIn != 10 || r.Step != 120 {
+		t.Fatalf("-json result: %+v", r)
+	}
+
+	srv, _ := service.New(service.Config{Workers: 1})
+	defer srv.Close()
+	j, err := srv.Submit(service.JobSpec{Backend: "multispin", Rows: 16, Cols: 64,
+		Temperature: 2.4, Sweeps: 50, BurnIn: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	sr, err := j.Result()
+	if err != nil || sr == nil {
+		t.Fatalf("service job: %v", err)
+	}
+	if r.Magnetization != sr.Magnetization || r.AbsMagnetization != sr.AbsMagnetization ||
+		r.Energy != sr.Energy || r.Step != sr.Step || r.Ops != sr.Ops {
+		t.Fatalf("CLI result %+v and service result %+v disagree on deterministic fields", r, sr)
+	}
+
+	// -json also covers replica exchange, with the per-temperature rows.
+	out, err = exec.Command(bin, "-json", "-temper", "4", "-backend", "checkerboard",
+		"-size", "16", "-sweeps", "40", "-seed", "2").CombinedOutput()
+	if err != nil {
+		t.Fatalf("isingtpu -json -temper: %v\n%s", err, out)
+	}
+	var tr encode.Result
+	if err := json.Unmarshal(out, &tr); err != nil {
+		t.Fatalf("-json -temper output: %v\n%s", err, out)
+	}
+	if len(tr.Replicas) != 4 || tr.Backend != "checkerboard" {
+		t.Fatalf("-json -temper result: %+v", tr)
+	}
+
+	// -json refuses the prose-only modes.
+	if out, err := exec.Command(bin, "-json", "-profile", "-backend", "multispin", "-size", "16x64", "-sweeps", "1").CombinedOutput(); err == nil {
+		t.Fatalf("-json -profile should fail:\n%s", out)
+	}
+	if out, err := exec.Command(bin, "-json", "-estimate", "-size", "256").CombinedOutput(); err == nil {
+		t.Fatalf("-json -estimate should fail:\n%s", out)
 	}
 }
 

@@ -10,11 +10,11 @@ import (
 
 // examplePackages are the runnable demos under examples/; the smoke test
 // compiles every one of them so example rot is caught by tier-1.
-var examplePackages = []string{"multicore", "phasetransition", "precision", "quickstart"}
+var examplePackages = []string{"multicore", "phasetransition", "precision", "quickstart", "service"}
 
 // TestExamplesBuildAndQuickstartRuns compiles all example binaries with the
-// local go toolchain and runs the quickstart demo end-to-end, checking that
-// it reports a magnetisation trace and exits cleanly.
+// local go toolchain and runs the quickstart and service demos end-to-end,
+// checking that they report their traces and exit cleanly.
 func TestExamplesBuildAndQuickstartRuns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("skipping example builds in -short mode")
@@ -51,6 +51,17 @@ func TestExamplesBuildAndQuickstartRuns(t *testing.T) {
 	for _, want := range []string{"2-D Ising model", "magnetisation", "device work"} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("quickstart output lacks %q:\n%s", want, text)
+		}
+	}
+
+	out, err = exec.Command(filepath.Join(binDir, "service")).CombinedOutput()
+	if err != nil {
+		t.Fatalf("service example failed: %v\n%s", err, out)
+	}
+	text = string(out)
+	for _, want := range []string{"isingd service", "NDJSON stream", "result:", "cached=true", "no re-simulation"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("service example output lacks %q:\n%s", want, text)
 		}
 	}
 }

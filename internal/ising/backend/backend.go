@@ -79,6 +79,12 @@ func Names() []string {
 	return out
 }
 
+// List returns the canonical backend names joined as "a, b, c". It is the
+// single source of the registry listing used by every user-facing error and
+// usage string — the -backend flag help, the CLI's flag-validation fatals and
+// the service's job-spec errors all print exactly this list.
+func List() string { return strings.Join(Names(), ", ") }
+
 // Canonical resolves a backend name or alias to its canonical form.
 func Canonical(name string) (string, error) {
 	n := strings.ToLower(strings.TrimSpace(name))
@@ -86,7 +92,7 @@ func Canonical(name string) (string, error) {
 		n = a
 	}
 	if _, ok := builders[n]; !ok {
-		return "", fmt.Errorf("backend: unknown engine %q (want one of %s)", name, strings.Join(Names(), ", "))
+		return "", fmt.Errorf("backend: unknown engine %q (want one of %s)", name, List())
 	}
 	return n, nil
 }

@@ -1,0 +1,125 @@
+package backend
+
+import (
+	"bytes"
+	"testing"
+
+	"tpuising/internal/ising"
+)
+
+// snapshotBackends are the registry engines that implement ising.Snapshotter.
+var snapshotBackends = []string{"checkerboard", "gpusim", "multispin", "multispin-shared"}
+
+// TestSnapshotResumeBitIdentical checks the checkpoint/restore contract for
+// every snapshottable engine: a chain snapshotted at sweep K and restored
+// into a freshly constructed engine finishes the run bit-identically to an
+// uninterrupted chain — same spins, same step counter, same observables.
+func TestSnapshotResumeBitIdentical(t *testing.T) {
+	const rows, cols, total, cut = 16, 64, 40, 17
+	for _, name := range snapshotBackends {
+		cfg := Config{Rows: rows, Cols: cols, Temperature: 2.4, Seed: 99, Hot: true}
+		full, err := New(name, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		part, err := New(name, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i := 0; i < total; i++ {
+			full.Sweep()
+		}
+		for i := 0; i < cut; i++ {
+			part.Sweep()
+		}
+		snap, err := part.(ising.Snapshotter).Snapshot()
+		if err != nil {
+			t.Fatalf("%s: Snapshot: %v", name, err)
+		}
+		// Round-trip through the wire format, as the service's checkpoint
+		// files do, and restore into an engine built fresh from the registry
+		// with a different seed and temperature: Restore must overwrite both.
+		decoded, err := ising.DecodeSnapshot(ising.EncodeSnapshot(snap))
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		resumed, err := New(name, Config{Rows: rows, Cols: cols, Temperature: 3.1, Seed: 7})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := resumed.(ising.Snapshotter).Restore(decoded); err != nil {
+			t.Fatalf("%s: Restore: %v", name, err)
+		}
+		for i := cut; i < total; i++ {
+			resumed.Sweep()
+		}
+		if resumed.Step() != full.Step() {
+			t.Fatalf("%s: resumed step %d, uninterrupted %d", name, resumed.Step(), full.Step())
+		}
+		if resumed.Magnetization() != full.Magnetization() || resumed.Energy() != full.Energy() {
+			t.Fatalf("%s: resumed observables (m=%v, e=%v) differ from uninterrupted (m=%v, e=%v)",
+				name, resumed.Magnetization(), resumed.Energy(), full.Magnetization(), full.Energy())
+		}
+		snapFull, err := full.(ising.Snapshotter).Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		snapResumed, err := resumed.(ising.Snapshotter).Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ising.EncodeSnapshot(snapFull), ising.EncodeSnapshot(snapResumed)) {
+			t.Fatalf("%s: resumed chain state is not byte-identical to the uninterrupted chain", name)
+		}
+	}
+}
+
+// TestSnapshotRestoreRejectsMismatches checks the shared validation: wrong
+// engine type and wrong lattice size must be refused.
+func TestSnapshotRestoreRejectsMismatches(t *testing.T) {
+	cb, _ := New("checkerboard", Config{Rows: 8, Cols: 8, Temperature: 2.0, Seed: 1})
+	ms, _ := New("multispin", Config{Rows: 8, Cols: 64, Temperature: 2.0, Seed: 1})
+	cbSnap, err := cb.(ising.Snapshotter).Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.(ising.Snapshotter).Restore(cbSnap); err == nil {
+		t.Fatal("multispin must refuse a checkerboard snapshot")
+	}
+	small, _ := New("checkerboard", Config{Rows: 4, Cols: 4, Temperature: 2.0, Seed: 1})
+	if err := small.(ising.Snapshotter).Restore(cbSnap); err == nil {
+		t.Fatal("restore must refuse a snapshot of a different lattice size")
+	}
+	shared, _ := New("multispin-shared", Config{Rows: 8, Cols: 64, Temperature: 2.0, Seed: 1})
+	msSnap, err := ms.(ising.Snapshotter).Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := shared.(ising.Snapshotter).Restore(msSnap); err == nil {
+		t.Fatal("multispin-shared must refuse a per-site multispin snapshot")
+	}
+}
+
+// TestPackedLayoutsAgree checks the documented invariant that the multispin
+// word dump and ising.Lattice.PackSpins produce the same bytes for the same
+// configuration, so one snapshot spin format serves packed and unpacked
+// engines alike.
+func TestPackedLayoutsAgree(t *testing.T) {
+	cfg := Config{Rows: 6, Cols: 128, Temperature: 2.3, Seed: 5, Hot: true}
+	ms, err := New("multispin", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		ms.Sweep()
+	}
+	snap, err := ms.(ising.Snapshotter).Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	type latticer interface{ Lattice() *ising.Lattice }
+	unpacked := ms.(latticer).Lattice()
+	if !bytes.Equal(snap.Spins, unpacked.PackSpins()) {
+		t.Fatal("multispin snapshot bytes differ from Lattice.PackSpins of the same configuration")
+	}
+}

@@ -86,13 +86,14 @@ type Sampler struct {
 	Lattice *ising.Lattice
 	Beta    float64
 
-	sk   *rng.SiteKeyed
-	step uint64
+	temperature float64 // the T that Beta was derived from, kept for snapshots
+	sk          *rng.SiteKeyed
+	step        uint64
 }
 
 // NewSampler returns a checkerboard sampler at temperature T.
 func NewSampler(l *ising.Lattice, temperature float64, seed uint64) *Sampler {
-	return &Sampler{Lattice: l, Beta: ising.Beta(temperature), sk: rng.NewSiteKeyed(seed)}
+	return &Sampler{Lattice: l, Beta: ising.Beta(temperature), temperature: temperature, sk: rng.NewSiteKeyed(seed)}
 }
 
 // Sweep advances the chain by one whole-lattice update.
@@ -115,7 +116,10 @@ func (s *Sampler) N() int { return s.Lattice.N() }
 
 // SetTemperature changes the simulation temperature; the chain continues from
 // the current configuration (used by the replica-exchange layer).
-func (s *Sampler) SetTemperature(t float64) { s.Beta = ising.Beta(t) }
+func (s *Sampler) SetTemperature(t float64) {
+	s.Beta = ising.Beta(t)
+	s.temperature = t
+}
 
 // Name identifies the engine; the Sampler is the serial reference.
 func (s *Sampler) Name() string { return "checkerboard" }

@@ -1,0 +1,42 @@
+package checkerboard
+
+import (
+	"tpuising/internal/ising"
+)
+
+// Snapshot captures the sampler's chain state: packed spins, the site-keyed
+// generator key, the colour-step counter and the temperature. The sampler
+// satisfies ising.Snapshotter, so the simulation service can checkpoint and
+// resume checkerboard jobs bit-identically.
+func (s *Sampler) Snapshot() (*ising.Snapshot, error) {
+	rngState, err := s.sk.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	return &ising.Snapshot{
+		Backend:     s.Name(),
+		Rows:        s.Lattice.Rows,
+		Cols:        s.Lattice.Cols,
+		Temperature: s.temperature,
+		Step:        s.step,
+		RNG:         rngState,
+		Spins:       s.Lattice.PackSpins(),
+	}, nil
+}
+
+// Restore replaces the sampler's chain state with a snapshot previously taken
+// from a checkerboard sampler of the same lattice size.
+func (s *Sampler) Restore(snap *ising.Snapshot) error {
+	if err := snap.Check(s.Name(), s.Lattice.Rows, s.Lattice.Cols); err != nil {
+		return err
+	}
+	if err := s.sk.UnmarshalBinary(snap.RNG); err != nil {
+		return err
+	}
+	if err := s.Lattice.UnpackSpins(snap.Spins); err != nil {
+		return err
+	}
+	s.SetTemperature(snap.Temperature)
+	s.step = snap.Step
+	return nil
+}

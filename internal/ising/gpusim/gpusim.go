@@ -176,8 +176,9 @@ type Sampler struct {
 	// Workers is the goroutine pool size (0 = GOMAXPROCS).
 	Workers int
 
-	sk   *rng.SiteKeyed
-	step uint64
+	temperature float64 // the T that Beta was derived from, kept for snapshots
+	sk          *rng.SiteKeyed
+	step        uint64
 }
 
 // NewSampler builds a sampler at the given temperature.
@@ -185,7 +186,8 @@ func NewSampler(l *ising.Lattice, temperature float64, seed uint64, workers int)
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Sampler{Lattice: l, Beta: ising.Beta(temperature), Workers: workers, sk: rng.NewSiteKeyed(seed)}
+	return &Sampler{Lattice: l, Beta: ising.Beta(temperature), temperature: temperature,
+		Workers: workers, sk: rng.NewSiteKeyed(seed)}
 }
 
 // Sweep performs one whole-lattice update.
@@ -208,7 +210,10 @@ func (s *Sampler) N() int { return s.Lattice.N() }
 
 // SetTemperature changes the simulation temperature; the chain continues from
 // the current configuration (used by the replica-exchange layer).
-func (s *Sampler) SetTemperature(t float64) { s.Beta = ising.Beta(t) }
+func (s *Sampler) SetTemperature(t float64) {
+	s.Beta = ising.Beta(t)
+	s.temperature = t
+}
 
 // Name identifies the engine; the Sampler is the GPU-style parallel baseline.
 func (s *Sampler) Name() string { return "gpusim" }

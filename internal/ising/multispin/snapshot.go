@@ -1,0 +1,49 @@
+package multispin
+
+import (
+	"encoding/binary"
+
+	"tpuising/internal/ising"
+	"tpuising/internal/rng"
+)
+
+// Snapshot captures the engine's chain state: the packed spin words (dumped
+// little-endian, which is exactly the ising.Snapshot bit layout), the
+// site-keyed Philox key and the colour-step counter. Both variants satisfy
+// ising.Snapshotter — the snapshot's backend name distinguishes "multispin"
+// from "multispin-shared", so a shared-random snapshot cannot silently
+// restore into a per-site engine.
+func (e *Engine) Snapshot() (*ising.Snapshot, error) {
+	spins := make([]byte, len(e.spins)*8)
+	for i, w := range e.spins {
+		binary.LittleEndian.PutUint64(spins[i*8:], w)
+	}
+	return &ising.Snapshot{
+		Backend:     e.Name(),
+		Rows:        e.rows,
+		Cols:        e.cols,
+		Temperature: e.temperature,
+		Step:        e.step,
+		RNG:         rng.MarshalKey(e.kern.Key),
+		Spins:       spins,
+	}, nil
+}
+
+// Restore replaces the engine's chain state with a snapshot previously taken
+// from the same multispin variant at the same lattice size.
+func (e *Engine) Restore(snap *ising.Snapshot) error {
+	if err := snap.Check(e.Name(), e.rows, e.cols); err != nil {
+		return err
+	}
+	key, err := rng.UnmarshalKey(snap.RNG)
+	if err != nil {
+		return err
+	}
+	e.kern.Key = key
+	for i := range e.spins {
+		e.spins[i] = binary.LittleEndian.Uint64(snap.Spins[i*8:])
+	}
+	e.SetTemperature(snap.Temperature)
+	e.step = snap.Step
+	return nil
+}

@@ -1,0 +1,96 @@
+package ising
+
+import (
+	"bytes"
+	"testing"
+
+	"tpuising/internal/rng"
+)
+
+func TestSnapshotCodecRoundTrip(t *testing.T) {
+	l := NewRandomLattice(6, 10, rng.New(3))
+	s := &Snapshot{
+		Backend:     "checkerboard",
+		Rows:        6,
+		Cols:        10,
+		Temperature: 2.269185314213022,
+		Step:        1234567890123,
+		RNG:         []byte{1, 2, 3, 4, 5, 6, 7, 8},
+		Spins:       l.PackSpins(),
+	}
+	enc := EncodeSnapshot(s)
+	if want := EncodedSnapshotBytes(len(s.Backend), len(s.RNG), s.Rows, s.Cols); len(enc) != want {
+		t.Fatalf("encoded %d bytes, EncodedSnapshotBytes says %d", len(enc), want)
+	}
+	got, err := DecodeSnapshot(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Backend != s.Backend || got.Rows != s.Rows || got.Cols != s.Cols ||
+		got.Temperature != s.Temperature || got.Step != s.Step ||
+		!bytes.Equal(got.RNG, s.RNG) || !bytes.Equal(got.Spins, s.Spins) {
+		t.Fatalf("decoded snapshot differs: %+v vs %+v", got, s)
+	}
+	// Re-encoding the decoded snapshot must be byte-identical.
+	if !bytes.Equal(EncodeSnapshot(got), enc) {
+		t.Fatal("re-encoded snapshot differs from original encoding")
+	}
+}
+
+func TestSnapshotDecodeRejectsCorruptInput(t *testing.T) {
+	good := EncodeSnapshot(&Snapshot{
+		Backend: "gpusim", Rows: 4, Cols: 4, Temperature: 2.5, Step: 8,
+		RNG: make([]byte, 8), Spins: make([]byte, PackedSpinBytes(4, 4)),
+	})
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   append([]byte("NOTASNAP"), good[8:]...),
+		"truncated":   good[:len(good)-1],
+		"trailing":    append(append([]byte(nil), good...), 0),
+		"short magic": good[:4],
+	}
+	for name, data := range cases {
+		if _, err := DecodeSnapshot(data); err == nil {
+			t.Errorf("%s: DecodeSnapshot should fail", name)
+		}
+	}
+}
+
+func TestPackUnpackSpins(t *testing.T) {
+	for _, size := range [][2]int{{2, 2}, {3, 5}, {4, 64}, {6, 128}} {
+		l := NewRandomLattice(size[0], size[1], rng.New(uint64(size[0]*1000+size[1])))
+		packed := l.PackSpins()
+		if len(packed) != PackedSpinBytes(size[0], size[1]) {
+			t.Fatalf("%v: packed %d bytes, want %d", size, len(packed), PackedSpinBytes(size[0], size[1]))
+		}
+		other := NewLattice(size[0], size[1])
+		if err := other.UnpackSpins(packed); err != nil {
+			t.Fatal(err)
+		}
+		if !l.Equal(other) {
+			t.Fatalf("%v: unpacked lattice differs", size)
+		}
+	}
+	l := NewLattice(4, 4)
+	if err := l.UnpackSpins(make([]byte, 1)); err == nil {
+		t.Fatal("wrong-size packed spins should be rejected")
+	}
+}
+
+func TestSnapshotCheck(t *testing.T) {
+	s := &Snapshot{Backend: "multispin", Rows: 4, Cols: 64, Temperature: 2.0,
+		Spins: make([]byte, PackedSpinBytes(4, 64))}
+	if err := s.Check("multispin", 4, 64); err != nil {
+		t.Fatalf("valid snapshot rejected: %v", err)
+	}
+	if err := s.Check("checkerboard", 4, 64); err == nil {
+		t.Fatal("backend mismatch should be rejected")
+	}
+	if err := s.Check("multispin", 8, 64); err == nil {
+		t.Fatal("size mismatch should be rejected")
+	}
+	s.Temperature = 0
+	if err := s.Check("multispin", 4, 64); err == nil {
+		t.Fatal("non-positive temperature should be rejected")
+	}
+}

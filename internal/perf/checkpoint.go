@@ -1,0 +1,104 @@
+package perf
+
+import "fmt"
+
+// Checkpoint-traffic model: the cost of the periodic state dumps the
+// simulation service (internal/service) performs through ising.Snapshotter.
+// It sits next to ShardTraffic and ExchangeTraffic as the third traffic
+// model — halo bytes cross the interconnect every sweep, energy messages
+// cross it every swap round, and snapshot bytes leave the accelerator every
+// checkpoint interval. Long-running multi-GPU Ising studies (Romero et al.,
+// PAPERS.md) treat exactly this periodic-dump pattern as the operating mode.
+
+// snapshotRNGBytes is the serialized generator state of the keyed engines:
+// one 8-byte Philox key (rng.KeyBytes). Every registered snapshottable
+// engine carries exactly this much RNG state, because the stream position
+// lives in the step counter, not in the generator.
+const snapshotRNGBytes = 8
+
+// snapshotHeaderBytes is the fixed part of the ising snapshot codec: the
+// 8-byte magic, the u16 name length, u32 rows, u32 cols, f64 temperature,
+// u64 step, and the two u32 section lengths (RNG, spins). Keep in sync with
+// ising.EncodeSnapshot (equality is asserted against real engine snapshots
+// by TestCheckpointModelMatchesRealSnapshots).
+const snapshotHeaderBytes = 8 + 2 + 4 + 4 + 8 + 8 + 4 + 4
+
+// CheckpointSpec describes the periodic checkpointing of one long-running
+// job for traffic modelling.
+type CheckpointSpec struct {
+	// Rows and Cols are the lattice dimensions.
+	Rows, Cols int
+	// Backend is the engine's registry name (its length enters the snapshot
+	// header).
+	Backend string
+	// RNGBytes is the serialized generator state (0 = the keyed engines'
+	// 8-byte Philox key).
+	RNGBytes int
+	// Sweeps is the length of the run and Interval the sweeps between
+	// checkpoints.
+	Sweeps, Interval int
+}
+
+// DiskParams is the cost model of the checkpoint sink: sustained write
+// bandwidth plus a fixed per-file latency (open, fsync, rename).
+type DiskParams struct {
+	// BandwidthBytesPerSec is the sustained write bandwidth.
+	BandwidthBytesPerSec float64
+	// LatencySec is the fixed per-checkpoint overhead.
+	LatencySec float64
+}
+
+// DefaultDiskParams returns an NVMe-class sink: 2 GB/s sustained writes and
+// 100 us of per-file overhead.
+func DefaultDiskParams() DiskParams {
+	return DiskParams{BandwidthBytesPerSec: 2e9, LatencySec: 100e-6}
+}
+
+// CheckpointReport is the modelled checkpoint traffic of one job.
+type CheckpointReport struct {
+	// SnapshotBytes is the exact encoded size of one ising.Snapshot: header,
+	// backend name, RNG state and the bit-packed spins (one bit per site).
+	SnapshotBytes int64
+	// Count is the number of periodic checkpoints over the run
+	// (floor(Sweeps/Interval), excluding a dump at the final sweep — a
+	// completed job deletes its checkpoint instead of writing one).
+	Count int64
+	// TotalBytes is Count * SnapshotBytes.
+	TotalBytes int64
+	// WriteSec is the modelled wall time of all checkpoint writes under the
+	// disk parameters.
+	WriteSec float64
+	// SweepFraction is the checkpointed state's size relative to the raw
+	// spin field (1 bit/spin): how much of one lattice leaves per dump.
+	SweepFraction float64
+}
+
+// CheckpointTraffic models the checkpoint traffic of a job. It panics on a
+// spec the service itself would reject.
+func CheckpointTraffic(s CheckpointSpec, disk DiskParams) CheckpointReport {
+	if s.Rows <= 0 || s.Cols <= 0 || s.Sweeps < 0 || s.Interval <= 0 {
+		panic(fmt.Sprintf("perf: invalid checkpoint spec %+v", s))
+	}
+	rngBytes := s.RNGBytes
+	if rngBytes == 0 {
+		rngBytes = snapshotRNGBytes
+	}
+	spinBytes := int64((s.Rows*s.Cols + 7) / 8)
+	rep := CheckpointReport{
+		SnapshotBytes: int64(snapshotHeaderBytes+len(s.Backend)+rngBytes) + spinBytes,
+	}
+	// A checkpoint lands at every multiple of Interval strictly before the
+	// end of the run (the final state becomes the result, not a checkpoint).
+	rep.Count = int64(s.Sweeps / s.Interval)
+	if s.Sweeps%s.Interval == 0 && rep.Count > 0 {
+		rep.Count--
+	}
+	rep.TotalBytes = rep.Count * rep.SnapshotBytes
+	if disk.BandwidthBytesPerSec > 0 {
+		rep.WriteSec = float64(rep.TotalBytes)/disk.BandwidthBytesPerSec + float64(rep.Count)*disk.LatencySec
+	}
+	if spinBytes > 0 {
+		rep.SweepFraction = float64(rep.SnapshotBytes) / float64(spinBytes)
+	}
+	return rep
+}

@@ -1,0 +1,72 @@
+package perf_test
+
+import (
+	"testing"
+
+	"tpuising/internal/ising"
+	"tpuising/internal/ising/backend"
+	"tpuising/internal/perf"
+)
+
+// TestCheckpointModelMatchesRealSnapshots pins the model to the
+// implementation: for every snapshottable registry engine, the modelled
+// SnapshotBytes equals the length of an actual encoded ising.Snapshot.
+func TestCheckpointModelMatchesRealSnapshots(t *testing.T) {
+	for _, name := range []string{"checkerboard", "gpusim", "multispin", "multispin-shared"} {
+		eng, err := backend.New(name, backend.Config{Rows: 16, Cols: 64, Temperature: 2.3, Seed: 4})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		eng.Sweep()
+		snap, err := eng.(ising.Snapshotter).Snapshot()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		encoded := ising.EncodeSnapshot(snap)
+		rep := perf.CheckpointTraffic(perf.CheckpointSpec{
+			Rows: 16, Cols: 64, Backend: eng.Name(), Sweeps: 100, Interval: 10,
+		}, perf.DefaultDiskParams())
+		if rep.SnapshotBytes != int64(len(encoded)) {
+			t.Fatalf("%s: modelled %d snapshot bytes, real encoding is %d",
+				name, rep.SnapshotBytes, len(encoded))
+		}
+		if want := int64(ising.EncodedSnapshotBytes(len(eng.Name()), len(snap.RNG), 16, 64)); rep.SnapshotBytes != want {
+			t.Fatalf("%s: modelled %d bytes, ising.EncodedSnapshotBytes says %d", name, rep.SnapshotBytes, want)
+		}
+	}
+}
+
+func TestCheckpointTrafficCounts(t *testing.T) {
+	disk := perf.DiskParams{BandwidthBytesPerSec: 1e6, LatencySec: 1e-3}
+	rep := perf.CheckpointTraffic(perf.CheckpointSpec{
+		Rows: 8, Cols: 8, Backend: "checkerboard", Sweeps: 100, Interval: 10,
+	}, disk)
+	// Multiples of 10 strictly before sweep 100: 10, 20, ..., 90.
+	if rep.Count != 9 {
+		t.Fatalf("Count = %d, want 9", rep.Count)
+	}
+	if rep.TotalBytes != 9*rep.SnapshotBytes {
+		t.Fatalf("TotalBytes = %d, want %d", rep.TotalBytes, 9*rep.SnapshotBytes)
+	}
+	wantSec := float64(rep.TotalBytes)/1e6 + 9*1e-3
+	if diff := rep.WriteSec - wantSec; diff < -1e-12 || diff > 1e-12 {
+		t.Fatalf("WriteSec = %g, want %g", rep.WriteSec, wantSec)
+	}
+	// A run shorter than one interval writes no checkpoints.
+	none := perf.CheckpointTraffic(perf.CheckpointSpec{
+		Rows: 8, Cols: 8, Backend: "checkerboard", Sweeps: 9, Interval: 10,
+	}, disk)
+	if none.Count != 0 || none.TotalBytes != 0 || none.WriteSec != 0 {
+		t.Fatalf("short run: %+v", none)
+	}
+	// The packed state is a small constant over the 1-bit spin field.
+	if rep.SweepFraction < 1 || rep.SweepFraction > 10 {
+		t.Fatalf("SweepFraction = %g, expected a small multiple of the raw field", rep.SweepFraction)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid spec should panic")
+		}
+	}()
+	perf.CheckpointTraffic(perf.CheckpointSpec{Rows: 0, Cols: 8, Sweeps: 1, Interval: 1}, disk)
+}

@@ -1,0 +1,110 @@
+package rng
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// This file gives every generator in the package a serialized form, so a
+// checkpointed simulation can resume a random stream bit-exactly where it
+// stopped (see ising.Snapshotter and internal/service). All encodings are
+// fixed-size little-endian; the keyed generators are pure functions of their
+// key, so their whole state is the 8-byte key, while the sequential Philox
+// stream also carries its counter and the partially consumed output block.
+
+// KeyBytes is the serialized size of a Philox key.
+const KeyBytes = 8
+
+// philoxStateBytes is the serialized size of a Philox stream: 16-byte
+// counter, 8-byte key, 16-byte output buffer and the buffer index.
+const philoxStateBytes = 16 + KeyBytes + 16 + 1
+
+// MarshalKey serializes a Philox key (8 bytes, little endian). The keyed
+// generators' MarshalBinary methods and the engine snapshot codecs
+// (internal/ising/*/snapshot.go) all share this layout.
+func MarshalKey(k Key) []byte {
+	out := make([]byte, KeyBytes)
+	binary.LittleEndian.PutUint32(out[0:], k[0])
+	binary.LittleEndian.PutUint32(out[4:], k[1])
+	return out
+}
+
+// UnmarshalKey decodes a key serialized by MarshalKey.
+func UnmarshalKey(data []byte) (Key, error) {
+	if len(data) != KeyBytes {
+		return Key{}, fmt.Errorf("rng: key state is %d bytes, want %d", len(data), KeyBytes)
+	}
+	return Key{binary.LittleEndian.Uint32(data[0:]), binary.LittleEndian.Uint32(data[4:])}, nil
+}
+
+// MarshalBinary serializes the full mid-stream state of the sequential
+// Philox generator: counter, key and the partially consumed output block.
+// A stream restored with UnmarshalBinary continues with exactly the values
+// the original would have produced, even when the marshal happened between
+// two draws of the same four-value block.
+func (p *Philox) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 0, philoxStateBytes)
+	for _, w := range p.ctr {
+		out = binary.LittleEndian.AppendUint32(out, w)
+	}
+	out = append(out, MarshalKey(p.key)...)
+	for _, w := range p.buf {
+		out = binary.LittleEndian.AppendUint32(out, w)
+	}
+	return append(out, byte(p.idx)), nil
+}
+
+// UnmarshalBinary restores a state serialized by MarshalBinary.
+func (p *Philox) UnmarshalBinary(data []byte) error {
+	if len(data) != philoxStateBytes {
+		return fmt.Errorf("rng: Philox state is %d bytes, want %d", len(data), philoxStateBytes)
+	}
+	idx := int(data[philoxStateBytes-1])
+	if idx < 0 || idx > 4 {
+		return fmt.Errorf("rng: Philox buffer index %d out of range", idx)
+	}
+	for i := range p.ctr {
+		p.ctr[i] = binary.LittleEndian.Uint32(data[4*i:])
+	}
+	key, err := UnmarshalKey(data[16 : 16+KeyBytes])
+	if err != nil {
+		return err
+	}
+	p.key = key
+	for i := range p.buf {
+		p.buf[i] = binary.LittleEndian.Uint32(data[16+KeyBytes+4*i:])
+	}
+	p.idx = idx
+	return nil
+}
+
+// MarshalBinary serializes the site-keyed generator. The generator is a pure
+// function of its key, so the key is the whole state: a stream restored
+// mid-run continues bit-identically because the position in the stream lives
+// in the caller's (step, row, col) coordinates, not in the generator.
+func (s *SiteKeyed) MarshalBinary() ([]byte, error) { return MarshalKey(s.key), nil }
+
+// UnmarshalBinary restores a state serialized by MarshalBinary.
+func (s *SiteKeyed) UnmarshalBinary(data []byte) error {
+	key, err := UnmarshalKey(data)
+	if err != nil {
+		return err
+	}
+	s.key = key
+	return nil
+}
+
+// MarshalBinary serializes the pair-keyed swap-decision generator; like
+// SiteKeyed, the key is the whole state and the stream position lives in the
+// caller's (round, pair) coordinates.
+func (p *PairKeyed) MarshalBinary() ([]byte, error) { return MarshalKey(p.key), nil }
+
+// UnmarshalBinary restores a state serialized by MarshalBinary.
+func (p *PairKeyed) UnmarshalBinary(data []byte) error {
+	key, err := UnmarshalKey(data)
+	if err != nil {
+		return err
+	}
+	p.key = key
+	return nil
+}

@@ -1,0 +1,100 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// submitWindowed submits n jobs with distinct seeds, keeping at most window
+// jobs in flight, and waits for all of them. It returns the last result's
+// job for sanity checks.
+func submitWindowed(b *testing.B, srv *Server, base JobSpec, n, window int) {
+	b.Helper()
+	inflight := make([]*Job, 0, window)
+	drainOne := func() {
+		j := inflight[0]
+		inflight = inflight[1:]
+		<-j.Done()
+		if st := j.Status(); st.State != StateDone {
+			b.Fatalf("benchmark job %s: %+v", j.ID(), st)
+		}
+	}
+	for i := 0; i < n; i++ {
+		spec := base
+		spec.Seed = uint64(i + 1)
+		for {
+			j, err := srv.Submit(spec)
+			if errors.Is(err, ErrQueueFull) {
+				drainOne()
+				continue
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			inflight = append(inflight, j)
+			break
+		}
+		if len(inflight) >= window {
+			drainOne()
+		}
+	}
+	for len(inflight) > 0 {
+		drainOne()
+	}
+}
+
+// BenchmarkServiceJobs measures end-to-end jobs/sec through the worker pool
+// for small lattices: submission, scheduling, the chain itself, sampling and
+// result assembly. One iteration is one completed job.
+func BenchmarkServiceJobs(b *testing.B) {
+	for _, bc := range []struct {
+		backend string
+		rows    int
+		cols    int
+	}{
+		{"checkerboard", 16, 16},
+		{"multispin", 16, 64},
+	} {
+		b.Run(fmt.Sprintf("%s/%dx%d", bc.backend, bc.rows, bc.cols), func(b *testing.B) {
+			srv, _ := New(Config{Workers: 4, QueueDepth: 64, CacheSize: -1})
+			defer srv.Close()
+			base := JobSpec{Backend: bc.backend, Rows: bc.rows, Cols: bc.cols,
+				Temperature: 2.4, Sweeps: 32, SampleInterval: 8}
+			b.ReportAllocs()
+			b.ResetTimer()
+			submitWindowed(b, srv, base, b.N, 32)
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+		})
+	}
+}
+
+// BenchmarkServiceCachedJobs measures the cache-hit path: every submission
+// after the first is served from the result cache without touching a
+// backend, which is the service's answer to repeated identical queries.
+func BenchmarkServiceCachedJobs(b *testing.B) {
+	srv, _ := New(Config{Workers: 2})
+	defer srv.Close()
+	spec := JobSpec{Backend: "multispin", Rows: 16, Cols: 64,
+		Temperature: 2.4, Seed: 1, Sweeps: 32, SampleInterval: 8}
+	warm, err := srv.Submit(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	<-warm.Done()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j, err := srv.Submit(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		<-j.Done()
+		if !j.Status().Cached {
+			b.Fatal("benchmark submission missed the cache")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+}

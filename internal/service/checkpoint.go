@@ -1,0 +1,152 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"tpuising/internal/ising"
+	"tpuising/internal/stats"
+)
+
+// checkpointState is one checkpoint file: everything a fresh daemon needs to
+// resume the job bit-identically — the job identity, how far it got, the
+// running observable accumulators and the engine snapshot. It is JSON with
+// the snapshot embedded in ising's binary snapshot codec (base64 under
+// encoding/json); the accumulator floats round-trip exactly, and the
+// snapshot carries the spins, RNG key and step counter, so the resumed chain
+// and its emission schedule continue exactly where they stopped.
+type checkpointState struct {
+	Version    int                    `json:"version"`
+	Job        string                 `json:"job"`
+	Spec       JobSpec                `json:"spec"`
+	DoneSweeps int                    `json:"done_sweeps"`
+	AbsM       stats.AccumulatorState `json:"abs_m"`
+	Energy     stats.AccumulatorState `json:"energy"`
+	Snapshot   []byte                 `json:"snapshot"`
+}
+
+// checkpointVersion versions the file layout.
+const checkpointVersion = 1
+
+// checkpointExt is the checkpoint file suffix; files are named <jobID>.ckpt.
+const checkpointExt = ".ckpt"
+
+// checkpointPath returns the job's checkpoint file path.
+func (s *Server) checkpointPath(jobID string) string {
+	return filepath.Join(s.cfg.CheckpointDir, jobID+checkpointExt)
+}
+
+// writeCheckpoint captures the engine state and atomically replaces the
+// job's checkpoint file (write to a temp file, then rename), so a crash
+// mid-write leaves the previous checkpoint intact.
+func (s *Server) writeCheckpoint(j *Job, snapper ising.Snapshotter, done int, absM, energy stats.AccumulatorState) error {
+	snap, err := snapper.Snapshot()
+	if err != nil {
+		return err
+	}
+	blob, err := json.Marshal(checkpointState{
+		Version: checkpointVersion, Job: j.id, Spec: j.spec,
+		DoneSweeps: done, AbsM: absM, Energy: energy,
+		Snapshot: ising.EncodeSnapshot(snap),
+	})
+	if err != nil {
+		return err
+	}
+	path := s.checkpointPath(j.id)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(blob)
+	if err == nil {
+		// Flush the data before the rename makes it visible: without this a
+		// power loss could persist the rename but not the contents, replacing
+		// the previous good checkpoint with a truncated one.
+		err = f.Sync()
+	}
+	if closeErr := f.Close(); err == nil {
+		err = closeErr
+	}
+	if err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	// Best-effort directory sync so the rename itself is durable.
+	if d, err := os.Open(s.cfg.CheckpointDir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	s.checkpointsWritten.Add(1)
+	s.checkpointBytes.Add(int64(len(blob)))
+	return nil
+}
+
+// removeCheckpoint deletes the job's checkpoint file (job completed, failed
+// or was canceled by a client).
+func (s *Server) removeCheckpoint(j *Job) {
+	if s.cfg.CheckpointDir == "" {
+		return
+	}
+	_ = os.Remove(s.checkpointPath(j.id))
+}
+
+// loadCheckpoint parses and validates one checkpoint file.
+func loadCheckpoint(path string) (*checkpointState, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cs checkpointState
+	if err := json.Unmarshal(blob, &cs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if cs.Version != checkpointVersion {
+		return nil, fmt.Errorf("%s: checkpoint version %d, want %d", path, cs.Version, checkpointVersion)
+	}
+	if cs.Job == "" || !strings.HasPrefix(filepath.Base(path), cs.Job+checkpointExt) {
+		return nil, fmt.Errorf("%s: checkpoint names job %q", path, cs.Job)
+	}
+	spec, err := cs.Spec.Normalize()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	cs.Spec = spec
+	if cs.DoneSweeps < 0 || cs.DoneSweeps > spec.totalSweeps() {
+		return nil, fmt.Errorf("%s: done_sweeps %d out of range", path, cs.DoneSweeps)
+	}
+	if _, err := ising.DecodeSnapshot(cs.Snapshot); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &cs, nil
+}
+
+// scanCheckpoints loads every readable checkpoint in the directory, sorted
+// by job ID so resumption order is deterministic. Unreadable files are
+// skipped (and reported), never fatal: a daemon must come back up even if
+// one checkpoint rotted.
+func scanCheckpoints(dir string) (states []*checkpointState, skipped []error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, []error{err}
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), checkpointExt) {
+			continue
+		}
+		cs, err := loadCheckpoint(filepath.Join(dir, e.Name()))
+		if err != nil {
+			skipped = append(skipped, err)
+			continue
+		}
+		states = append(states, cs)
+	}
+	sort.Slice(states, func(i, k int) bool { return states[i].Job < states[k].Job })
+	return states, skipped
+}

@@ -1,0 +1,31 @@
+// Package service is the long-running simulation layer over the backend
+// registry: the first subsystem in the repository that owns *time* —
+// queueing, cancellation, checkpoint/resume — rather than a single run.
+//
+// A Server accepts JSON job specs (backend name, lattice, temperature or
+// tempering ladder, sweeps, seed, shard grid), schedules them on a bounded
+// worker pool over internal/ising/backend, streams observables as NDJSON
+// while jobs run, and serves a deduplicating result cache keyed by the
+// physics-relevant part of the spec, so identical queries never re-simulate.
+// Engines that implement ising.Snapshotter are checkpointed every K sweeps;
+// a daemon restarted over the same checkpoint directory resumes interrupted
+// jobs bit-identically (the chain state, the running observable
+// accumulators and the sample emission schedule all continue exactly where
+// they stopped — asserted by the determinism tests in this package).
+//
+// The data flow of one job:
+//
+//	POST /v1/jobs ─ Normalize ─ cache? ──hit── stored encode.Result
+//	                              │miss
+//	                           queue (bounded) ─ worker pool
+//	                              │
+//	                           backend.New ─ sweep.Stream chunks
+//	                              ├─ samples → NDJSON /stream + accumulators
+//	                              ├─ checkpoint every K sweeps (Snapshotter)
+//	                              └─ encode.Result → cache + /result
+//
+// cmd/isingd exposes the Server over HTTP; examples/service drives it
+// in-process. See ARCHITECTURE.md for how the service composes with the
+// sharding and tempering layers, and internal/perf's checkpoint-traffic
+// model for the modelled cost of the state dumps.
+package service

@@ -1,0 +1,87 @@
+package encode
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"tpuising/internal/ising"
+	"tpuising/internal/ising/checkerboard"
+)
+
+func TestObservables(t *testing.T) {
+	s := checkerboard.NewSampler(ising.NewLattice(8, 8), 2.5, 3)
+	s.Run(5)
+	var r Result
+	Observables(&r, s)
+	if r.Step != 10 || r.Magnetization != s.Magnetization() || r.Energy != s.Energy() {
+		t.Fatalf("Observables: %+v", r)
+	}
+	if r.AbsMagnetization < 0 || r.AbsMagnetization != abs(s.Magnetization()) {
+		t.Fatalf("AbsMagnetization = %v for m = %v", r.AbsMagnetization, s.Magnetization())
+	}
+	if r.Ops != s.Counts().Ops {
+		t.Fatalf("Ops = %d, want %d", r.Ops, s.Counts().Ops)
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// TestWriteLineNDJSON checks that WriteLine emits exactly one parseable JSON
+// line per value — the NDJSON framing both the CLI and the daemon rely on.
+func TestWriteLineNDJSON(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 1; i <= 3; i++ {
+		if err := WriteLine(&buf, Sample{Job: "job-000001", Sweep: i * 10, Magnetization: 0.5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("wrote %d lines, want 3:\n%s", len(lines), buf.String())
+	}
+	for i, line := range lines {
+		var s Sample
+		if err := json.Unmarshal([]byte(line), &s); err != nil {
+			t.Fatalf("line %d %q: %v", i, line, err)
+		}
+		if s.Sweep != (i+1)*10 || s.Job != "job-000001" {
+			t.Fatalf("line %d decoded to %+v", i, s)
+		}
+	}
+}
+
+// TestResultJSONRoundTrip pins the wire format: wall-clock fields are
+// omitempty (so deterministic comparisons can zero them and compare
+// encodings), and a single-chain result carries no replica rows.
+func TestResultJSONRoundTrip(t *testing.T) {
+	r := Result{Backend: "multispin", Rows: 16, Cols: 64, Temperature: 2.4,
+		Seed: 7, Sweeps: 100, Step: 200, Ops: 102400,
+		Magnetization: -0.25, AbsMagnetization: 0.25, Energy: -1.1}
+	blob, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, absent := range []string{"elapsed_sec", "flips_per_ns", "replicas", "mean_abs_m", "burnin"} {
+		if bytes.Contains(blob, []byte(absent)) {
+			t.Fatalf("zero field %q serialized: %s", absent, blob)
+		}
+	}
+	var back Result
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	blob2, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, blob2) {
+		t.Fatalf("round trip changed the encoding:\n%s\n%s", blob, blob2)
+	}
+}

@@ -1,0 +1,209 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"tpuising/internal/service/encode"
+)
+
+// postJob submits a spec over HTTP and decodes the returned status.
+func postJob(t *testing.T, ts *httptest.Server, spec JobSpec) (JobStatus, int) {
+	t.Helper()
+	blob, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st, resp.StatusCode
+}
+
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil && resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestHTTPEndpoints is the endpoint smoke: submit, poll, stream, fetch the
+// result, list, cancel, stats — the loop a daemon client performs.
+func TestHTTPEndpoints(t *testing.T) {
+	srv, _ := New(Config{Workers: 2})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	spec := JobSpec{Backend: "multispin", Rows: 8, Cols: 64, Sweeps: 24,
+		Temperature: 2.4, Seed: 2, SampleInterval: 2}
+	st, code := postJob(t, ts, spec)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("submit returned %d", code)
+	}
+	if st.ID == "" || st.Spec.Backend != "multispin" {
+		t.Fatalf("submit status: %+v", st)
+	}
+
+	// The stream endpoint delivers every sample as an NDJSON line and ends
+	// when the job does.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("stream content type %q", ct)
+	}
+	var streamed []encode.Sample
+	scanner := bufio.NewScanner(resp.Body)
+	for scanner.Scan() {
+		var sm encode.Sample
+		if err := json.Unmarshal(scanner.Bytes(), &sm); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", scanner.Text(), err)
+		}
+		streamed = append(streamed, sm)
+	}
+	resp.Body.Close()
+	if len(streamed) != 12 {
+		t.Fatalf("streamed %d samples, want 12", len(streamed))
+	}
+	if streamed[0].Job != st.ID || streamed[11].Sweep != 24 {
+		t.Fatalf("stream contents: first %+v, last %+v", streamed[0], streamed[11])
+	}
+
+	// Poll the job until done, then fetch the result.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var got JobStatus
+		if code := getJSON(t, ts.URL+"/v1/jobs/"+st.ID, &got); code != http.StatusOK {
+			t.Fatalf("poll returned %d", code)
+		} else if got.State == StateDone {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("job never finished: %+v", got)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	var result encode.Result
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+st.ID+"/result", &result); code != http.StatusOK {
+		t.Fatalf("result returned %d", code)
+	}
+	if result.Backend != "multispin" || result.Samples != 12 || result.Step != 48 {
+		t.Fatalf("result: %+v", result)
+	}
+
+	// Cached resubmission answers 200 immediately with the result inline.
+	st2, code := postJob(t, ts, spec)
+	if code != http.StatusOK || !st2.Cached || st2.Result == nil {
+		t.Fatalf("cached submit: code %d, status %+v", code, st2)
+	}
+
+	// List shows both jobs; stats count the cache hit.
+	var list []JobStatus
+	if code := getJSON(t, ts.URL+"/v1/jobs", &list); code != http.StatusOK || len(list) != 2 {
+		t.Fatalf("list: code %d, %d jobs", code, len(list))
+	}
+	var stats Stats
+	if code := getJSON(t, ts.URL+"/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats returned %d", code)
+	}
+	if stats.JobsSubmitted != 2 || stats.JobsCached != 1 {
+		t.Fatalf("stats: %+v", stats)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	srv, _ := New(Config{Workers: 1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Unknown job: 404 with a JSON error body.
+	resp, err := http.Get(ts.URL + "/v1/jobs/job-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var apiErr apiError
+	if err := json.NewDecoder(resp.Body).Decode(&apiErr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound || apiErr.Error == "" {
+		t.Fatalf("unknown job: %d %+v", resp.StatusCode, apiErr)
+	}
+
+	// Invalid spec: 400, and the unknown-backend message lists the registry.
+	for body, wantFragment := range map[string]string{
+		`{"backend":"nope","rows":8,"sweeps":1}`:                   "want one of",
+		`{"backend":"cpu","rows":8}`:                               "sweeps",
+		`{"backend":"cpu","rows":8,"sweeps":1,"bogus_field":true}`: "bogus_field",
+		`not json at all`:                                          "bad job spec",
+	} {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var apiErr apiError
+		if err := json.NewDecoder(resp.Body).Decode(&apiErr); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest || !strings.Contains(apiErr.Error, wantFragment) {
+			t.Fatalf("body %q: %d %q (want fragment %q)", body, resp.StatusCode, apiErr.Error, wantFragment)
+		}
+	}
+}
+
+func TestHTTPCancel(t *testing.T) {
+	srv, _ := New(Config{Workers: 1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	spec := JobSpec{Backend: "checkerboard", Rows: 64, Cols: 64, Sweeps: 500000,
+		Temperature: 2.3, Seed: 1, SampleInterval: 1000}
+	st, _ := postJob(t, ts, spec)
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || got.State != StateCanceled {
+		t.Fatalf("cancel: %d %+v", resp.StatusCode, got)
+	}
+	// The result endpoint reports the cancellation as a conflict.
+	if code := getJSON(t, fmt.Sprintf("%s/v1/jobs/%s/result", ts.URL, st.ID), nil); code != http.StatusConflict {
+		t.Fatalf("result of canceled job returned %d, want 409", code)
+	}
+}

@@ -1,0 +1,192 @@
+package service
+
+import (
+	"context"
+	"sync"
+
+	"tpuising/internal/service/encode"
+)
+
+// JobState is the lifecycle state of a job.
+type JobState string
+
+const (
+	// StateQueued means the job waits for a worker (or, after a daemon
+	// shutdown, for the next daemon to resume it from its checkpoint).
+	StateQueued JobState = "queued"
+	// StateRunning means a worker is sweeping the job's chain.
+	StateRunning JobState = "running"
+	// StateDone means the job finished and its Result is available.
+	StateDone JobState = "done"
+	// StateFailed means the job stopped with an error.
+	StateFailed JobState = "failed"
+	// StateCanceled means the job was canceled by a client.
+	StateCanceled JobState = "canceled"
+)
+
+// terminal reports whether the state is final.
+func (s JobState) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// maxSampleHistory bounds the per-job sample history. Samples beyond it are
+// counted but not retained — a stream reports the loss with one final
+// truncation line (encode.Sample.Truncated) instead of silently ending
+// short. Jobs that need every observation should raise SampleInterval so
+// the run fits the bound.
+const maxSampleHistory = 1 << 16
+
+// Job is one scheduled simulation. All exported methods are safe for
+// concurrent use.
+type Job struct {
+	id   string
+	spec JobSpec // normalized
+	key  string  // spec.CacheKey()
+
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+
+	// resume carries the checkpoint the job restarts from (nil for fresh
+	// jobs); it is read once by the worker.
+	resume *checkpointState
+
+	mu         sync.Mutex
+	state      JobState
+	cached     bool
+	err        error
+	result     *encode.Result
+	sweepsDone int
+	samples    []encode.Sample
+	dropped    int           // samples beyond maxSampleHistory
+	updated    chan struct{} // closed and replaced on every change (broadcast)
+	done       chan struct{} // closed when the state turns terminal
+}
+
+// JobStatus is the JSON status representation of a job (GET /v1/jobs/{id}).
+type JobStatus struct {
+	ID     string   `json:"id"`
+	State  JobState `json:"state"`
+	Cached bool     `json:"cached,omitempty"`
+	Spec   JobSpec  `json:"spec"`
+	// SweepsDone counts completed whole-lattice updates including burn-in
+	// (per replica, for tempering jobs); TotalSweeps is the job's end.
+	SweepsDone  int `json:"sweeps_done"`
+	TotalSweeps int `json:"total_sweeps"`
+	// Samples is the number of observations streamed so far.
+	Samples int            `json:"samples"`
+	Error   string         `json:"error,omitempty"`
+	Result  *encode.Result `json:"result,omitempty"`
+}
+
+func newJob(id string, spec JobSpec) *Job {
+	ctx, cancel := context.WithCancelCause(context.Background())
+	return &Job{
+		id: id, spec: spec, key: spec.CacheKey(),
+		ctx: ctx, cancel: cancel,
+		state:   StateQueued,
+		updated: make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Spec returns the job's normalized spec.
+func (j *Job) Spec() JobSpec { return j.spec }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Status returns a snapshot of the job's state.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID: j.id, State: j.state, Cached: j.cached, Spec: j.spec,
+		SweepsDone: j.sweepsDone, TotalSweeps: j.spec.totalSweeps(),
+		Samples: len(j.samples) + j.dropped, Result: j.result,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	return st
+}
+
+// Result returns the job's result once done (nil, error otherwise).
+func (j *Job) Result() (*encode.Result, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.err
+}
+
+// broadcast signals every watcher; the caller must hold j.mu.
+func (j *Job) broadcast() {
+	close(j.updated)
+	j.updated = make(chan struct{})
+}
+
+// setState transitions the job, reporting whether the transition happened
+// (false once the job is already terminal — callers use this to keep the
+// server counters exact when a cancel races a completion). Terminal
+// transitions close done exactly once.
+func (j *Job) setState(state JobState, err error) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.terminal() {
+		return false
+	}
+	j.state = state
+	j.err = err
+	j.broadcast()
+	if state.terminal() {
+		close(j.done)
+	}
+	return true
+}
+
+// finish marks the job done with its result, reporting whether it was still
+// live to finish.
+func (j *Job) finish(result *encode.Result, cached bool) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.terminal() {
+		return false
+	}
+	j.state = StateDone
+	j.result = result
+	j.cached = cached
+	j.broadcast()
+	close(j.done)
+	return true
+}
+
+// setSweepsDone publishes progress.
+func (j *Job) setSweepsDone(n int) {
+	j.mu.Lock()
+	j.sweepsDone = n
+	j.broadcast()
+	j.mu.Unlock()
+}
+
+// appendSample records one streamed observation.
+func (j *Job) appendSample(s encode.Sample) {
+	j.mu.Lock()
+	if len(j.samples) < maxSampleHistory {
+		j.samples = append(j.samples, s)
+	} else {
+		j.dropped++
+	}
+	j.broadcast()
+	j.mu.Unlock()
+}
+
+// watch returns the sample history (append-only: the prefix a caller has
+// already consumed stays valid), the count of samples dropped beyond the
+// history bound, whether the job is terminal, and a channel closed at the
+// next change. Stream writers loop on it.
+func (j *Job) watch() (samples []encode.Sample, dropped int, terminal bool, updated <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.samples, j.dropped, j.state.terminal(), j.updated
+}

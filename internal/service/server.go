@@ -1,0 +1,671 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tpuising/internal/ising"
+	"tpuising/internal/ising/backend"
+	"tpuising/internal/service/encode"
+	"tpuising/internal/stats"
+	"tpuising/internal/sweep"
+	"tpuising/internal/tempering"
+)
+
+// Config describes a simulation server.
+type Config struct {
+	// Workers is the worker-pool size: how many jobs sweep concurrently
+	// (default 2). Each worker runs one job at a time; a job's own engine
+	// parallelism is the spec's Workers field.
+	Workers int
+	// QueueDepth bounds the jobs waiting for a worker (default 64); Submit
+	// fails with ErrQueueFull beyond it, so a traffic burst degrades into
+	// fast rejections instead of unbounded memory growth.
+	QueueDepth int
+	// CheckpointDir is where job checkpoints live ("" disables
+	// checkpointing). A server constructed over a directory with leftover
+	// checkpoints resumes those jobs immediately.
+	CheckpointDir string
+	// CheckpointInterval is the default number of sweeps between checkpoints
+	// for engines that implement ising.Snapshotter (0 = only jobs that set
+	// their own checkpoint_interval are checkpointed).
+	CheckpointInterval int
+	// CacheSize bounds the result cache (default 256 entries, evicted oldest
+	// first; negative disables caching).
+	CacheSize int
+	// JobHistory bounds the retained *terminal* jobs (default 1024, evicted
+	// oldest first; negative retains forever). Active jobs are never
+	// evicted. An evicted job's status is gone (GET returns 404), but its
+	// result stays reachable through the cache by resubmitting its spec.
+	JobHistory int
+}
+
+func (c Config) withDefaults() Config {
+	out := c
+	if out.Workers <= 0 {
+		out.Workers = 2
+	}
+	if out.QueueDepth <= 0 {
+		out.QueueDepth = 64
+	}
+	if out.CacheSize == 0 {
+		out.CacheSize = 256
+	}
+	if out.JobHistory == 0 {
+		out.JobHistory = 1024
+	}
+	return out
+}
+
+// Sentinel errors of the submission path.
+var (
+	// ErrQueueFull means the job queue is at QueueDepth.
+	ErrQueueFull = errors.New("service: job queue is full")
+	// ErrClosed means the server is shutting down.
+	ErrClosed = errors.New("service: server is closed")
+	// ErrUnknownJob means no job has the requested ID.
+	ErrUnknownJob = errors.New("service: unknown job")
+)
+
+// Cancellation causes distinguishing a client cancel from a daemon shutdown.
+var (
+	errCanceled = errors.New("service: job canceled")
+	errClosing  = errors.New("service: server closing")
+)
+
+// maxChunk bounds the sweeps a worker runs between cancellation checks.
+const maxChunk = 256
+
+// Server is a long-running simulation service over the backend registry: a
+// bounded worker pool draining a job queue, a deduplicating result cache
+// keyed by the job spec, and a checkpoint store that lets a restarted server
+// resume interrupted jobs bit-identically. cmd/isingd serves its Handler
+// over HTTP; tests and examples drive it in-process.
+type Server struct {
+	cfg Config
+
+	mu     sync.Mutex
+	closed bool
+	nextID int
+	jobs   map[string]*Job
+	order  []string // submission order, for listing
+	cache  map[string]*encode.Result
+	cacheQ []string // insertion order, for eviction
+
+	queue   chan *Job
+	closing chan struct{} // closed by Close; ends long-lived streams
+	wg      sync.WaitGroup
+
+	jobsSubmitted      atomic.Int64
+	jobsCompleted      atomic.Int64
+	jobsFailed         atomic.Int64
+	jobsCanceled       atomic.Int64
+	jobsCached         atomic.Int64
+	jobsResumed        atomic.Int64
+	sweepsRun          atomic.Int64
+	checkpointsWritten atomic.Int64
+	checkpointBytes    atomic.Int64
+}
+
+// Stats is the server's counter snapshot (GET /v1/stats). SweepsRun counts
+// whole-lattice updates actually executed by workers — a cache hit does not
+// move it, which is exactly what the cache tests assert.
+type Stats struct {
+	JobsSubmitted      int64 `json:"jobs_submitted"`
+	JobsCompleted      int64 `json:"jobs_completed"`
+	JobsFailed         int64 `json:"jobs_failed"`
+	JobsCanceled       int64 `json:"jobs_canceled"`
+	JobsCached         int64 `json:"jobs_cached"`
+	JobsResumed        int64 `json:"jobs_resumed"`
+	SweepsRun          int64 `json:"sweeps_run"`
+	CheckpointsWritten int64 `json:"checkpoints_written"`
+	CheckpointBytes    int64 `json:"checkpoint_bytes"`
+	CacheEntries       int   `json:"cache_entries"`
+	Queued             int   `json:"queued"`
+	Running            int   `json:"running"`
+}
+
+// New starts a server: Workers goroutines draining the queue. If the
+// checkpoint directory holds checkpoints from a previous daemon, their jobs
+// are re-queued immediately (keeping their IDs) and continue from their
+// snapshots. Skipped (unreadable) checkpoint files are returned as a
+// non-fatal second value.
+func New(cfg Config) (*Server, []error) {
+	s := &Server{
+		cfg:     cfg.withDefaults(),
+		jobs:    make(map[string]*Job),
+		cache:   make(map[string]*encode.Result),
+		closing: make(chan struct{}),
+	}
+	var states []*checkpointState
+	var skipped []error
+	if s.cfg.CheckpointDir != "" {
+		states, skipped = scanCheckpoints(s.cfg.CheckpointDir)
+	}
+	// Size the queue for the restart burst on top of the steady-state bound:
+	// every resumed checkpoint must enqueue without blocking New, or a
+	// directory holding more checkpoints than QueueDepth would stall daemon
+	// startup until a worker finished a whole resumed job.
+	s.queue = make(chan *Job, s.cfg.QueueDepth+len(states))
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for j := range s.queue {
+				s.run(j)
+			}
+		}()
+	}
+	for _, cs := range states {
+		if err := s.resume(cs); err != nil {
+			skipped = append(skipped, err)
+		}
+	}
+	return s, skipped
+}
+
+// Submit validates and schedules a job. A spec whose cache key matches a
+// completed job returns immediately as a done job carrying the cached result
+// — no backend is constructed or stepped. The returned job is also
+// retrievable by ID until the server closes.
+func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	norm, err := spec.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	j := newJob(s.newIDLocked(), norm)
+	if cached, ok := s.cache[j.key]; ok {
+		s.addJobLocked(j)
+		s.mu.Unlock()
+		s.jobsSubmitted.Add(1)
+		s.jobsCached.Add(1)
+		j.finish(cached, true)
+		s.pruneJobs()
+		return j, nil
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	s.addJobLocked(j)
+	s.mu.Unlock()
+	s.jobsSubmitted.Add(1)
+	return j, nil
+}
+
+// resume re-queues a checkpointed job from a previous daemon run. The send
+// cannot block: New sized the queue for QueueDepth plus every scanned
+// checkpoint, because a daemon must never drop (or stall on) a checkpointed
+// job during startup.
+func (s *Server) resume(cs *checkpointState) error {
+	s.mu.Lock()
+	if _, exists := s.jobs[cs.Job]; exists {
+		s.mu.Unlock()
+		return fmt.Errorf("service: duplicate checkpoint for job %s", cs.Job)
+	}
+	j := newJob(cs.Job, cs.Spec)
+	j.resume = cs
+	j.sweepsDone = cs.DoneSweeps
+	s.addJobLocked(j)
+	s.advanceIDLocked(cs.Job)
+	s.mu.Unlock()
+	s.queue <- j
+	s.jobsResumed.Add(1)
+	return nil
+}
+
+// Get returns the job with the given ID.
+func (s *Server) Get(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrUnknownJob
+	}
+	return j, nil
+}
+
+// Jobs returns every known job in submission order.
+func (s *Server) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// Cancel stops a job: a queued job never runs, a running job stops at its
+// next chunk boundary, and the job's checkpoint (if any) is removed.
+// Canceling a terminal job is a no-op.
+func (s *Server) Cancel(id string) (*Job, error) {
+	j, err := s.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	j.cancel(errCanceled)
+	if j.setState(StateCanceled, errCanceled) {
+		s.jobsCanceled.Add(1)
+		s.removeCheckpoint(j)
+		s.pruneJobs()
+	}
+	return j, nil
+}
+
+// Stats returns the server's counter snapshot.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		JobsSubmitted:      s.jobsSubmitted.Load(),
+		JobsCompleted:      s.jobsCompleted.Load(),
+		JobsFailed:         s.jobsFailed.Load(),
+		JobsCanceled:       s.jobsCanceled.Load(),
+		JobsCached:         s.jobsCached.Load(),
+		JobsResumed:        s.jobsResumed.Load(),
+		SweepsRun:          s.sweepsRun.Load(),
+		CheckpointsWritten: s.checkpointsWritten.Load(),
+		CheckpointBytes:    s.checkpointBytes.Load(),
+	}
+	s.mu.Lock()
+	st.CacheEntries = len(s.cache)
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		switch j.state {
+		case StateQueued:
+			st.Queued++
+		case StateRunning:
+			st.Running++
+		}
+		j.mu.Unlock()
+	}
+	s.mu.Unlock()
+	return st
+}
+
+// Close shuts the server down: no new submissions, every running
+// checkpointable job writes a final checkpoint (so the next daemon resumes
+// it), and the workers drain. Jobs that cannot checkpoint are lost at
+// shutdown, exactly like a crash — the checkpoint store, not the shutdown
+// path, is the durability mechanism.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	close(s.closing)
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.cancel(errClosing)
+	}
+	close(s.queue)
+	s.wg.Wait()
+}
+
+// newIDLocked allocates the next job ID; the caller holds s.mu.
+func (s *Server) newIDLocked() string {
+	s.nextID++
+	return fmt.Sprintf("job-%06d", s.nextID)
+}
+
+// advanceIDLocked moves the ID counter past a resumed job's ID so fresh jobs
+// never collide with it; the caller holds s.mu.
+func (s *Server) advanceIDLocked(id string) {
+	if n, err := strconv.Atoi(strings.TrimPrefix(id, "job-")); err == nil && n > s.nextID {
+		s.nextID = n
+	}
+}
+
+// addJobLocked registers a job; the caller holds s.mu.
+func (s *Server) addJobLocked(j *Job) {
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+}
+
+// pruneJobs evicts the oldest terminal jobs beyond Config.JobHistory, so a
+// long-running daemon's job table stays bounded no matter how much traffic
+// it serves. Active (queued/running) jobs are never evicted; an evicted
+// job's result remains reachable through the cache.
+func (s *Server) pruneJobs() {
+	limit := s.cfg.JobHistory
+	if limit < 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	terminal := 0
+	for _, id := range s.order {
+		j := s.jobs[id]
+		j.mu.Lock()
+		if j.state.terminal() {
+			terminal++
+		}
+		j.mu.Unlock()
+	}
+	if terminal <= limit {
+		return
+	}
+	evict := terminal - limit
+	kept := s.order[:0]
+	for _, id := range s.order {
+		j := s.jobs[id]
+		j.mu.Lock()
+		dead := j.state.terminal()
+		j.mu.Unlock()
+		if dead && evict > 0 {
+			delete(s.jobs, id)
+			evict--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// storeResult caches a completed result and evicts the oldest entries
+// beyond CacheSize.
+func (s *Server) storeResult(key string, r *encode.Result) {
+	if s.cfg.CacheSize < 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.cache[key]; !ok {
+		s.cacheQ = append(s.cacheQ, key)
+	}
+	s.cache[key] = r
+	for len(s.cacheQ) > s.cfg.CacheSize {
+		evict := s.cacheQ[0]
+		s.cacheQ = s.cacheQ[1:]
+		delete(s.cache, evict)
+	}
+}
+
+// run executes one job on a worker goroutine.
+func (s *Server) run(j *Job) {
+	if j.ctx.Err() != nil {
+		// Canceled before it started. A shutdown leaves the job queued (its
+		// checkpoint, if any, survives for the next daemon); a client cancel
+		// has already marked it canceled.
+		return
+	}
+	if !j.setState(StateRunning, nil) {
+		return
+	}
+	if len(j.spec.Temperatures) > 0 {
+		s.runTempering(j)
+		return
+	}
+	s.runSingle(j)
+}
+
+// fail marks the job failed.
+func (s *Server) fail(j *Job, err error) {
+	s.removeCheckpoint(j)
+	if j.setState(StateFailed, err) {
+		s.jobsFailed.Add(1)
+	}
+	s.pruneJobs()
+}
+
+// complete stores the result in the cache and marks the job done. The result
+// is cached even if a cancel won the race to the job's terminal state — it
+// is a fully computed, valid result.
+func (s *Server) complete(j *Job, r *encode.Result) {
+	s.storeResult(j.key, r)
+	s.removeCheckpoint(j)
+	if j.finish(r, false) {
+		s.jobsCompleted.Add(1)
+	}
+	s.pruneJobs()
+}
+
+// interrupted handles a cancellation noticed mid-run. On shutdown a
+// checkpointable job writes a final checkpoint at the exact sweep it
+// stopped, so the next daemon resumes it bit-identically; a client cancel
+// discards the job.
+func (s *Server) interrupted(j *Job, snapper ising.Snapshotter, canCkpt bool, done int, absM, energy stats.AccumulatorState) {
+	if context.Cause(j.ctx) == errClosing {
+		if canCkpt {
+			if err := s.writeCheckpoint(j, snapper, done, absM, energy); err == nil {
+				j.setState(StateQueued, nil)
+				return
+			}
+		}
+		if j.setState(StateCanceled, errClosing) {
+			s.jobsCanceled.Add(1)
+		}
+		return
+	}
+	// Client cancel: Cancel already set the state; make sure no checkpoint
+	// survives (the worker may have written one after Cancel removed it).
+	s.removeCheckpoint(j)
+	if j.setState(StateCanceled, errCanceled) {
+		s.jobsCanceled.Add(1)
+	}
+}
+
+// backendConfig maps a job spec onto the registry's engine configuration.
+func backendConfig(spec JobSpec, temperature float64, seed uint64) backend.Config {
+	return backend.Config{
+		Rows: spec.Rows, Cols: spec.Cols, Temperature: temperature,
+		Seed: seed, Workers: spec.Workers,
+		GridR: spec.GridR, GridC: spec.GridC, Hot: spec.Hot,
+	}
+}
+
+// runSingle runs a single-chain job: burn-in, then measured sweeps with
+// samples streamed every SampleInterval, checkpointing every
+// CheckpointInterval sweeps when enabled.
+func (s *Server) runSingle(j *Job) {
+	spec := j.spec
+	eng, err := backend.New(spec.Backend, backendConfig(spec, spec.Temperature, spec.Seed))
+	if err != nil {
+		s.fail(j, err)
+		return
+	}
+	snapper, canSnap := eng.(ising.Snapshotter)
+	ckptEvery := spec.CheckpointInterval
+	if ckptEvery == 0 {
+		ckptEvery = s.cfg.CheckpointInterval
+	}
+	if spec.CheckpointInterval > 0 {
+		if !canSnap {
+			s.fail(j, fmt.Errorf("service: backend %q does not support checkpointing (no ising.Snapshotter); pick a snapshottable engine or drop checkpoint_interval", spec.Backend))
+			return
+		}
+		if s.cfg.CheckpointDir == "" {
+			s.fail(j, fmt.Errorf("service: job asks for checkpoints but the server has no checkpoint directory"))
+			return
+		}
+	}
+	canCkpt := canSnap && s.cfg.CheckpointDir != "" && ckptEvery > 0
+
+	var absAcc, eAcc stats.Accumulator
+	done := 0
+	if j.resume != nil {
+		if !canSnap {
+			s.fail(j, fmt.Errorf("service: checkpointed job %s uses backend %q, which cannot restore", j.id, spec.Backend))
+			return
+		}
+		snap, err := ising.DecodeSnapshot(j.resume.Snapshot)
+		if err == nil {
+			err = snapper.Restore(snap)
+		}
+		if err != nil {
+			s.fail(j, fmt.Errorf("service: resuming job %s: %w", j.id, err))
+			return
+		}
+		done = j.resume.DoneSweeps
+		absAcc.SetState(j.resume.AbsM)
+		eAcc.SetState(j.resume.Energy)
+	}
+
+	total := spec.BurnIn + spec.Sweeps
+	emit := func(sm sweep.Sample) {
+		absM := math.Abs(sm.Magnetization)
+		absAcc.Add(absM)
+		eAcc.Add(sm.Energy)
+		j.appendSample(encode.Sample{
+			Job: j.id, Sweep: sm.Sweep,
+			Magnetization: sm.Magnetization, AbsMagnetization: absM, Energy: sm.Energy,
+		})
+	}
+	start := time.Now()
+	ranHere := 0
+	for done < total {
+		if j.ctx.Err() != nil {
+			s.interrupted(j, snapper, canCkpt, done, absAcc.State(), eAcc.State())
+			return
+		}
+		limit := total
+		if canCkpt {
+			if next := (done/ckptEvery + 1) * ckptEvery; next < limit {
+				limit = next
+			}
+		}
+		n := limit - done
+		if n > maxChunk {
+			n = maxChunk
+		}
+		// Burn-in advances without measuring; the measured phase streams in
+		// its own sweep coordinates so a resumed run keeps the emission
+		// schedule of an uninterrupted one.
+		chunk := n
+		if done < spec.BurnIn {
+			bn := spec.BurnIn - done
+			if bn > n {
+				bn = n
+			}
+			done = sweep.Stream(eng, done, bn, 1, nil)
+			n -= bn
+		}
+		if n > 0 {
+			done = spec.BurnIn + sweep.Stream(eng, done-spec.BurnIn, n, spec.SampleInterval, emit)
+		}
+		ranHere += chunk
+		s.sweepsRun.Add(int64(chunk))
+		j.setSweepsDone(done)
+		if canCkpt && done < total && done%ckptEvery == 0 && j.ctx.Err() == nil {
+			if err := s.writeCheckpoint(j, snapper, done, absAcc.State(), eAcc.State()); err != nil {
+				s.fail(j, fmt.Errorf("service: checkpointing job %s: %w", j.id, err))
+				return
+			}
+		}
+	}
+
+	elapsed := time.Since(start)
+	r := &encode.Result{
+		Backend: spec.Backend, Rows: spec.Rows, Cols: spec.Cols,
+		Temperature: spec.Temperature, Seed: spec.Seed,
+		Sweeps: spec.Sweeps, BurnIn: spec.BurnIn,
+	}
+	encode.Observables(r, eng)
+	if absAcc.N() > 0 {
+		r.MeanAbsMagnetization = absAcc.Mean()
+		r.MeanAbsMagnetizationErr = absAcc.StdErr()
+		r.MeanEnergy = eAcc.Mean()
+		r.Samples = absAcc.N()
+	}
+	r.ElapsedSec = elapsed.Seconds()
+	if ns := float64(elapsed.Nanoseconds()); ns > 0 && ranHere > 0 {
+		r.FlipsPerNs = float64(spec.Rows) * float64(spec.Cols) * float64(ranHere) / ns
+	}
+	s.complete(j, r)
+}
+
+// runTempering runs a replica-exchange job: a ladder of replicas of the
+// spec's backend coupled by Metropolis swaps every SwapInterval sweeps
+// (internal/tempering). Samples stream from the coldest rung; the result
+// carries the full per-temperature report. Tempering jobs do not checkpoint.
+func (s *Server) runTempering(j *Job) {
+	spec := j.spec
+	ens, err := tempering.New(tempering.Config{
+		Temperatures: spec.Temperatures,
+		SwapInterval: spec.SwapInterval,
+		Seed:         spec.Seed,
+		Workers:      spec.Workers,
+	}, func(slot int, temperature float64) (ising.Backend, error) {
+		return backend.New(spec.Backend, backendConfig(spec, temperature, tempering.ReplicaSeed(spec.Seed, slot)))
+	})
+	if err != nil {
+		s.fail(j, err)
+		return
+	}
+	burnRounds := (spec.BurnIn + spec.SwapInterval - 1) / spec.SwapInterval
+	rounds := spec.Sweeps / spec.SwapInterval
+	if rounds < 1 {
+		rounds = 1
+	}
+	start := time.Now()
+	sweepsPerRound := spec.SwapInterval
+	progress := 0
+	step := func(measure bool, round int) bool {
+		if j.ctx.Err() != nil {
+			s.interrupted(j, nil, false, progress, stats.AccumulatorState{}, stats.AccumulatorState{})
+			return false
+		}
+		ens.Round()
+		if measure {
+			ens.Measure()
+			cold := ens.Backend(0)
+			m := cold.Magnetization()
+			j.appendSample(encode.Sample{
+				Job: j.id, Sweep: (round + 1) * sweepsPerRound,
+				Magnetization: m, AbsMagnetization: math.Abs(m), Energy: cold.Energy(),
+			})
+		}
+		progress += sweepsPerRound
+		s.sweepsRun.Add(int64(sweepsPerRound) * int64(ens.Replicas()))
+		j.setSweepsDone(progress)
+		return true
+	}
+	for i := 0; i < burnRounds; i++ {
+		if !step(false, i) {
+			return
+		}
+	}
+	for i := 0; i < rounds; i++ {
+		if !step(true, i) {
+			return
+		}
+	}
+	rep := ens.Report()
+	elapsed := time.Since(start)
+	r := &encode.Result{
+		Backend: spec.Backend, Rows: spec.Rows, Cols: spec.Cols,
+		Temperature: spec.Temperatures[0], Seed: spec.Seed,
+		Sweeps: spec.Sweeps, BurnIn: spec.BurnIn,
+	}
+	encode.Observables(r, ens.Backend(0))
+	encode.Tempering(r, rep)
+	r.Ops = ens.Counts().Ops
+	r.ElapsedSec = elapsed.Seconds()
+	if ns := float64(elapsed.Nanoseconds()); ns > 0 {
+		r.FlipsPerNs = float64(spec.Rows) * float64(spec.Cols) * float64(progress) * float64(ens.Replicas()) / ns
+	}
+	s.complete(j, r)
+}
+
+// Workers returns the worker-pool size (for reporting).
+func (s *Server) Workers() int { return s.cfg.Workers }

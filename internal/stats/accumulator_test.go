@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"tpuising/internal/rng"
+)
+
+func TestAccumulatorMatchesBatch(t *testing.T) {
+	p := rng.New(11)
+	xs := make([]float64, 1000)
+	var a Accumulator
+	for i := range xs {
+		xs[i] = p.NormFloat64()*3 + 1
+		a.Add(xs[i])
+	}
+	if a.N() != len(xs) {
+		t.Fatalf("N = %d, want %d", a.N(), len(xs))
+	}
+	close := func(got, want, tol float64) bool { return math.Abs(got-want) <= tol }
+	if !close(a.Mean(), Mean(xs), 1e-12) {
+		t.Fatalf("Mean = %v, batch %v", a.Mean(), Mean(xs))
+	}
+	if !close(a.Variance(), Variance(xs), 1e-9) {
+		t.Fatalf("Variance = %v, batch %v", a.Variance(), Variance(xs))
+	}
+	if !close(a.StdErr(), StdErr(xs), 1e-12) {
+		t.Fatalf("StdErr = %v, batch %v", a.StdErr(), StdErr(xs))
+	}
+	min, max := xs[0], xs[0]
+	for _, x := range xs {
+		min, max = math.Min(min, x), math.Max(max, x)
+	}
+	if a.Min() != min || a.Max() != max {
+		t.Fatalf("extrema (%v, %v), batch (%v, %v)", a.Min(), a.Max(), min, max)
+	}
+	s := a.Summary()
+	if s.N != len(xs) || s.Mean != a.Mean() || s.StdErr != a.StdErr() {
+		t.Fatalf("Summary %+v inconsistent with accumulator", s)
+	}
+}
+
+// TestAccumulatorStateRoundTrip checks the checkpoint contract: splitting a
+// series at an arbitrary point, round-tripping the state through JSON (as the
+// service's checkpoint files do) and continuing gives bit-identical results
+// to an uninterrupted accumulation.
+func TestAccumulatorStateRoundTrip(t *testing.T) {
+	p := rng.New(7)
+	xs := make([]float64, 501)
+	for i := range xs {
+		xs[i] = p.Float64()*2 - 1
+	}
+	var whole Accumulator
+	for _, x := range xs {
+		whole.Add(x)
+	}
+	for _, cut := range []int{0, 1, 250, 500} {
+		var first Accumulator
+		for _, x := range xs[:cut] {
+			first.Add(x)
+		}
+		blob, err := json.Marshal(first.State())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var restored AccumulatorState
+		if err := json.Unmarshal(blob, &restored); err != nil {
+			t.Fatal(err)
+		}
+		var second Accumulator
+		second.SetState(restored)
+		for _, x := range xs[cut:] {
+			second.Add(x)
+		}
+		if second.State() != whole.State() {
+			t.Fatalf("cut %d: resumed state %+v differs from uninterrupted %+v",
+				cut, second.State(), whole.State())
+		}
+	}
+}
+
+func TestAccumulatorEmptyAndSingle(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 || a.Variance() != 0 || a.StdErr() != 0 || a.N() != 0 {
+		t.Fatal("zero-value accumulator should report zeros")
+	}
+	a.Add(5)
+	if a.Mean() != 5 || a.Variance() != 0 || a.Min() != 5 || a.Max() != 5 {
+		t.Fatalf("single-sample accumulator: %+v", a.State())
+	}
+}

@@ -1,0 +1,63 @@
+package sweep
+
+import (
+	"testing"
+
+	"tpuising/internal/ising"
+	"tpuising/internal/ising/checkerboard"
+)
+
+func newTestChain(seed uint64) EnergyChain {
+	return checkerboard.NewSampler(ising.NewLattice(8, 8), 2.5, seed)
+}
+
+// TestStreamChunkedEqualsUninterrupted checks the resume contract: streaming
+// a run in arbitrary chunks (threading the returned done count through)
+// emits exactly the samples of a single uninterrupted Stream call.
+func TestStreamChunkedEqualsUninterrupted(t *testing.T) {
+	const total, interval = 30, 3
+	var whole []Sample
+	Stream(newTestChain(5), 0, total, interval, func(s Sample) { whole = append(whole, s) })
+	if len(whole) != total/interval {
+		t.Fatalf("emitted %d samples, want %d", len(whole), total/interval)
+	}
+	for _, chunks := range [][]int{{30}, {1, 29}, {7, 7, 7, 9}, {10, 0, 20}} {
+		var got []Sample
+		chain := newTestChain(5)
+		done := 0
+		for _, c := range chunks {
+			done = Stream(chain, done, c, interval, func(s Sample) { got = append(got, s) })
+		}
+		if done != total {
+			t.Fatalf("chunks %v: done = %d, want %d", chunks, done, total)
+		}
+		if len(got) != len(whole) {
+			t.Fatalf("chunks %v: emitted %d samples, want %d", chunks, len(got), len(whole))
+		}
+		for i := range got {
+			if got[i] != whole[i] {
+				t.Fatalf("chunks %v: sample %d = %+v, uninterrupted %+v", chunks, i, got[i], whole[i])
+			}
+		}
+	}
+}
+
+// TestStreamNilEmitAndDefaults checks that a nil emit advances the chain
+// without measuring and that interval <= 0 means every sweep.
+func TestStreamNilEmitAndDefaults(t *testing.T) {
+	chain := newTestChain(9)
+	if done := Stream(chain, 0, 5, 2, nil); done != 5 {
+		t.Fatalf("done = %d, want 5", done)
+	}
+	var n int
+	Stream(chain, 0, 4, 0, func(Sample) { n++ })
+	if n != 4 {
+		t.Fatalf("interval 0 emitted %d samples, want 4 (every sweep)", n)
+	}
+	// Sample numbering continues in the caller's coordinates.
+	var last Sample
+	done := Stream(chain, 10, 4, 7, func(s Sample) { last = s })
+	if done != 14 || last.Sweep != 14 {
+		t.Fatalf("done = %d, last sample at sweep %d; want 14 and 14", done, last.Sweep)
+	}
+}
