@@ -18,6 +18,7 @@ import (
 	"tpuising/internal/ising"
 	"tpuising/internal/ising/backend"
 	"tpuising/internal/ising/checkerboard"
+	"tpuising/internal/ising/ensemble"
 	"tpuising/internal/ising/gpusim"
 	"tpuising/internal/ising/tpu"
 	"tpuising/internal/perf"
@@ -366,6 +367,84 @@ func BenchmarkTempering2_1024(b *testing.B) { benchTempering(b, 1024, 2) }
 func BenchmarkTempering4_1024(b *testing.B) { benchTempering(b, 1024, 4) }
 func BenchmarkTempering8_1024(b *testing.B) { benchTempering(b, 1024, 8) }
 func BenchmarkTempering8_4096(b *testing.B) { benchTempering(b, 4096, 8) }
+
+// benchEnsemble times whole-ensemble sweeps of the lane-packed engine
+// (internal/ising/ensemble): `lanes` independent chains advance per Sweep,
+// so the reported host_flips/ns is the aggregate over all lanes. Exact mode
+// draws one random per lane per site (each lane bit-identical to a
+// standalone multispin chain); shared mode draws once per ΔE class per site
+// across all lanes (Block/Virnau/Preis), which is where the large aggregate
+// speedup over BenchmarkEnsembleSequential64_256 comes from.
+func benchEnsemble(b *testing.B, size, lanes int, shared bool) {
+	e, err := ensemble.New(ensemble.Config{
+		Rows: size, Cols: size, Lanes: lanes, Temperature: 2.5, Seed: 1, SharedRandom: shared,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Sweep()
+	}
+	b.StopTimer()
+	spins := float64(size) * float64(size) * float64(lanes) * float64(b.N)
+	b.ReportMetric(spins/float64(b.Elapsed().Nanoseconds()), "host_flips/ns")
+}
+
+func BenchmarkEnsemble64_256(b *testing.B)       { benchEnsemble(b, 256, 64, false) }
+func BenchmarkEnsemble8_256(b *testing.B)        { benchEnsemble(b, 256, 8, false) }
+func BenchmarkEnsembleShared64_256(b *testing.B) { benchEnsemble(b, 256, 64, true) }
+func BenchmarkEnsembleShared64_1024(b *testing.B) {
+	benchEnsemble(b, 1024, 64, true)
+}
+
+// BenchmarkEnsembleSequential64_256 is the baseline the ensemble engine
+// replaces: the same 64 chains as separate per-site multispin engines
+// (lane-derived seeds), swept one after another. One iteration sweeps every
+// chain once, so host_flips/ns is directly comparable with
+// BenchmarkEnsemble64_256 and BenchmarkEnsembleShared64_256 — the measured
+// ensemble speedup also lands in the host_ensemble_scaling benchtable.
+func BenchmarkEnsembleSequential64_256(b *testing.B) {
+	const size, lanes = 256, 64
+	engines := make([]ising.Backend, lanes)
+	for l := range engines {
+		eng, err := backend.New("multispin", backend.Config{
+			Rows: size, Cols: size, Temperature: 2.5, Seed: ising.LaneSeed(1, l),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		engines[l] = eng
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, eng := range engines {
+			eng.Sweep()
+		}
+	}
+	b.StopTimer()
+	spins := float64(size) * float64(size) * float64(lanes) * float64(b.N)
+	b.ReportMetric(spins/float64(b.Elapsed().Nanoseconds()), "host_flips/ns")
+}
+
+// BenchmarkEnsembleAdapter8_256 times the generic batch adapter over gpusim
+// lanes — the path every non-multispin backend takes through backend.NewBatch.
+func BenchmarkEnsembleAdapter8_256(b *testing.B) {
+	const size, lanes = 256, 8
+	batch, err := backend.NewBatch("gpusim", backend.Config{
+		Rows: size, Cols: size, Temperature: 2.5, Seed: 1,
+	}, lanes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch.Sweep()
+	}
+	b.StopTimer()
+	spins := float64(size) * float64(size) * float64(lanes) * float64(b.N)
+	b.ReportMetric(spins/float64(b.Elapsed().Nanoseconds()), "host_flips/ns")
+}
 
 // BenchmarkEstimateSweepCounts times the analytic work estimator at paper
 // scale (it must stay trivially cheap, since every table row calls it).

@@ -70,6 +70,10 @@ func run(outDir string, cfg harness.CorrectnessConfig) error {
 		harness.Figure4(cfg),
 		harness.Figure7(cfg),
 		harness.PrecisionComparison(cfg.Sizes[len(cfg.Sizes)-1], cfg.TileSize, cfg.BurnIn, cfg.Samples, cfg.Seed),
+		// The Onsager checks also cover the lane-packed ensemble engine: 64
+		// independent chains per temperature, the mean over lanes converging
+		// on the exact values.
+		harness.EnsembleOnsager(64, 64, cfg.BurnIn, cfg.Samples/4+1, cfg.Seed),
 	}
 	for _, tab := range tables {
 		fmt.Println(tab.Text())

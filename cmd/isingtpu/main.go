@@ -55,6 +55,8 @@ func main() {
 			backend.List()+") reject it — see the backend-choice table in README.md")
 	temper := flag.String("temper", "",
 		"replica exchange: N temperature replicas of the selected -backend, as N or N:Tmin,Tmax (default window sized for healthy swap acceptance)")
+	replicas := flag.Int("replicas", 1,
+		"batched ensemble: B independent chains of the selected -backend at -temp, lane-packed for multispin (64 chains per machine word), lane-parallel otherwise; per-lane results are reported")
 	swapint := flag.Int("swapint", 10, "sweeps between replica-exchange swap attempts (with -temper)")
 	profile := flag.Bool("profile", false, "print the work counters and the modelled step breakdown")
 	estimate := flag.Bool("estimate", false, "do not run: report the modelled performance for this configuration")
@@ -118,8 +120,11 @@ func main() {
 			log.Fatal("-json prints a run result; it does not apply to -estimate or -pod")
 		}
 	}
+	if *replicas < 1 {
+		log.Fatalf("-replicas needs at least 1 chain, got %d", *replicas)
+	}
 	if *temper != "" {
-		replicas, tmin, tmax, err := parseTemper(*temper)
+		rungs, tmin, tmax, err := parseTemper(*temper)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -129,7 +134,10 @@ func main() {
 		if set["temp"] {
 			log.Fatal("-temp sets the single-chain temperature; with -temper the ladder window is -temper N:Tmin,Tmax")
 		}
-		runTemper(name, rows, cols, gridR, gridC, tileSize, dt, alg, replicas, tmin, tmax,
+		if set["replicas"] {
+			log.Fatal("-replicas runs B chains at one temperature; the -temper ladder already defines its replica count")
+		}
+		runTemper(name, rows, cols, gridR, gridC, tileSize, dt, alg, rungs, tmin, tmax,
 			*swapint, *seed, *workers, *sweeps, *burnin, *profile, *jsonOut)
 		return
 	}
@@ -138,6 +146,14 @@ func main() {
 	}
 	if set["workers"] && name == "sharded" {
 		log.Fatal("-workers controls the band parallelism of the other host backends; the sharded backend's parallelism is its shard grid (use -shards RxC)")
+	}
+	if *replicas > 1 {
+		if *estimate || podX*podY > 1 {
+			log.Fatal("-estimate and -pod model a single TPU chain; they do not apply to -replicas")
+		}
+		runReplicas(name, rows, cols, gridR, gridC, tileSize, dt, alg, *replicas,
+			*temp, *seed, *workers, *sweeps, *burnin, *profile, *jsonOut)
+		return
 	}
 	if name != "tpu" {
 		if *estimate || podX*podY > 1 {
@@ -221,6 +237,76 @@ func runBackend(name string, rows, cols, gridR, gridC int, temp float64, seed ui
 	}
 }
 
+// runReplicas runs the batched-ensemble mode: B independent chains of the
+// selected backend at one temperature behind ising.BatchBackend — one
+// lane-packed internal/ising/ensemble engine for multispin, the generic
+// lane-parallel adapter for every other backend (backend.NewBatch picks).
+// Lane L is seeded ising.LaneSeed(seed, L), so its chain is exactly the
+// single-chain run `-backend <name> -seed <laneseed>` would produce; the
+// report fans out one row per lane plus the across-lane means.
+func runReplicas(name string, rows, cols, gridR, gridC, tile int, dt tensor.DType, alg tpu.Algorithm,
+	lanes int, temp float64, seed uint64, workers, sweeps, burnin int, profile, jsonOut bool) {
+	b, err := backend.NewBatch(name, backend.Config{
+		Rows: rows, Cols: cols, Temperature: temp, Seed: seed, Workers: workers,
+		GridR: gridR, GridC: gridC, TileSize: tile, DType: dt, Algorithm: alg,
+	}, lanes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !jsonOut {
+		// Named by the selected registry backend (like isingd's batch jobs);
+		// the executing batch engine — the lane-packed "ensemble" for
+		// multispin, the lane-parallel adapter otherwise — is reported as an
+		// execution detail.
+		fmt.Printf("batched ensemble: %d lanes of backend %s (engine %s), %dx%d lattice, T=%.4f (T/Tc=%.3f)\n",
+			b.Lanes(), name, b.Name(), rows, cols, temp, temp/ising.CriticalTemperature())
+	}
+	for i := 0; i < burnin; i++ {
+		b.Sweep()
+	}
+	start := time.Now()
+	for i := 0; i < sweeps; i++ {
+		b.Sweep()
+	}
+	elapsed := time.Since(start)
+	if jsonOut {
+		r := encode.Result{Backend: name, Rows: rows, Cols: cols,
+			Temperature: temp, Seed: seed, Sweeps: sweeps, BurnIn: burnin}
+		encode.BatchObservables(&r, b, seed)
+		r.ElapsedSec = elapsed.Seconds()
+		if sweeps > 0 && elapsed > 0 {
+			r.FlipsPerNs = float64(rows) * float64(cols) * float64(sweeps) * float64(b.Lanes()) /
+				float64(elapsed.Nanoseconds())
+		}
+		if err := encode.WriteLine(os.Stdout, r); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	ms, es := b.Magnetizations(), b.Energies()
+	var mSum, absSum, eSum float64
+	fmt.Println("lane  seed                  m         |m|       E/spin")
+	for lane := range ms {
+		fmt.Printf("%4d  %-20d  %+.5f  %.5f  %+.5f\n",
+			lane, ising.LaneSeed(seed, lane), ms[lane], abs(ms[lane]), es[lane])
+		mSum += ms[lane]
+		absSum += abs(ms[lane])
+		eSum += es[lane]
+	}
+	n := float64(len(ms))
+	fmt.Printf("after %d sweeps over %d lanes: mean m = %+.5f, mean |m| = %.5f, mean E/spin = %.5f\n",
+		burnin+sweeps, b.Lanes(), mSum/n, absSum/n, eSum/n)
+	if sweeps > 0 && elapsed > 0 {
+		spins := float64(rows) * float64(cols) * float64(sweeps) * n
+		fmt.Printf("measured aggregate host throughput: %.4f flips/ns (%.3f ms/sweep for all lanes)\n",
+			spins/float64(elapsed.Nanoseconds()),
+			elapsed.Seconds()*1e3/float64(sweeps))
+	}
+	if profile {
+		fmt.Printf("ensemble work counters: %v\n", b.Counts())
+	}
+}
+
 // parseTemper parses the -temper value: "N" or "N:Tmin,Tmax". With no
 // explicit window it returns tmin = tmax = 0, and runTemper sizes the window
 // around Tc for healthy swap acceptance (tempering.DefaultWindow).
@@ -246,11 +332,13 @@ func parseTemper(s string) (replicas int, tmin, tmax float64, err error) {
 }
 
 // runTemper runs the replica-exchange mode: a ladder of `replicas` evenly
-// spaced temperatures in [tmin, tmax], each replica an independent instance
-// of the selected backend, coupled by Metropolis swaps every swapInterval
-// sweeps (internal/tempering). Every printed number is a pure function of
-// the configuration and seed — no wall-clock measurements — so the output is
-// identical for every -workers value (asserted by tests).
+// spaced temperatures in [tmin, tmax], one rung per lane of a batched
+// backend (backend.NewBatchLadder — the lane-packed ensemble engine for
+// multispin, the lane-parallel adapter otherwise), coupled by Metropolis
+// swaps every swapInterval sweeps (internal/tempering). Batched execution is
+// bit-identical to per-replica execution, and every printed number is a pure
+// function of the configuration and seed — no wall-clock measurements — so
+// the output is identical for every -workers value (asserted by tests).
 func runTemper(name string, rows, cols, gridR, gridC, tile int, dt tensor.DType, alg tpu.Algorithm,
 	replicas int, tmin, tmax float64,
 	swapInterval int, seed uint64, workers, sweeps, burnin int, profile, jsonOut bool) {
@@ -259,26 +347,31 @@ func runTemper(name string, rows, cols, gridR, gridC, tile int, dt tensor.DType,
 		w := tempering.DefaultWindow(rows*cols, replicas)
 		tmin, tmax = tc*(1-w), tc*(1+w)
 	}
-	ens, err := tempering.New(tempering.Config{
+	ladder, err := backend.NewBatchLadder(name, backend.Config{
+		Rows: rows, Cols: cols, Seed: seed, Workers: workers,
+		GridR: gridR, GridC: gridC,
+		TileSize: tile, DType: dt, Algorithm: alg,
+	}, sweep.TemperatureGrid(tmin, tmax, replicas))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ens, err := tempering.NewBatch(tempering.Config{
 		Temperatures: sweep.TemperatureGrid(tmin, tmax, replicas),
 		SwapInterval: swapInterval,
 		Seed:         seed,
 		Workers:      workers,
-	}, func(slot int, temperature float64) (ising.Backend, error) {
-		return backend.New(name, backend.Config{
-			Rows: rows, Cols: cols, Temperature: temperature,
-			Seed: tempering.ReplicaSeed(seed, slot), Workers: workers,
-			GridR: gridR, GridC: gridC,
-			TileSize: tile, DType: dt, Algorithm: alg,
-		})
-	})
+	}, ladder)
 	if err != nil {
 		log.Fatal(err)
 	}
 	tc := ising.CriticalTemperature()
 	if !jsonOut {
+		// The report names the selected registry backend, not the batch
+		// engine executing the ladder (ladder.Name() — e.g. the lane-packed
+		// "ensemble" for multispin): batching is an execution strategy, and
+		// the CLI and isingd must name the same logical job identically.
 		fmt.Printf("parallel tempering: %d replicas of backend %s, %dx%d lattice, T in [%.4f, %.4f], swap attempt every %d sweeps\n",
-			replicas, ens.Backend(0).Name(), rows, cols, tmin, tmax, swapInterval)
+			replicas, name, rows, cols, tmin, tmax, swapInterval)
 	}
 	burnRounds := (burnin + swapInterval - 1) / swapInterval
 	rounds := sweeps / swapInterval
@@ -292,7 +385,7 @@ func runTemper(name string, rows, cols, gridR, gridC, tile int, dt tensor.DType,
 		// Deliberately no elapsed_sec/flips_per_ns here: temper output stays
 		// free of wall-clock numbers so it is byte-identical for every
 		// -workers value, matching the prose report's contract.
-		r := encode.Result{Backend: ens.Backend(0).Name(), Rows: rows, Cols: cols,
+		r := encode.Result{Backend: name, Rows: rows, Cols: cols,
 			Temperature: tmin, Seed: seed, Sweeps: sweeps, BurnIn: burnin}
 		encode.Observables(&r, ens.Backend(0))
 		encode.Tempering(&r, rep)

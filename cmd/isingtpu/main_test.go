@@ -260,3 +260,91 @@ func TestHelpers(t *testing.T) {
 		t.Fatal("dtName")
 	}
 }
+
+// TestReplicasModeSharesServiceEncoding builds the CLI and checks the
+// batched-ensemble mode end to end: -replicas B -json emits one
+// encode.Result with B per-lane rows whose deterministic fields match what a
+// service batch job of the same spec computes, and the flag conflicts are
+// refused with clear errors.
+func TestReplicasModeSharesServiceEncoding(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CLI build in -short mode")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	bin := filepath.Join(t.TempDir(), "isingtpu")
+	build := exec.Command(goBin, "build", "-o", bin, ".")
+	build.Env = append(os.Environ(), "CGO_ENABLED=0")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building isingtpu: %v\n%s", err, out)
+	}
+
+	out, err := exec.Command(bin, "-json", "-replicas", "3", "-backend", "multispin",
+		"-size", "16x64", "-temp", "2.4", "-sweeps", "30", "-seed", "7").CombinedOutput()
+	if err != nil {
+		t.Fatalf("isingtpu -replicas -json: %v\n%s", err, out)
+	}
+	var r encode.Result
+	if err := json.Unmarshal(out, &r); err != nil {
+		t.Fatalf("-replicas -json output is not one JSON line: %v\n%s", err, out)
+	}
+	// The result names the selected registry backend, exactly like the
+	// service's batch jobs — the lane-packed execution engine is invisible.
+	if len(r.Lanes) != 3 || r.Backend != "multispin" || r.Step != 60 {
+		t.Fatalf("-replicas result: %+v", r)
+	}
+
+	srv, _ := service.New(service.Config{Workers: 1})
+	defer srv.Close()
+	j, err := srv.Submit(service.JobSpec{Backend: "multispin", Rows: 16, Cols: 64,
+		Temperature: 2.4, Sweeps: 30, Seed: 7, Replicas: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	sr, err := j.Result()
+	if err != nil || sr == nil {
+		t.Fatalf("service batch job: %v", err)
+	}
+	if len(sr.Lanes) != len(r.Lanes) {
+		t.Fatalf("CLI has %d lanes, service %d", len(r.Lanes), len(sr.Lanes))
+	}
+	for i := range r.Lanes {
+		cl, sl := r.Lanes[i], sr.Lanes[i]
+		if cl.Seed != sl.Seed || cl.Magnetization != sl.Magnetization || cl.Energy != sl.Energy {
+			t.Fatalf("lane %d: CLI %+v and service %+v disagree on deterministic fields", i, cl, sl)
+		}
+	}
+	if r.Magnetization != sr.Magnetization || r.Energy != sr.Energy || r.Ops != sr.Ops ||
+		r.Backend != sr.Backend {
+		t.Fatalf("CLI batch result %+v and service result %+v disagree", r, sr)
+	}
+
+	// The batched temper ladder also keeps the registry backend name.
+	out, err = exec.Command(bin, "-json", "-temper", "4", "-backend", "multispin",
+		"-size", "16x64", "-sweeps", "20", "-seed", "2").CombinedOutput()
+	if err != nil {
+		t.Fatalf("isingtpu -json -temper multispin: %v\n%s", err, out)
+	}
+	var tr encode.Result
+	if err := json.Unmarshal(out, &tr); err != nil {
+		t.Fatalf("-json -temper output: %v\n%s", err, out)
+	}
+	if tr.Backend != "multispin" || len(tr.Replicas) != 4 {
+		t.Fatalf("-json -temper multispin result names backend %q with %d replicas", tr.Backend, len(tr.Replicas))
+	}
+
+	// Conflicting and invalid flag combinations are refused.
+	if out, err := exec.Command(bin, "-replicas", "4", "-temper", "4", "-backend", "multispin",
+		"-size", "16x64", "-sweeps", "1").CombinedOutput(); err == nil {
+		t.Fatalf("-replicas with -temper should fail:\n%s", out)
+	}
+	if out, err := exec.Command(bin, "-replicas", "0", "-size", "16x64", "-sweeps", "1").CombinedOutput(); err == nil {
+		t.Fatalf("-replicas 0 should fail:\n%s", out)
+	}
+	if out, err := exec.Command(bin, "-replicas", "2", "-estimate", "-size", "256").CombinedOutput(); err == nil {
+		t.Fatalf("-replicas with -estimate should fail:\n%s", out)
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"tpuising/internal/ising"
 	"tpuising/internal/ising/checkerboard"
+	"tpuising/internal/ising/ensemble"
 	"tpuising/internal/ising/gpusim"
 	"tpuising/internal/ising/multispin"
 	"tpuising/internal/ising/sharded"
@@ -108,6 +109,69 @@ func New(name string, cfg Config) (ising.Backend, error) {
 		return nil, fmt.Errorf("backend: invalid lattice size %dx%d", cfg.Rows, cfg.Cols)
 	}
 	return builders[n](cfg)
+}
+
+// NewBatch builds a batched ensemble of `lanes` independent chains of the
+// named engine, all at cfg.Temperature, with lane L seeded
+// ising.LaneSeed(cfg.Seed, L). When the engine is the per-site multispin
+// kernel (and the config fits its constraints), the lanes come back as one
+// lane-packed internal/ising/ensemble engine — bit-identical chains, one
+// word pass per site for all of them; every other registered engine is
+// lifted through the generic adapter, so the batch axis works for the whole
+// registry. Batching is an execution strategy, never a physics change: lane
+// L's chain is the same chain either way.
+func NewBatch(name string, cfg Config, lanes int) (ising.BatchBackend, error) {
+	if lanes < 1 {
+		return nil, fmt.Errorf("backend: batch needs at least 1 lane, got %d", lanes)
+	}
+	temps := make([]float64, lanes)
+	for i := range temps {
+		temps[i] = temperature(cfg)
+	}
+	return NewBatchLadder(name, cfg, temps)
+}
+
+// NewBatchLadder is NewBatch with one temperature per lane: lane L runs at
+// temps[L] (still seeded ising.LaneSeed(cfg.Seed, L), cfg.Temperature
+// ignored). It is how the consumers hand a whole tempering ladder or
+// temperature scan to one batched backend.
+func NewBatchLadder(name string, cfg Config, temps []float64) (ising.BatchBackend, error) {
+	n, err := Canonical(name)
+	if err != nil {
+		return nil, err
+	}
+	if len(temps) == 0 {
+		return nil, fmt.Errorf("backend: batch needs at least 1 lane temperature")
+	}
+	if packedBatchEligible(n, cfg, len(temps)) {
+		return ensemble.New(ensemble.Config{
+			Rows: cfg.Rows, Cols: cfg.Cols, Lanes: len(temps),
+			Temperatures: temps, Seed: cfg.Seed,
+			Workers: cfg.Workers, Hot: cfg.Hot,
+		})
+	}
+	backends := make([]ising.Backend, len(temps))
+	for i, temp := range temps {
+		c := cfg
+		c.Temperature = temp
+		c.Seed = ising.LaneSeed(cfg.Seed, i)
+		if backends[i], err = New(n, c); err != nil {
+			return nil, fmt.Errorf("backend: building batch lane %d: %w", i, err)
+		}
+	}
+	return ising.NewBatchOf(backends, cfg.Workers)
+}
+
+// packedBatchEligible reports whether a batch of the named engine can run on
+// the lane-packed ensemble engine: per-site multispin chains (the packed
+// lanes are bit-identical to those), a lattice satisfying the multispin
+// constraints, at most 64 lanes, and no shard grid.
+func packedBatchEligible(name string, cfg Config, lanes int) bool {
+	return name == "multispin" &&
+		lanes <= ensemble.MaxLanes &&
+		cfg.Rows >= 2 && cfg.Rows%2 == 0 &&
+		cfg.Cols > 0 && cfg.Cols%multispin.WordBits == 0 &&
+		cfg.GridR <= 1 && cfg.GridC <= 1
 }
 
 // hostLattice builds the starting configuration of the host engines.

@@ -8,16 +8,34 @@ import (
 )
 
 // snapshotBackends are the registry engines that implement ising.Snapshotter.
-var snapshotBackends = []string{"checkerboard", "gpusim", "multispin", "multispin-shared"}
+var snapshotBackends = []string{"checkerboard", "gpusim", "multispin", "multispin-shared", "sharded"}
+
+// snapshotCases are the engine configurations of the resume test: every
+// snapshottable engine on a lattice it accepts, with the sharded engine on a
+// real 2x2 grid — and its resume target on a *different* grid, because the
+// snapshot is in whole-lattice coordinates and the shard grid is an
+// execution detail.
+var snapshotCases = []struct {
+	name         string
+	cfg, resumed Config
+}{
+	{"checkerboard", Config{Rows: 16, Cols: 64}, Config{Rows: 16, Cols: 64}},
+	{"gpusim", Config{Rows: 16, Cols: 64}, Config{Rows: 16, Cols: 64}},
+	{"multispin", Config{Rows: 16, Cols: 64}, Config{Rows: 16, Cols: 64}},
+	{"multispin-shared", Config{Rows: 16, Cols: 64}, Config{Rows: 16, Cols: 64}},
+	{"sharded", Config{Rows: 16, Cols: 128, GridR: 2, GridC: 2}, Config{Rows: 16, Cols: 128}},
+}
 
 // TestSnapshotResumeBitIdentical checks the checkpoint/restore contract for
 // every snapshottable engine: a chain snapshotted at sweep K and restored
 // into a freshly constructed engine finishes the run bit-identically to an
 // uninterrupted chain — same spins, same step counter, same observables.
 func TestSnapshotResumeBitIdentical(t *testing.T) {
-	const rows, cols, total, cut = 16, 64, 40, 17
-	for _, name := range snapshotBackends {
-		cfg := Config{Rows: rows, Cols: cols, Temperature: 2.4, Seed: 99, Hot: true}
+	const total, cut = 40, 17
+	for _, tc := range snapshotCases {
+		name := tc.name
+		cfg := tc.cfg
+		cfg.Temperature, cfg.Seed, cfg.Hot = 2.4, 99, true
 		full, err := New(name, cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
@@ -43,7 +61,9 @@ func TestSnapshotResumeBitIdentical(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: decode: %v", name, err)
 		}
-		resumed, err := New(name, Config{Rows: rows, Cols: cols, Temperature: 3.1, Seed: 7})
+		rcfg := tc.resumed
+		rcfg.Temperature, rcfg.Seed = 3.1, 7
+		resumed, err := New(name, rcfg)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -97,6 +117,45 @@ func TestSnapshotRestoreRejectsMismatches(t *testing.T) {
 	}
 	if err := shared.(ising.Snapshotter).Restore(msSnap); err == nil {
 		t.Fatal("multispin-shared must refuse a per-site multispin snapshot")
+	}
+}
+
+// TestShardedSnapshotMatchesMultispin: the sharded engine is bit-identical
+// to multispin at the same seed, and its snapshot gathers the shards into
+// whole-lattice word order — so the two engines' snapshots must carry
+// identical spin bytes, step and RNG state (only the backend name differs).
+func TestShardedSnapshotMatchesMultispin(t *testing.T) {
+	cfg := Config{Rows: 8, Cols: 128, Temperature: 2.3, Seed: 31}
+	scfg := cfg
+	scfg.GridR, scfg.GridC = 2, 2
+	ms, err := New("multispin", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := New("sharded", scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		ms.Sweep()
+		sh.Sweep()
+	}
+	msSnap, err := ms.(ising.Snapshotter).Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	shSnap, err := sh.(ising.Snapshotter).Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(msSnap.Spins, shSnap.Spins) {
+		t.Fatal("sharded snapshot spins differ from the bit-identical multispin chain's")
+	}
+	if msSnap.Step != shSnap.Step || !bytes.Equal(msSnap.RNG, shSnap.RNG) {
+		t.Fatal("sharded snapshot step/RNG differ from the multispin chain's")
+	}
+	if shSnap.Backend != "sharded" {
+		t.Fatalf("sharded snapshot names backend %q", shSnap.Backend)
 	}
 }
 

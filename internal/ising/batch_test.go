@@ -1,0 +1,109 @@
+package ising_test
+
+import (
+	"testing"
+
+	"tpuising/internal/ising"
+	"tpuising/internal/ising/checkerboard"
+	"tpuising/internal/rng"
+)
+
+// newSampler builds one checkerboard lane for the adapter tests.
+func newSampler(rows, cols int, temp float64, seed uint64) ising.Backend {
+	return checkerboard.NewSampler(ising.NewRandomLattice(rows, cols, rng.New(seed)), temp, seed)
+}
+
+// TestBatchAdapterMatchesLanes: the generic adapter must advance every lane
+// exactly like the same backends run individually — batching is an execution
+// strategy, never a physics change.
+func TestBatchAdapterMatchesLanes(t *testing.T) {
+	const lanes, sweeps = 3, 7
+	batched := make([]ising.Backend, lanes)
+	reference := make([]ising.Backend, lanes)
+	for i := 0; i < lanes; i++ {
+		seed := ising.LaneSeed(42, i)
+		batched[i] = newSampler(8, 8, 2.4, seed)
+		reference[i] = newSampler(8, 8, 2.4, seed)
+	}
+	b, err := ising.NewBatchOf(batched, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Lanes() != lanes || b.N() != 64 || b.Name() != "checkerboard" {
+		t.Fatalf("adapter identity: lanes=%d n=%d name=%q", b.Lanes(), b.N(), b.Name())
+	}
+	for i := 0; i < sweeps; i++ {
+		b.Sweep()
+		for _, r := range reference {
+			r.Sweep()
+		}
+	}
+	ms, es := b.Magnetizations(), b.Energies()
+	for i, r := range reference {
+		if ms[i] != r.Magnetization() || es[i] != r.Energy() {
+			t.Fatalf("lane %d: batch (m=%v, e=%v) differs from individual run (m=%v, e=%v)",
+				i, ms[i], es[i], r.Magnetization(), r.Energy())
+		}
+	}
+	if b.Step() != reference[0].Step() {
+		t.Fatalf("batch step %d, individual %d", b.Step(), reference[0].Step())
+	}
+	if got, want := b.Counts().Ops, lanes*int64(sweeps)*64; got != want {
+		t.Fatalf("batch ops %d, want %d", got, want)
+	}
+}
+
+// TestBatchAdapterSetLaneTemperature: per-lane temperature control reaches
+// exactly one lane.
+func TestBatchAdapterSetLaneTemperature(t *testing.T) {
+	lanes := []ising.Backend{newSampler(8, 8, 2.4, 1), newSampler(8, 8, 2.4, 2)}
+	ref := []ising.Backend{newSampler(8, 8, 2.4, 1), newSampler(8, 8, 3.0, 2)}
+	b, err := ising.NewBatchOf(lanes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.SetLaneTemperature(1, 3.0)
+	for i := 0; i < 5; i++ {
+		b.Sweep()
+		ref[0].Sweep()
+		ref[1].Sweep()
+	}
+	ms := b.Magnetizations()
+	if ms[0] != ref[0].Magnetization() || ms[1] != ref[1].Magnetization() {
+		t.Fatal("per-lane temperature did not reach exactly one lane")
+	}
+}
+
+// TestBatchAdapterValidation: empty batches, mixed engine types and mixed
+// lattice sizes are refused.
+func TestBatchAdapterValidation(t *testing.T) {
+	if _, err := ising.NewBatchOf(nil, 0); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if _, err := ising.NewBatchOf([]ising.Backend{newSampler(8, 8, 2.4, 1), newSampler(16, 16, 2.4, 2)}, 0); err == nil {
+		t.Error("mixed lattice sizes accepted")
+	}
+}
+
+// TestLaneView: the read-only Backend facade over one lane reads through and
+// refuses to sweep.
+func TestLaneView(t *testing.T) {
+	b, err := ising.NewBatchOf([]ising.Backend{newSampler(8, 8, 2.4, 1), newSampler(8, 8, 2.4, 2)}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Sweep()
+	v := ising.LaneView(b, 1)
+	if v.Magnetization() != b.Magnetizations()[1] || v.Energy() != b.Energies()[1] {
+		t.Fatal("lane view observables do not read through")
+	}
+	if v.Name() != "checkerboard" || v.Step() != b.Step() {
+		t.Fatal("lane view identity does not read through")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("lane view Sweep did not panic")
+		}
+	}()
+	v.Sweep()
+}

@@ -47,6 +47,28 @@ func (k *Kernel) SetTemperature(temperature float64) {
 	k.T8 = acceptThreshold(math.Exp(-8 * beta * ising.J))
 }
 
+// DisagreeClasses bit-slices the four neighbour-disagreement masks of 64
+// sites (or, in the lane-packed ensemble engine, of 64 independent chains at
+// one site) into the three Metropolis acceptance classes: ge2 marks sites
+// with >= 2 disagreeing neighbours (always accept), one marks exactly one
+// (accept with probability exp(-4 beta)) and zero marks none (accept with
+// probability exp(-8 beta)). It is the shared core of every bit-packed
+// engine's hot loop — the whole-lattice engine, the mesh-sharded engine and
+// internal/ising/ensemble all classify through it.
+func DisagreeClasses(d1, d2, d3, d4 uint64) (ge2, one, zero uint64) {
+	// Bit-sliced sum of the four d-bits into a 3-bit count per site.
+	h0, c0 := d1^d2, d1&d2
+	h1, c1 := d3^d4, d3&d4
+	low := h0 ^ h1
+	ca := h0 & h1
+	mid := c0 ^ c1 ^ ca
+	hi := (c0 & c1) | (ca & (c0 ^ c1))
+	ge2 = mid | hi
+	one = low &^ mid &^ hi
+	zero = ^(low | mid | hi)
+	return ge2, one, zero
+}
+
 // UpdateRow performs the colour update of the active sites of one packed
 // lattice row, in place. row holds the W words of the row; north and south
 // are the rows above and below (pre-update snapshots are fine: every
@@ -83,16 +105,7 @@ func (k Kernel) UpdateRow(row, north, south []uint64, westWrap, eastWrap uint64,
 		west := (cur << 1) | (westSrc >> 63)
 		// d-bits: 1 where the site disagrees with that neighbour.
 		d1, d2, d3, d4 := cur^north[w], cur^south[w], cur^east, cur^west
-		// Bit-sliced sum of the four d-bits into a 3-bit count per site.
-		h0, c0 := d1^d2, d1&d2
-		h1, c1 := d3^d4, d3&d4
-		low := h0 ^ h1
-		ca := h0 & h1
-		mid := c0 ^ c1 ^ ca
-		hi := (c0 & c1) | (ca & (c0 ^ c1))
-		ge2 := mid | hi           // >= 2 disagreeing neighbours: always accept
-		one := low &^ mid &^ hi   // exactly 1: accept with prob exp(-4 beta)
-		zero := ^(low | mid | hi) // exactly 0: accept with prob exp(-8 beta)
+		ge2, one, zero := DisagreeClasses(d1, d2, d3, d4)
 		var a4, a8 uint64
 		gw := w + wordOff
 		if k.Shared {

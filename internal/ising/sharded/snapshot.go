@@ -1,0 +1,77 @@
+package sharded
+
+import (
+	"encoding/binary"
+
+	"tpuising/internal/ising"
+	"tpuising/internal/rng"
+)
+
+// Snapshot captures the engine's chain state in whole-lattice coordinates:
+// the shards' packed words are gathered in global row-major word order and
+// dumped little-endian — byte-for-byte the layout a multispin engine holding
+// the same configuration would dump, because the two engines are
+// bit-identical at the same seed. The snapshot carries the sharded backend
+// name, the site-keyed Philox key and the colour-step counter; the shard
+// grid is deliberately absent, since the chain is a pure function of
+// (seed, step, global site) and restores into any grid of the same lattice.
+// With this, sharded isingd jobs checkpoint and resume like the other host
+// engines. It satisfies ising.Snapshotter.
+func (e *Engine) Snapshot() (*ising.Snapshot, error) {
+	spins := make([]byte, ising.PackedSpinBytes(e.rows, e.cols))
+	mesh := e.pod.Mesh()
+	idx := 0
+	for gr := 0; gr < e.rows; gr++ {
+		y := gr / e.shardRows
+		for x := 0; x < e.gridC; x++ {
+			sh := e.shards[mesh.ID(x, y)]
+			for _, v := range e.rowWords(sh, gr-sh.rowOff) {
+				binary.LittleEndian.PutUint64(spins[idx:], v)
+				idx += 8
+			}
+		}
+	}
+	return &ising.Snapshot{
+		Backend:     e.Name(),
+		Rows:        e.rows,
+		Cols:        e.cols,
+		Temperature: e.temperature,
+		Step:        e.step,
+		RNG:         rng.MarshalKey(e.kern.Key),
+		Spins:       spins,
+	}, nil
+}
+
+// Restore replaces the engine's chain state with a snapshot previously taken
+// from the same sharded variant at the same lattice size (any shard grid):
+// the global packed words are scattered back over the shards, and the host
+// Ops counter is re-derived from the step so Counts stays consistent with an
+// uninterrupted run. The interconnect counters restart from zero — they
+// count this process's halo traffic, not the chain's history.
+func (e *Engine) Restore(snap *ising.Snapshot) error {
+	if err := snap.Check(e.Name(), e.rows, e.cols); err != nil {
+		return err
+	}
+	key, err := rng.UnmarshalKey(snap.RNG)
+	if err != nil {
+		return err
+	}
+	e.kern.Key = key
+	mesh := e.pod.Mesh()
+	idx := 0
+	for gr := 0; gr < e.rows; gr++ {
+		y := gr / e.shardRows
+		for x := 0; x < e.gridC; x++ {
+			sh := e.shards[mesh.ID(x, y)]
+			row := e.rowWords(sh, gr-sh.rowOff)
+			for w := range row {
+				row[w] = binary.LittleEndian.Uint64(snap.Spins[idx:])
+				idx += 8
+			}
+		}
+	}
+	e.SetTemperature(snap.Temperature)
+	e.step = snap.Step
+	e.hostOps = int64(snap.Step) / 2 * int64(e.N())
+	return nil
+}

@@ -1,0 +1,66 @@
+package perf
+
+import "fmt"
+
+// EnsembleSpec describes a lane-packed replica ensemble
+// (internal/ising/ensemble) for throughput and memory modelling: Lanes
+// independent Rows x Cols chains, one bit-lane per chain, with either
+// per-lane randoms (the exact mode, one 32-bit Philox word per lane per site
+// update) or class-shared randoms (Shared, two words per site update shared
+// by every lane — the Block/Virnau/Preis trick).
+type EnsembleSpec struct {
+	// Rows and Cols are the per-lane lattice dimensions.
+	Rows, Cols int
+	// Lanes is the number of packed replicas (1..64).
+	Lanes int
+	// Shared selects the class-shared random mode.
+	Shared bool
+}
+
+// EnsembleReport is the modelled footprint and random-stream cost of a
+// lane-packed ensemble against the same replicas run as separate multispin
+// chains. The byte counts are exact — the packed engine's Footprint method
+// reproduces PackedBytes (asserted by test) — and the random-word counts
+// follow from the engines' documented draw schedules, so the report reads
+// like ShardTraffic/ExchangeTraffic but for the ensemble axis: what opening
+// the batch dimension costs (memory) and saves (random generation, the hot
+// loop's dominant term).
+type EnsembleReport struct {
+	// PackedBytes is the lattice state of the packed engine: one 64-lane
+	// uint64 word per site, whatever the active lane count.
+	PackedBytes int64
+	// SeparateBytes is the same replicas as separate multispin chains: one
+	// bit per spin per chain.
+	SeparateBytes int64
+	// RandomWords is the 32-bit Philox words the packed engine consumes per
+	// whole-lattice sweep of all lanes: Lanes words per site in exact mode
+	// (one per lane), 2 per site in shared mode (one per ΔE class).
+	RandomWords int64
+	// SeparateRandomWords is what Lanes separate per-site multispin chains
+	// consume per sweep (one word per site per chain).
+	SeparateRandomWords int64
+	// RNGSavings is SeparateRandomWords / RandomWords — 1 in exact mode,
+	// Lanes/2 in shared mode.
+	RNGSavings float64
+}
+
+// EnsembleFootprint models a lane-packed ensemble. It panics on a spec the
+// engine itself would reject.
+func EnsembleFootprint(s EnsembleSpec) EnsembleReport {
+	if s.Rows <= 0 || s.Cols <= 0 || s.Lanes < 1 || s.Lanes > 64 {
+		panic(fmt.Sprintf("perf: invalid ensemble spec %+v", s))
+	}
+	n := int64(s.Rows) * int64(s.Cols)
+	rep := EnsembleReport{
+		PackedBytes:         n * 8,
+		SeparateBytes:       int64(s.Lanes) * ((n + 7) / 8),
+		SeparateRandomWords: int64(s.Lanes) * n,
+	}
+	if s.Shared {
+		rep.RandomWords = 2 * n
+	} else {
+		rep.RandomWords = int64(s.Lanes) * n
+	}
+	rep.RNGSavings = float64(rep.SeparateRandomWords) / float64(rep.RandomWords)
+	return rep
+}

@@ -1,0 +1,60 @@
+package perf_test
+
+import (
+	"testing"
+
+	"tpuising/internal/ising/ensemble"
+	"tpuising/internal/perf"
+)
+
+// TestEnsembleFootprintMatchesEngine: the model's packed-state bytes are the
+// real engine's allocation, for several lattice sizes and lane counts — the
+// same model==reality contract the checkpoint-traffic model keeps with the
+// snapshot codec.
+func TestEnsembleFootprintMatchesEngine(t *testing.T) {
+	for _, tc := range []struct{ rows, cols, lanes int }{
+		{8, 64, 1}, {8, 64, 64}, {16, 128, 7},
+	} {
+		e, err := ensemble.New(ensemble.Config{
+			Rows: tc.rows, Cols: tc.cols, Lanes: tc.lanes, Temperature: 2.5, Seed: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := perf.EnsembleFootprint(perf.EnsembleSpec{Rows: tc.rows, Cols: tc.cols, Lanes: tc.lanes})
+		if rep.PackedBytes != e.Footprint() {
+			t.Errorf("%dx%d x%d: model PackedBytes %d, engine Footprint %d",
+				tc.rows, tc.cols, tc.lanes, rep.PackedBytes, e.Footprint())
+		}
+	}
+}
+
+// TestEnsembleFootprintArithmetic pins the draw-schedule arithmetic: exact
+// mode saves nothing (one word per lane per site either way), shared mode
+// consumes two words per site whatever the lane count.
+func TestEnsembleFootprintArithmetic(t *testing.T) {
+	exact := perf.EnsembleFootprint(perf.EnsembleSpec{Rows: 256, Cols: 256, Lanes: 64})
+	if exact.RandomWords != exact.SeparateRandomWords || exact.RNGSavings != 1 {
+		t.Errorf("exact mode: %+v, want parity with separate chains", exact)
+	}
+	if exact.SeparateBytes != exact.PackedBytes {
+		t.Errorf("at full width the packed words hold exactly the 64 separate chains' bits: %+v", exact)
+	}
+	partial := perf.EnsembleFootprint(perf.EnsembleSpec{Rows: 256, Cols: 256, Lanes: 8})
+	if partial.PackedBytes != 8*partial.SeparateBytes {
+		t.Errorf("an 8-lane ensemble still pays full 64-lane words: %+v", partial)
+	}
+	shared := perf.EnsembleFootprint(perf.EnsembleSpec{Rows: 256, Cols: 256, Lanes: 64, Shared: true})
+	if shared.RandomWords != 2*256*256 {
+		t.Errorf("shared mode draws two words per site: %+v", shared)
+	}
+	if shared.RNGSavings != 32 {
+		t.Errorf("shared mode at 64 lanes saves 32x on randoms, got %v", shared.RNGSavings)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid spec did not panic")
+		}
+	}()
+	perf.EnsembleFootprint(perf.EnsembleSpec{Rows: 8, Cols: 64, Lanes: 65})
+}

@@ -61,6 +61,32 @@ func BlockPair(ca, cb Counter, key Key) (a, b [4]uint32) {
 	return [4]uint32{a0, a1, a2, a3}, [4]uint32{b0, b1, b2, b3}
 }
 
+// BlockPairKeys runs the Philox4x32-10 bijection on one counter under two
+// different keys. It returns exactly Block(ctr, ka) and Block(ctr, kb), with
+// the rounds of the two blocks interleaved like BlockPair's so their
+// multiplies overlap in the pipeline. It is the dual of BlockPair for the
+// lane-packed ensemble engine, where 64 independent replicas share every
+// site counter but each draws through its own lane-seeded key.
+func BlockPairKeys(ctr Counter, ka, kb Key) (a, b [4]uint32) {
+	a0, a1, a2, a3 := ctr[0], ctr[1], ctr[2], ctr[3]
+	b0, b1, b2, b3 := ctr[0], ctr[1], ctr[2], ctr[3]
+	ka0, ka1 := ka[0], ka[1]
+	kb0, kb1 := kb[0], kb[1]
+	for i := 0; i < rounds; i++ {
+		pa0 := uint64(philoxM0) * uint64(a0)
+		pa1 := uint64(philoxM1) * uint64(a2)
+		pb0 := uint64(philoxM0) * uint64(b0)
+		pb1 := uint64(philoxM1) * uint64(b2)
+		a0, a1, a2, a3 = uint32(pa1>>32)^a1^ka0, uint32(pa1), uint32(pa0>>32)^a3^ka1, uint32(pa0)
+		b0, b1, b2, b3 = uint32(pb1>>32)^b1^kb0, uint32(pb1), uint32(pb0>>32)^b3^kb1, uint32(pb0)
+		ka0 += philoxW0
+		ka1 += philoxW1
+		kb0 += philoxW0
+		kb1 += philoxW1
+	}
+	return [4]uint32{a0, a1, a2, a3}, [4]uint32{b0, b1, b2, b3}
+}
+
 // Uint32ToUniform maps a uint32 to a float32 uniform in [0, 1) using the top
 // 24 bits, matching the resolution of a float32 mantissa.
 func Uint32ToUniform(u uint32) float32 {

@@ -35,6 +35,19 @@ func TestBlockPairMatchesBlock(t *testing.T) {
 	}
 }
 
+// TestBlockPairKeysMatchesBlock: the dual interleaving (one counter, two
+// keys — the lane-packed ensemble's draw pattern) must be exactly Block
+// under each key.
+func TestBlockPairKeysMatchesBlock(t *testing.T) {
+	f := func(ctr Counter, ka, kb Key) bool {
+		a, b := BlockPairKeys(ctr, ka, kb)
+		return a == Block(ctr, ka) && b == Block(ctr, kb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestBlockBijectionNoCollisionsSmall(t *testing.T) {
 	// The Philox block function is a bijection for a fixed key; sample a few
 	// thousand counters and verify no collisions in the outputs.

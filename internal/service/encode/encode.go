@@ -60,6 +60,30 @@ type Result struct {
 	Replicas       []Replica `json:"replicas,omitempty"`
 	RoundTrips     int       `json:"round_trips,omitempty"`
 	SwapAcceptance float64   `json:"swap_acceptance,omitempty"`
+	// Lanes holds the per-lane rows of a batched run (JobSpec.Replicas > 1 /
+	// isingtpu -replicas): one row per independent chain, lane order. For
+	// batched runs the top-level final-state observables are the means over
+	// lanes, and the top-level sample means pool every lane's samples.
+	Lanes []Lane `json:"lanes,omitempty"`
+}
+
+// Lane is the per-chain row of a batched (many-replica) Result.
+type Lane struct {
+	// Lane is the chain's index; Seed its derived chain seed
+	// (ising.LaneSeed of the run seed).
+	Lane int    `json:"lane"`
+	Seed uint64 `json:"seed"`
+	// Magnetization, AbsMagnetization and Energy are the lane's final-state
+	// observables per spin.
+	Magnetization    float64 `json:"m"`
+	AbsMagnetization float64 `json:"abs_m"`
+	Energy           float64 `json:"e"`
+	// MeanAbsMagnetization, MeanAbsMagnetizationErr, MeanEnergy and Samples
+	// summarise the lane's measured samples (absent when the run took none).
+	MeanAbsMagnetization    float64 `json:"mean_abs_m,omitempty"`
+	MeanAbsMagnetizationErr float64 `json:"mean_abs_m_err,omitempty"`
+	MeanEnergy              float64 `json:"mean_e,omitempty"`
+	Samples                 int     `json:"samples,omitempty"`
 }
 
 // Replica is the per-temperature row of a replica-exchange Result.
@@ -91,6 +115,10 @@ type Sample struct {
 	// per-job history bound, and the stream is missing them. It is only ever
 	// set on the final line of a stream.
 	Truncated int `json:"truncated,omitempty"`
+	// Lane is the chain index of a batched job's sample (omitted for lane 0
+	// and for single-chain jobs). A batched job emits one sample line per
+	// lane at every sample interval.
+	Lane int `json:"lane,omitempty"`
 }
 
 // Observables fills r's final-state observable fields from the backend.
@@ -102,6 +130,37 @@ func Observables(r *Result, b ising.Backend) {
 	}
 	r.AbsMagnetization = m
 	r.Energy = b.Energy()
+	r.Step = b.Step()
+	r.Ops = b.Counts().Ops
+}
+
+// BatchObservables fills r's final-state observable fields — top-level and
+// per-lane rows — from a batched backend: the single conversion both
+// `isingtpu -replicas` and the service's batched jobs go through, so the two
+// emit identical lane rows. The top-level final-state observables are the
+// means over lanes; seed is the run seed the lane seeds derive from.
+func BatchObservables(r *Result, b ising.BatchBackend, seed uint64) {
+	ms, es := b.Magnetizations(), b.Energies()
+	r.Lanes = make([]Lane, b.Lanes())
+	var mSum, absSum, eSum float64
+	for lane := range r.Lanes {
+		m := ms[lane]
+		abs := m
+		if abs < 0 {
+			abs = -abs
+		}
+		r.Lanes[lane] = Lane{
+			Lane: lane, Seed: ising.LaneSeed(seed, lane),
+			Magnetization: m, AbsMagnetization: abs, Energy: es[lane],
+		}
+		mSum += m
+		absSum += abs
+		eSum += es[lane]
+	}
+	n := float64(b.Lanes())
+	r.Magnetization = mSum / n
+	r.AbsMagnetization = absSum / n
+	r.Energy = eSum / n
 	r.Step = b.Step()
 	r.Ops = b.Counts().Ops
 }

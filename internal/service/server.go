@@ -416,6 +416,10 @@ func (s *Server) run(j *Job) {
 		s.runTempering(j)
 		return
 	}
+	if j.spec.Replicas > 1 {
+		s.runBatch(j)
+		return
+	}
 	s.runSingle(j)
 }
 
@@ -594,20 +598,109 @@ func (s *Server) runSingle(j *Job) {
 	s.complete(j, r)
 }
 
+// runBatch runs a batched-ensemble job: Replicas independent chains of the
+// spec's backend at one temperature, advanced together in this worker slot
+// (one lane-packed engine for multispin, the lane-parallel adapter
+// otherwise — backend.NewBatch picks). Every SampleInterval the job streams
+// one sample per lane, and the result fans out into per-lane rows; lane L is
+// exactly the single chain a separate job with seed ising.LaneSeed(seed, L)
+// would run. Batched jobs do not checkpoint.
+func (s *Server) runBatch(j *Job) {
+	spec := j.spec
+	b, err := backend.NewBatch(spec.Backend, backendConfig(spec, spec.Temperature, spec.Seed), spec.Replicas)
+	if err != nil {
+		s.fail(j, err)
+		return
+	}
+	lanes := b.Lanes()
+	absAcc := make([]stats.Accumulator, lanes)
+	eAcc := make([]stats.Accumulator, lanes)
+	var absAll stats.Accumulator
+	total := spec.BurnIn + spec.Sweeps
+	start := time.Now()
+	done := 0
+	for done < total {
+		if j.ctx.Err() != nil {
+			s.interrupted(j, nil, false, done, stats.AccumulatorState{}, stats.AccumulatorState{})
+			return
+		}
+		n := total - done
+		if n > maxChunk {
+			n = maxChunk
+		}
+		for i := 0; i < n; i++ {
+			b.Sweep()
+			done++
+			measured := done - spec.BurnIn
+			if measured > 0 && measured%spec.SampleInterval == 0 {
+				ms, es := b.Magnetizations(), b.Energies()
+				for lane := 0; lane < lanes; lane++ {
+					absM := math.Abs(ms[lane])
+					absAcc[lane].Add(absM)
+					eAcc[lane].Add(es[lane])
+					absAll.Add(absM)
+					j.appendSample(encode.Sample{
+						Job: j.id, Sweep: measured, Lane: lane,
+						Magnetization: ms[lane], AbsMagnetization: absM, Energy: es[lane],
+					})
+				}
+			}
+		}
+		s.sweepsRun.Add(int64(n) * int64(lanes))
+		j.setSweepsDone(done)
+	}
+	elapsed := time.Since(start)
+	r := &encode.Result{
+		Backend: spec.Backend, Rows: spec.Rows, Cols: spec.Cols,
+		Temperature: spec.Temperature, Seed: spec.Seed,
+		Sweeps: spec.Sweeps, BurnIn: spec.BurnIn,
+	}
+	encode.BatchObservables(r, b, spec.Seed)
+	var eAll float64
+	for lane := range r.Lanes {
+		if absAcc[lane].N() == 0 {
+			continue
+		}
+		r.Lanes[lane].MeanAbsMagnetization = absAcc[lane].Mean()
+		r.Lanes[lane].MeanAbsMagnetizationErr = absAcc[lane].StdErr()
+		r.Lanes[lane].MeanEnergy = eAcc[lane].Mean()
+		r.Lanes[lane].Samples = absAcc[lane].N()
+		eAll += eAcc[lane].Mean()
+	}
+	if absAll.N() > 0 {
+		r.MeanAbsMagnetization = absAll.Mean()
+		r.MeanAbsMagnetizationErr = absAll.StdErr()
+		r.MeanEnergy = eAll / float64(lanes)
+		r.Samples = absAll.N()
+	}
+	r.ElapsedSec = elapsed.Seconds()
+	if ns := float64(elapsed.Nanoseconds()); ns > 0 && done > 0 {
+		r.FlipsPerNs = float64(spec.Rows) * float64(spec.Cols) * float64(done) * float64(lanes) / ns
+	}
+	s.complete(j, r)
+}
+
 // runTempering runs a replica-exchange job: a ladder of replicas of the
 // spec's backend coupled by Metropolis swaps every SwapInterval sweeps
-// (internal/tempering). Samples stream from the coldest rung; the result
-// carries the full per-temperature report. Tempering jobs do not checkpoint.
+// (internal/tempering), executed as one batched ensemble — one lane per rung
+// (lane-packed for multispin, lane-parallel otherwise), bit-identical to the
+// classic per-replica ladder. Samples stream from the coldest rung; the
+// result carries the full per-temperature report. Tempering jobs do not
+// checkpoint.
 func (s *Server) runTempering(j *Job) {
 	spec := j.spec
-	ens, err := tempering.New(tempering.Config{
+	ladder, err := backend.NewBatchLadder(spec.Backend,
+		backendConfig(spec, 0, spec.Seed), spec.Temperatures)
+	if err != nil {
+		s.fail(j, err)
+		return
+	}
+	ens, err := tempering.NewBatch(tempering.Config{
 		Temperatures: spec.Temperatures,
 		SwapInterval: spec.SwapInterval,
 		Seed:         spec.Seed,
 		Workers:      spec.Workers,
-	}, func(slot int, temperature float64) (ising.Backend, error) {
-		return backend.New(spec.Backend, backendConfig(spec, temperature, tempering.ReplicaSeed(spec.Seed, slot)))
-	})
+	}, ladder)
 	if err != nil {
 		s.fail(j, err)
 		return

@@ -249,16 +249,18 @@ func TestCacheEviction(t *testing.T) {
 }
 
 // TestCheckpointResumeByteIdentical is the checkpoint/resume acceptance
-// test, run for both checkerboard and multispin: a job interrupted by a
-// daemon shutdown and resumed by a fresh server over the same checkpoint
-// directory produces a result and a sample stream byte-identical to an
-// uninterrupted run of the same spec.
+// test, run for checkerboard, multispin and the mesh-sharded engine: a job
+// interrupted by a daemon shutdown and resumed by a fresh server over the
+// same checkpoint directory produces a result and a sample stream
+// byte-identical to an uninterrupted run of the same spec.
 func TestCheckpointResumeByteIdentical(t *testing.T) {
 	specs := map[string]JobSpec{
 		"checkerboard": {Backend: "checkerboard", Rows: 32, Cols: 32, Sweeps: 3000,
 			BurnIn: 100, Temperature: 2.3, Seed: 42, SampleInterval: 50},
 		"multispin": {Backend: "multispin", Rows: 64, Cols: 128, Sweeps: 20000,
 			BurnIn: 500, Temperature: 2.3, Seed: 42, SampleInterval: 500, Workers: 1},
+		"sharded": {Backend: "sharded", Rows: 64, Cols: 128, GridR: 2, GridC: 2, Sweeps: 8000,
+			BurnIn: 200, Temperature: 2.3, Seed: 42, SampleInterval: 200},
 	}
 	for name, spec := range specs {
 		t.Run(name, func(t *testing.T) {

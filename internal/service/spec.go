@@ -53,7 +53,20 @@ type JobSpec struct {
 	// swap attempt every SwapInterval sweeps (0 = 10, the CLI default).
 	Temperatures []float64 `json:"temperatures,omitempty"`
 	SwapInterval int       `json:"swap_interval,omitempty"`
+	// Replicas, when > 1, makes the job a batched ensemble: B independent
+	// chains of the backend at the job's single temperature, lane L seeded
+	// ising.LaneSeed(seed, L), advanced together in one worker slot
+	// (lane-packed for the multispin backend, lane-parallel otherwise). The
+	// result carries one row per lane and the stream one sample per lane per
+	// interval. At most MaxReplicas; 0 and 1 both mean a single chain.
+	// Mutually exclusive with Temperatures (a ladder already defines its
+	// replica count) and with checkpointing (no batch snapshot support).
+	Replicas int `json:"replicas,omitempty"`
 }
+
+// MaxReplicas bounds JobSpec.Replicas: the word width of the lane-packed
+// ensemble engine, so a multispin batch job always fits one packed engine.
+const MaxReplicas = 64
 
 // defaultSwapInterval mirrors the isingtpu -swapint default.
 const defaultSwapInterval = 10
@@ -89,6 +102,23 @@ func (s JobSpec) Normalize() (JobSpec, error) {
 	}
 	if out.CheckpointInterval < 0 {
 		return out, fmt.Errorf("service: checkpoint_interval must not be negative, got %d", out.CheckpointInterval)
+	}
+	if out.Replicas < 0 {
+		return out, fmt.Errorf("service: replicas must not be negative, got %d", out.Replicas)
+	}
+	if out.Replicas > MaxReplicas {
+		return out, fmt.Errorf("service: at most %d replicas per batched job, got %d", MaxReplicas, out.Replicas)
+	}
+	if out.Replicas == 0 {
+		out.Replicas = 1
+	}
+	if out.Replicas > 1 {
+		if len(out.Temperatures) > 0 {
+			return out, fmt.Errorf("service: replicas and temperatures are mutually exclusive (a tempering ladder already defines its replica count)")
+		}
+		if out.CheckpointInterval > 0 {
+			return out, fmt.Errorf("service: batched jobs cannot checkpoint (no ensemble snapshot support)")
+		}
 	}
 	if len(out.Temperatures) > 0 {
 		if out.Temperature != 0 {
@@ -144,6 +174,9 @@ type cacheIdentity struct {
 	GridC          int       `json:"grid_c"`
 	Temperatures   []float64 `json:"temperatures"`
 	SwapInterval   int       `json:"swap_interval"`
+	// Replicas is part of the identity: a B=4 batch and a B=8 batch of one
+	// spec are different simulations and must never share a cache entry.
+	Replicas int `json:"replicas"`
 }
 
 // CacheKey returns the deduplication key of a normalized spec: two submitted
@@ -156,6 +189,7 @@ func (s JobSpec) CacheKey() string {
 		Seed: s.Seed, Hot: s.Hot, SampleInterval: s.SampleInterval,
 		GridR: s.GridR, GridC: s.GridC,
 		Temperatures: s.Temperatures, SwapInterval: s.SwapInterval,
+		Replicas: s.Replicas,
 	})
 	if err != nil {
 		// cacheIdentity contains only marshalable fields; this cannot happen.

@@ -1,0 +1,78 @@
+package sweep
+
+import (
+	"fmt"
+
+	"tpuising/internal/ising"
+	"tpuising/internal/stats"
+)
+
+// RunEnsemble is Run with the whole temperature grid simulated as one
+// batched backend: lane i of the batch runs at cfg.Temperatures[i], and a
+// single Sweep advances every temperature at once. With the lane-packed
+// engine of internal/ising/ensemble behind the batch (one bit-lane per
+// chain), an entire scan costs one pass of the packed kernel per sweep
+// instead of len(Temperatures) separate chains — and because the batch axis
+// seeds lane i with ising.LaneSeed(seed, i), the returned points are
+// identical to Run over standalone chains with those seeds (asserted by
+// test). Config fields keep their meaning (BurnIn sweeps, then Samples
+// measurements every Interval sweeps); Parallel is unused — the batch
+// backend's own worker configuration governs concurrency.
+//
+// newBatch receives a copy of the (unsorted) temperature grid and must
+// return a batch with exactly one lane per temperature.
+func RunEnsemble(cfg Config, newBatch func(temperatures []float64) (ising.BatchBackend, error)) ([]Point, error) {
+	c := cfg.withDefaults()
+	if len(c.Temperatures) == 0 {
+		return nil, nil
+	}
+	if c.Samples <= 0 {
+		panic("sweep: Samples must be positive")
+	}
+	b, err := newBatch(append([]float64(nil), c.Temperatures...))
+	if err != nil {
+		return nil, err
+	}
+	if b.Lanes() != len(c.Temperatures) {
+		return nil, fmt.Errorf("sweep: batch backend has %d lanes for %d temperatures", b.Lanes(), len(c.Temperatures))
+	}
+	for i := 0; i < c.BurnIn; i++ {
+		b.Sweep()
+	}
+	lanes := b.Lanes()
+	ms := make([][]float64, lanes)
+	abs := make([][]float64, lanes)
+	energy := make([]float64, lanes)
+	for i := range ms {
+		ms[i] = make([]float64, 0, c.Samples)
+		abs[i] = make([]float64, 0, c.Samples)
+	}
+	for s := 0; s < c.Samples; s++ {
+		for j := 0; j < c.Interval; j++ {
+			b.Sweep()
+		}
+		mags, es := b.Magnetizations(), b.Energies()
+		for i := 0; i < lanes; i++ {
+			m := mags[i]
+			ms[i] = append(ms[i], m)
+			if m < 0 {
+				abs[i] = append(abs[i], -m)
+			} else {
+				abs[i] = append(abs[i], m)
+			}
+			energy[i] += es[i]
+		}
+	}
+	points := make([]Point, lanes)
+	for i := range points {
+		points[i] = Point{
+			Temperature:         c.Temperatures[i],
+			AbsMagnetization:    stats.Mean(abs[i]),
+			AbsMagnetizationErr: stats.StdErr(abs[i]),
+			Binder:              stats.Binder(ms[i]),
+			Energy:              energy[i] / float64(c.Samples),
+			Samples:             c.Samples,
+		}
+	}
+	return points, nil
+}

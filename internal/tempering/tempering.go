@@ -13,13 +13,16 @@ import (
 	"tpuising/internal/stats"
 )
 
-// ReplicaSeed derives the chain seed of one ladder slot from the run seed
-// (a splitmix-style odd-constant hop), so replicas never share site-keyed
-// streams. The CLI and the harness both build their ladders with it; the
-// swap-decision stream uses the run seed itself through rng.PairKeyed, whose
-// key derivation is independent of every site-keyed stream.
+// ReplicaSeed derives the chain seed of one ladder slot from the run seed,
+// so replicas never share site-keyed streams. It is ising.LaneSeed — the one
+// seed-derivation rule of the batch axis — which is what makes a ladder run
+// as a lane-packed ensemble (NewBatch over internal/ising/ensemble)
+// bit-identical to the same ladder run as separate backends: lane L and
+// replica L are the same chain. The swap-decision stream uses the run seed
+// itself through rng.PairKeyed, whose key derivation is independent of every
+// site-keyed stream.
 func ReplicaSeed(seed uint64, slot int) uint64 {
-	return seed + uint64(slot)*0x9E3779B97F4A7C15
+	return ising.LaneSeed(seed, slot)
 }
 
 // DefaultWindow returns the default half-width of the temperature ladder
@@ -78,9 +81,14 @@ type Ensemble struct {
 	cfg   Config
 	betas []float64
 
-	// replicas[i] is the i-th configuration walker; its backend keeps the
-	// same lattice for the whole run while its temperature label moves.
+	// Exactly one execution strategy is set. replicas[i] is the i-th
+	// configuration walker as its own backend (New); batch is one
+	// ising.BatchTempered whose lane i is walker i (NewBatch) — the ladder
+	// then runs as a single batched ensemble, one Sweep advancing every rung.
+	// Either way a walker's lattice stays put for the whole run while its
+	// temperature label moves.
 	replicas []ising.Tempered
+	batch    ising.BatchTempered
 	spins    int
 	// slot[t] is the replica currently at temperature index t; tempOf is the
 	// inverse permutation.
@@ -103,12 +111,9 @@ type Ensemble struct {
 	ms, abs, energies [][]float64
 }
 
-// New builds an ensemble. newBackend is called once per ladder slot, in
-// ascending temperature order, and must return an engine equilibrated from
-// scratch at that temperature; every returned engine must implement
-// ising.Tempered (all host backends do) and all must share one lattice size.
-func New(cfg Config, newBackend func(slot int, temperature float64) (ising.Backend, error)) (*Ensemble, error) {
-	c := cfg.withDefaults()
+// newEnsemble validates the ladder and builds the walker bookkeeping shared
+// by both execution strategies.
+func newEnsemble(c Config) (*Ensemble, error) {
 	n := len(c.Temperatures)
 	if n < 2 {
 		return nil, fmt.Errorf("tempering: need at least 2 temperatures, got %d", n)
@@ -116,7 +121,6 @@ func New(cfg Config, newBackend func(slot int, temperature float64) (ising.Backe
 	e := &Ensemble{
 		cfg:          c,
 		betas:        make([]float64, n),
-		replicas:     make([]ising.Tempered, n),
 		slot:         make([]int, n),
 		tempOf:       make([]int, n),
 		dir:          make([]int8, n),
@@ -136,6 +140,29 @@ func New(cfg Config, newBackend func(slot int, temperature float64) (ising.Backe
 				temp, c.Temperatures[t-1])
 		}
 		e.betas[t] = ising.Beta(temp)
+		e.slot[t] = t
+		e.tempOf[t] = t
+	}
+	// Walker 0 starts at the bottom rung, so it is already "heading up";
+	// every other walker (the top one included) has touched neither end yet
+	// — matching stats.RoundTrips, which counts a trip only after a walker
+	// has gone bottom -> top -> bottom.
+	e.dir[e.slot[0]] = +1
+	return e, nil
+}
+
+// New builds an ensemble of separate backends. newBackend is called once per
+// ladder slot, in ascending temperature order, and must return an engine
+// equilibrated from scratch at that temperature; every returned engine must
+// implement ising.Tempered (all host backends do) and all must share one
+// lattice size.
+func New(cfg Config, newBackend func(slot int, temperature float64) (ising.Backend, error)) (*Ensemble, error) {
+	e, err := newEnsemble(cfg.withDefaults())
+	if err != nil {
+		return nil, err
+	}
+	e.replicas = make([]ising.Tempered, len(e.betas))
+	for t, temp := range e.cfg.Temperatures {
 		b, err := newBackend(t, temp)
 		if err != nil {
 			return nil, fmt.Errorf("tempering: building replica %d (T=%g): %w", t, temp, err)
@@ -152,19 +179,54 @@ func New(cfg Config, newBackend func(slot int, temperature float64) (ising.Backe
 				t, rep.N(), e.spins)
 		}
 		e.replicas[t] = rep
-		e.slot[t] = t
-		e.tempOf[t] = t
 	}
-	// Walker 0 starts at the bottom rung, so it is already "heading up";
-	// every other walker (the top one included) has touched neither end yet
-	// — matching stats.RoundTrips, which counts a trip only after a walker
-	// has gone bottom -> top -> bottom.
-	e.dir[e.slot[0]] = +1
+	return e, nil
+}
+
+// NewBatch builds an ensemble over one batched backend: lane t of the batch
+// is the walker starting at ladder slot t. The batch must implement
+// ising.BatchTempered (so an accepted swap can re-label two lanes in place),
+// have exactly one lane per rung, and be freshly constructed — NewBatch sets
+// every lane's temperature to its rung, which on an unswept batch is the
+// same as constructing the lane at that temperature.
+//
+// Because the batch axis and the ladder share one seed-derivation rule
+// (ReplicaSeed == ising.LaneSeed), a ladder over the lane-packed engine of
+// internal/ising/ensemble is bit-identical — same swap decisions, same
+// per-rung observables, same swap counters — to the same ladder over
+// separate multispin replicas, which the equivalence tests assert. The win
+// is execution: one Sweep advances every rung through one pass of the packed
+// kernel instead of N separate engine sweeps.
+func NewBatch(cfg Config, batch ising.BatchBackend) (*Ensemble, error) {
+	e, err := newEnsemble(cfg.withDefaults())
+	if err != nil {
+		return nil, err
+	}
+	bt, ok := batch.(ising.BatchTempered)
+	if !ok {
+		return nil, fmt.Errorf("tempering: batch backend %s cannot change lane temperatures (does not implement ising.BatchTempered)",
+			batch.Name())
+	}
+	if batch.Lanes() != len(e.betas) {
+		return nil, fmt.Errorf("tempering: batch backend has %d lanes for a %d-rung ladder",
+			batch.Lanes(), len(e.betas))
+	}
+	if batch.Step() != 0 {
+		return nil, fmt.Errorf("tempering: batch backend already swept (step %d); NewBatch needs a fresh one", batch.Step())
+	}
+	e.spins = batch.N()
+	if e.spins <= 0 {
+		return nil, fmt.Errorf("tempering: batch backend reports %d spins", e.spins)
+	}
+	for t, temp := range e.cfg.Temperatures {
+		bt.SetLaneTemperature(t, temp)
+	}
+	e.batch = bt
 	return e, nil
 }
 
 // Replicas returns the number of temperature replicas.
-func (e *Ensemble) Replicas() int { return len(e.replicas) }
+func (e *Ensemble) Replicas() int { return len(e.betas) }
 
 // Spins returns the per-replica spin count.
 func (e *Ensemble) Spins() int { return e.spins }
@@ -182,14 +244,28 @@ func (e *Ensemble) Rounds() uint64 { return e.round }
 // currently holding temperature t.
 func (e *Ensemble) Permutation() []int { return append([]int(nil), e.slot...) }
 
-// Backend returns the engine currently holding temperature slot t.
-func (e *Ensemble) Backend(t int) ising.Backend { return e.replicas[e.slot[t]] }
+// Backend returns the engine currently holding temperature slot t. For a
+// batched ensemble it is a read-only lane view (observables and identity
+// read through; it cannot sweep a single rung).
+func (e *Ensemble) Backend(t int) ising.Backend {
+	if e.batch != nil {
+		return ising.LaneView(e.batch, e.slot[t])
+	}
+	return e.replicas[e.slot[t]]
+}
 
-// SweepReplicas advances every replica by k sweeps, up to Config.Workers
-// replicas concurrently. The chains are independent between swap phases, so
-// the concurrency never changes any result.
+// SweepReplicas advances every replica by k sweeps — for a batched ensemble
+// one batch Sweep per step advances all rungs, otherwise up to Config.Workers
+// separate replicas run concurrently. The chains are independent between
+// swap phases, so the concurrency never changes any result.
 func (e *Ensemble) SweepReplicas(k int) {
 	if k <= 0 {
+		return
+	}
+	if e.batch != nil {
+		for i := 0; i < k; i++ {
+			e.batch.Sweep()
+		}
 		return
 	}
 	workers := e.cfg.Workers
@@ -226,12 +302,24 @@ func (e *Ensemble) SweepReplicas(k int) {
 // r is rng.PairKeyed's value for (r, t), so the outcome is a pure function
 // of (seed, round, pair) — independent of workers and timing.
 func (e *Ensemble) AttemptSwaps() {
-	n := len(e.replicas)
+	n := len(e.betas)
+	// For a batched ensemble one pass yields every walker's energy (the
+	// packed engine computes all lanes in one sweep over the words).
+	var laneEnergies []float64
+	if e.batch != nil {
+		laneEnergies = e.batch.Energies()
+	}
+	walkerEnergy := func(w int) float64 {
+		if laneEnergies != nil {
+			return laneEnergies[w]
+		}
+		return e.replicas[w].Energy()
+	}
 	parity := int(e.round & 1)
 	for t := parity; t+1 < n; t += 2 {
 		a, b := e.slot[t], e.slot[t+1]
-		ea := e.replicas[a].Energy() * float64(e.spins)
-		eb := e.replicas[b].Energy() * float64(e.spins)
+		ea := walkerEnergy(a) * float64(e.spins)
+		eb := walkerEnergy(b) * float64(e.spins)
 		// The two replicas exchange their extensive energies; the decision is
 		// then a shared pure function, needing no further communication.
 		e.swapComm.CommBytes += 2 * perf.EnergyMessageBytes
@@ -244,8 +332,13 @@ func (e *Ensemble) AttemptSwaps() {
 			e.pairAccepts[t]++
 			e.slot[t], e.slot[t+1] = b, a
 			e.tempOf[a], e.tempOf[b] = t+1, t
-			e.replicas[a].SetTemperature(e.cfg.Temperatures[t+1])
-			e.replicas[b].SetTemperature(e.cfg.Temperatures[t])
+			if e.batch != nil {
+				e.batch.SetLaneTemperature(a, e.cfg.Temperatures[t+1])
+				e.batch.SetLaneTemperature(b, e.cfg.Temperatures[t])
+			} else {
+				e.replicas[a].SetTemperature(e.cfg.Temperatures[t+1])
+				e.replicas[b].SetTemperature(e.cfg.Temperatures[t])
+			}
 		}
 	}
 	e.round++
@@ -253,7 +346,7 @@ func (e *Ensemble) AttemptSwaps() {
 	// touching the top has completed one round trip. This is the O(1)
 	// incremental form of stats.RoundTrips over the walker's trajectory; a
 	// test records the trajectories and asserts the two agree.
-	for i := range e.replicas {
+	for i := 0; i < n; i++ {
 		switch e.tempOf[i] {
 		case 0:
 			if e.dir[i] == -1 {
@@ -285,7 +378,17 @@ func (e *Ensemble) RunRounds(n int) {
 // Measure records one sample per temperature slot from whichever replica
 // currently holds it.
 func (e *Ensemble) Measure() {
-	for t := range e.replicas {
+	if e.batch != nil {
+		ms, es := e.batch.Magnetizations(), e.batch.Energies()
+		for t := range e.betas {
+			m := ms[e.slot[t]]
+			e.ms[t] = append(e.ms[t], m)
+			e.abs[t] = append(e.abs[t], math.Abs(m))
+			e.energies[t] = append(e.energies[t], es[e.slot[t]])
+		}
+		return
+	}
+	for t := range e.betas {
 		r := e.replicas[e.slot[t]]
 		m := r.Magnetization()
 		e.ms[t] = append(e.ms[t], m)
@@ -311,16 +414,12 @@ func (e *Ensemble) SwapCounts() metrics.Counts { return e.swapComm }
 // layer's swap traffic.
 func (e *Ensemble) Counts() metrics.Counts {
 	total := e.swapComm
+	if e.batch != nil {
+		total.Add(e.batch.Counts())
+		return total
+	}
 	for _, r := range e.replicas {
-		c := r.Counts()
-		total.MXUMacs += c.MXUMacs
-		total.VPUOps += c.VPUOps
-		total.FormatBytes += c.FormatBytes
-		total.HBMBytes += c.HBMBytes
-		total.CommBytes += c.CommBytes
-		total.CommEvents += c.CommEvents
-		total.CommHops += c.CommHops
-		total.Ops += c.Ops
+		total.Add(r.Counts())
 	}
 	return total
 }
@@ -369,11 +468,11 @@ func (r Report) Acceptance() float64 { return stats.AcceptanceRatio(r.SwapAccept
 // Report computes the observables accumulated so far.
 func (e *Ensemble) Report() Report {
 	rep := Report{
-		Replicas:   make([]ReplicaReport, len(e.replicas)),
+		Replicas:   make([]ReplicaReport, len(e.betas)),
 		RoundTrips: e.roundTrips,
 		SwapRounds: e.round,
 	}
-	for t := range e.replicas {
+	for t := range e.betas {
 		rr := ReplicaReport{
 			Temperature:         e.cfg.Temperatures[t],
 			AbsMagnetization:    stats.Mean(e.abs[t]),
