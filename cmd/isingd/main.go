@@ -64,7 +64,18 @@ func main() {
 		log.Printf("isingd: resumed %d checkpointed job(s) from %s", resumed, *ckptDir)
 	}
 
-	httpServer := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// ReadHeaderTimeout bounds how long a client may dribble its request
+	// headers (slow-loris defence: without it one never-finishing client
+	// holds a connection goroutine forever) and IdleTimeout reaps idle
+	// keep-alive connections. Deliberately no WriteTimeout: the /stream
+	// endpoint writes NDJSON for the whole life of a job, and a blanket
+	// write deadline would sever every long-lived stream.
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpServer.ListenAndServe() }()
 	log.Printf("isingd: serving on %s (%d workers, queue %d)", *addr, srv.Workers(), *queue)

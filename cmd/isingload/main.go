@@ -1,0 +1,209 @@
+// Command isingload is the k6-style load harness of the isingd daemon: it
+// drives the REST API with concurrent job submitters and NDJSON stream
+// subscribers, reports p50/p95/p99 request latency, error/queue-full and
+// cache-hit rates plus server-side counter deltas (sweeps/s, stream wakeups
+// per sweep), checks them against declared thresholds, and writes the
+// machine-readable BENCH_*.json perf snapshot the repository's trajectory
+// is built from (internal/load).
+//
+// Usage:
+//
+//	isingload [-addr http://localhost:8765] [-duration 5s]
+//	          [-submitters 16] [-subscribers 8] [-cancel-every 0]
+//	          [-backend multispin] [-rows 64] [-sweeps 400] [-interval 50]
+//	          [-seeds 0] [-thresholds "submit_p95_ms<250,error_rate<0.01"]
+//	          [-bench 6] [-out BENCH_6.json] [-host] [-hostsize 256] [-hostsweeps 5]
+//
+// With no -addr, isingload boots an in-process daemon on a loopback port
+// (flags -workers and -queue shape it) and load-tests that — the same
+// service code cmd/isingd serves, so a laptop run needs no separate daemon.
+// With -host, the snapshot also carries the measured `benchtables -host`
+// flips/ns of every CPU engine and the lane-packed ensemble aggregate.
+//
+// The exit status is the threshold verdict: 0 when every declared check
+// passes, 1 otherwise — CI gates on it, k6 style.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"tpuising/internal/harness"
+	"tpuising/internal/load"
+	"tpuising/internal/service"
+)
+
+// defaultThresholds is the declared pass/fail bar of a default run: submits
+// answer fast at the 95th percentile, hard errors are rare, at least one
+// job completes end to end, and no accepted job fails server-side (a bad
+// spec fails every job while every request around it still succeeds).
+const defaultThresholds = "submit_p95_ms<250,error_rate<0.01,jobs_done>=1,jobs_failed<=0"
+
+// hostBackends are the engines measured into the snapshot's host section —
+// the same set as the harness HostBaselines table.
+var hostBackends = []string{"checkerboard", "gpusim", "multispin", "multispin-shared"}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("isingload: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// errThresholds marks a run that completed but failed its declared checks.
+type errThresholds struct{ failed []load.Check }
+
+func (e errThresholds) Error() string {
+	names := make([]string, 0, len(e.failed))
+	for _, c := range e.failed {
+		names = append(names, c.Threshold.String())
+	}
+	return fmt.Sprintf("%d threshold(s) failed: %s", len(e.failed), strings.Join(names, ", "))
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("isingload", flag.ExitOnError)
+	addr := fs.String("addr", "", "daemon base URL (e.g. http://localhost:8765); empty boots an in-process daemon")
+	duration := fs.Duration("duration", 5*time.Second, "load-generation wall clock")
+	submitters := fs.Int("submitters", 16, "concurrent submit→poll→result users")
+	subscribers := fs.Int("subscribers", 8, "concurrent NDJSON stream subscribers")
+	cancelEvery := fs.Int("cancel-every", 0, "cancel every Nth accepted job right after submit (0 = never)")
+	backendName := fs.String("backend", "multispin", "job backend (registry name)")
+	rows := fs.Int("rows", 64, "job lattice side")
+	sweeps := fs.Int("sweeps", 400, "measured sweeps per job")
+	interval := fs.Int("interval", 50, "sweeps between streamed samples")
+	seeds := fs.Int("seeds", 0, "distinct-seed window; repeats hit the result cache (0 = 2x submitters)")
+	thresholds := fs.String("thresholds", defaultThresholds, "comma-separated pass/fail gates over report metrics")
+	bench := fs.String("bench", "", "trajectory index: write the snapshot as BENCH_<bench>.json fields")
+	outPath := fs.String("out", "", "snapshot file to write (e.g. BENCH_6.json; empty = no snapshot)")
+	hostBench := fs.Bool("host", false, "also measure host engine flips/ns (benchtables -host style) into the snapshot")
+	hostSize := fs.Int("hostsize", 256, "host-measurement lattice side")
+	hostSweeps := fs.Int("hostsweeps", 5, "host-measurement timed sweeps per engine")
+	workers := fs.Int("workers", runtime.NumCPU(), "in-process daemon worker pool (only without -addr)")
+	queue := fs.Int("queue", 256, "in-process daemon queue depth (only without -addr)")
+	fs.Parse(args)
+
+	ths, err := load.ParseThresholds(*thresholds)
+	if err != nil {
+		return err
+	}
+
+	baseURL := *addr
+	if baseURL == "" {
+		url, stop, err := selfHost(service.Config{Workers: *workers, QueueDepth: *queue})
+		if err != nil {
+			return err
+		}
+		defer stop()
+		baseURL = url
+		log.Printf("no -addr: booted in-process daemon on %s (%d workers, queue %d)", url, *workers, *queue)
+	}
+
+	sc := load.Scenario{
+		BaseURL:     baseURL,
+		Submitters:  *submitters,
+		Subscribers: *subscribers,
+		Duration:    *duration,
+		Seeds:       *seeds,
+		CancelEvery: *cancelEvery,
+		Spec: service.JobSpec{
+			Backend: *backendName, Rows: *rows,
+			Sweeps: *sweeps, SampleInterval: *interval, Seed: 1,
+		},
+	}
+	log.Printf("driving %s: %d submitters + %d subscribers for %v", baseURL, *submitters, *subscribers, *duration)
+	report, err := sc.Run(context.Background())
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, report.Text())
+
+	checks, passed := load.EvaluateThresholds(ths, report.Metrics())
+	var failed []load.Check
+	for _, c := range checks {
+		verdict := "pass"
+		if !c.OK {
+			verdict = "FAIL"
+			failed = append(failed, c)
+		}
+		detail := fmt.Sprintf("actual %g", c.Actual)
+		if c.Missing {
+			detail = fmt.Sprintf("no such metric (have: %s)", strings.Join(load.MetricNames(report.Metrics()), " "))
+		}
+		fmt.Fprintf(out, "threshold %-28s %s (%s)\n", c.Threshold.String(), verdict, detail)
+	}
+
+	snap := &load.Snapshot{
+		Bench:      *bench,
+		CreatedAt:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Service:    report,
+		Checks:     checks,
+		Passed:     passed,
+	}
+	if *hostBench {
+		log.Printf("measuring host engines (%dx%d, %d sweeps per cell)", *hostSize, *hostSize, *hostSweeps)
+		hb := &load.HostBench{
+			Lattice:    *hostSize,
+			Sweeps:     *hostSweeps,
+			FlipsPerNs: make(map[string]float64, len(hostBackends)),
+		}
+		for _, name := range hostBackends {
+			hb.FlipsPerNs[name] = harness.MeasureBackend(name, *hostSize, *hostSweeps)
+		}
+		hb.EnsembleLanes = 64
+		hb.EnsembleAggregate = harness.MeasureEnsembleAggregate(*hostSize, hb.EnsembleLanes, *hostSweeps, true)
+		snap.Host = hb
+	}
+	if *outPath != "" {
+		if err := snap.Write(*outPath); err != nil {
+			return err
+		}
+		log.Printf("wrote %s", *outPath)
+	}
+	if !passed {
+		return errThresholds{failed: failed}
+	}
+	return nil
+}
+
+// selfHost boots the service behind a real loopback HTTP listener and
+// returns its base URL and a shutdown func — the in-process stand-in for a
+// separately started isingd, sharing its timeout posture (header timeout,
+// no blanket write timeout: streams are long-lived).
+func selfHost(cfg service.Config) (url string, stop func(), err error) {
+	srv, skipped := service.New(cfg)
+	for _, e := range skipped {
+		log.Printf("skipping checkpoint: %v", e)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return "", nil, err
+	}
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	go hs.Serve(ln)
+	stop = func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+	}
+	return "http://" + ln.Addr().String(), stop, nil
+}

@@ -65,6 +65,14 @@ func ratio(a, b float64) float64 {
 	return a / b
 }
 
+// MeasureEnsembleAggregate measures the lane-packed ensemble engine's
+// aggregate host throughput (flips/ns over all lanes) — the single-cell
+// version of the HostEnsembleScaling table, exported so cmd/isingload can
+// embed the batch axis's headline number in its BENCH_*.json snapshots.
+func MeasureEnsembleAggregate(size, lanes, sweeps int, shared bool) float64 {
+	return measureEnsemble(size, lanes, sweeps, shared)
+}
+
 // measureEnsemble times sweeps of one packed ensemble and returns aggregate
 // flips/ns over all lanes.
 func measureEnsemble(size, lanes, sweeps int, shared bool) float64 {

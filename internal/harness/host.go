@@ -103,6 +103,14 @@ func HostShardScaling(size int, grids [][2]int, sweeps int) *Table {
 	return t
 }
 
+// MeasureBackend measures one registered engine's host throughput
+// (flips/ns) at a square lattice size: the single-cell version of the
+// HostBaselines table, exported so cmd/isingload can embed `benchtables
+// -host`-style measurements in its BENCH_*.json snapshots.
+func MeasureBackend(name string, size, sweeps int) float64 {
+	return measureHostThroughput(name, size, sweeps)
+}
+
 // measureHostThroughput times sweeps of one engine and returns flips/ns.
 func measureHostThroughput(name string, size, sweeps int) float64 {
 	eng, err := backend.New(name, backend.Config{Rows: size, Cols: size, Temperature: 2.5, Seed: 1})

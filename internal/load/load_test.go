@@ -1,0 +1,254 @@
+package load
+
+import (
+	"context"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"tpuising/internal/service"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d, want 1000", h.Count())
+	}
+	// Log-bucketed quantiles are accurate to the ~12% bucket width.
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 500 * time.Millisecond},
+		{0.95, 950 * time.Millisecond},
+		{0.99, 990 * time.Millisecond},
+	} {
+		got := h.Quantile(tc.q)
+		lo := time.Duration(float64(tc.want) * 0.85)
+		hi := time.Duration(float64(tc.want) * 1.15)
+		if got < lo || got > hi {
+			t.Errorf("q%.2f = %v, want within 15%% of %v", tc.q, got, tc.want)
+		}
+	}
+	s := h.Summary()
+	if s.MaxMs != 1000 {
+		t.Errorf("max = %vms, want exactly 1000 (true max is exact)", s.MaxMs)
+	}
+	// Non-strict: nearby quantiles may share a log bucket.
+	if s.P50Ms > s.P95Ms || s.P95Ms > s.P99Ms {
+		t.Errorf("quantiles not monotone: %+v", s)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if q := h.Quantile(0.95); q != 0 {
+		t.Fatalf("empty histogram p95 = %v, want 0", q)
+	}
+	if s := h.Summary(); s.Count != 0 || s.P95Ms != 0 {
+		t.Fatalf("empty summary: %+v", s)
+	}
+}
+
+func TestParseThresholds(t *testing.T) {
+	ts, err := ParseThresholds("submit_p95_ms<250, error_rate<=0.01,jobs_done>=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Threshold{
+		{Metric: "submit_p95_ms", Op: "<", Value: 250},
+		{Metric: "error_rate", Op: "<=", Value: 0.01},
+		{Metric: "jobs_done", Op: ">=", Value: 1},
+	}
+	if len(ts) != len(want) {
+		t.Fatalf("parsed %d thresholds, want %d", len(ts), len(want))
+	}
+	for i := range want {
+		if ts[i] != want[i] {
+			t.Errorf("threshold %d = %+v, want %+v", i, ts[i], want[i])
+		}
+	}
+	for _, bad := range []string{"p95<", "<5", "p95~5", "p95<abc"} {
+		if _, err := ParseThreshold(bad); err == nil {
+			t.Errorf("ParseThreshold(%q) passed, want error", bad)
+		}
+	}
+}
+
+func TestEvaluateThresholds(t *testing.T) {
+	metrics := map[string]float64{"error_rate": 0.005, "submit_p95_ms": 300}
+	checks, pass := EvaluateThresholds([]Threshold{
+		{Metric: "error_rate", Op: "<", Value: 0.01},
+		{Metric: "submit_p95_ms", Op: "<", Value: 250},
+	}, metrics)
+	if pass {
+		t.Fatal("evaluation passed with a breached threshold")
+	}
+	if !checks[0].OK || checks[1].OK {
+		t.Fatalf("checks: %+v", checks)
+	}
+	// A threshold over a metric the report does not export must fail loudly.
+	checks, pass = EvaluateThresholds([]Threshold{{Metric: "no_such", Op: "<", Value: 1}}, metrics)
+	if pass || !checks[0].Missing {
+		t.Fatalf("missing metric: pass=%v checks=%+v", pass, checks)
+	}
+}
+
+// startService boots an in-process service behind a real HTTP listener —
+// the system under test for scenario runs.
+func startService(t *testing.T, cfg service.Config) (*service.Server, *httptest.Server) {
+	t.Helper()
+	srv, _ := service.New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		ts.Close()
+	})
+	return srv, ts
+}
+
+// TestScenarioAgainstService runs a short mixed scenario against a live
+// in-process daemon and checks the report is coherent: requests flowed,
+// jobs completed, the seed window produced cache hits, streams saw samples,
+// and the server delta matches the client view.
+func TestScenarioAgainstService(t *testing.T) {
+	_, ts := startService(t, service.Config{Workers: 2, QueueDepth: 64})
+	sc := Scenario{
+		BaseURL:     ts.URL,
+		Submitters:  4,
+		Subscribers: 2,
+		Duration:    1500 * time.Millisecond,
+		Seeds:       3,
+		Spec: service.JobSpec{Backend: "checkerboard", Rows: 16,
+			Temperature: 2.5, Sweeps: 50, SampleInterval: 10},
+	}
+	r, err := sc.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Requests == 0 || r.JobsDone == 0 {
+		t.Fatalf("no traffic: %+v", r)
+	}
+	if r.Errors != 0 {
+		t.Fatalf("scenario saw %d errors against a healthy daemon:\n%s", r.Errors, r.Text())
+	}
+	if r.CacheHits == 0 {
+		t.Fatalf("a 3-seed window never hit the cache over %d jobs", r.JobsDone)
+	}
+	if r.Server.SweepsRun == 0 {
+		t.Fatal("server delta shows no sweeps")
+	}
+	if r.Server.JobsCached == 0 {
+		t.Fatal("server delta shows no cache hits")
+	}
+	if r.Submit.Count == 0 || r.Submit.P95Ms <= 0 {
+		t.Fatalf("submit latency summary empty: %+v", r.Submit)
+	}
+	m := r.Metrics()
+	for _, name := range []string{"error_rate", "cache_hit_rate", "requests_per_sec",
+		"submit_p95_ms", "stream_wakeups_per_sweep"} {
+		if _, ok := m[name]; !ok {
+			t.Errorf("metric %q missing from %v", name, MetricNames(m))
+		}
+	}
+	if m["error_rate"] != 0 {
+		t.Fatalf("error_rate = %g, want 0", m["error_rate"])
+	}
+	if r.Text() == "" {
+		t.Fatal("empty text summary")
+	}
+}
+
+// TestScenarioSubscribersSeeSamples focuses the stream path: subscribers
+// consume NDJSON lines and the server-side wakeup counter stays in the
+// per-sample regime, not the per-sweep one — the wake-storm regression seen
+// from the outside.
+func TestScenarioSubscribersSeeSamples(t *testing.T) {
+	_, ts := startService(t, service.Config{Workers: 2})
+	sc := Scenario{
+		BaseURL:     ts.URL,
+		Submitters:  2,
+		Subscribers: 8,
+		Duration:    1500 * time.Millisecond,
+		Seeds:       1000, // effectively no cache hits: keep jobs sweeping
+		Spec: service.JobSpec{Backend: "checkerboard", Rows: 32,
+			Temperature: 2.5, Sweeps: 4000, SampleInterval: 400},
+	}
+	r, err := sc.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SamplesStreamed == 0 {
+		t.Fatalf("subscribers consumed no samples:\n%s", r.Text())
+	}
+	if r.Server.SweepsRun == 0 {
+		t.Fatal("no sweeps ran")
+	}
+	// 8 subscribers over jobs emitting 1 sample per 400 sweeps: per-sweep
+	// broadcasts would put wakeups/sweep near the subscriber count; the
+	// sample-only channel keeps it well below one.
+	if w := r.Server.WakeupsPerSweep; w > 1 {
+		t.Fatalf("stream wakeups per sweep = %.3f with %d subscribers (storm regression; report:\n%s)",
+			w, sc.Subscribers, r.Text())
+	}
+}
+
+// TestScenarioCancelHeavy drives the cancel path under a tiny queue: with
+// canceled jobs freeing their slots, the run keeps completing jobs instead
+// of drowning in queue-full rejections.
+func TestScenarioCancelHeavy(t *testing.T) {
+	_, ts := startService(t, service.Config{Workers: 1, QueueDepth: 2})
+	sc := Scenario{
+		BaseURL:     ts.URL,
+		Submitters:  4,
+		Subscribers: 0,
+		Duration:    1500 * time.Millisecond,
+		Seeds:       1000,
+		CancelEvery: 2,
+		Spec: service.JobSpec{Backend: "checkerboard", Rows: 16,
+			Temperature: 2.5, Sweeps: 200, SampleInterval: 50},
+	}
+	r, err := sc.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.JobsCanceled == 0 {
+		t.Fatalf("cancel-heavy scenario canceled nothing:\n%s", r.Text())
+	}
+	if r.JobsDone == 0 {
+		t.Fatalf("no job completed next to cancels (queue slots pinned?):\n%s", r.Text())
+	}
+	if r.Errors != 0 {
+		t.Fatalf("cancel-heavy run errored %d times:\n%s", r.Errors, r.Text())
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	snap := &Snapshot{
+		Bench:      "6",
+		GoVersion:  "go-test",
+		GOMAXPROCS: 8,
+		Service:    &Report{Requests: 42, JobsDone: 7},
+		Checks:     []Check{{Threshold: Threshold{Metric: "error_rate", Op: "<", Value: 0.01}, Actual: 0, OK: true}},
+		Passed:     true,
+		Host: &HostBench{Lattice: 256, Sweeps: 5,
+			FlipsPerNs:    map[string]float64{"multispin": 3.2},
+			EnsembleLanes: 64, EnsembleAggregate: 30.5},
+	}
+	if err := snap.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Bench != "6" || got.Service.Requests != 42 || !got.Passed ||
+		got.Host.FlipsPerNs["multispin"] != 3.2 || len(got.Checks) != 1 {
+		t.Fatalf("round trip: %+v", got)
+	}
+}

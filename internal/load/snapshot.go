@@ -1,0 +1,81 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Snapshot is the BENCH_*.json schema: one machine-readable record of the
+// repository's measured performance at a PR, combining the service load
+// Report (throughput, latency quantiles, rates, wakeups per sweep), its
+// threshold verdicts, and the host engine throughput the harness measures
+// (`benchtables -host` flips/ns plus the lane-packed ensemble aggregate).
+// Later PRs write BENCH_<n+1>.json next to it, so diffing two snapshots is
+// the repo's perf trajectory.
+type Snapshot struct {
+	// Bench is the trajectory index ("6" wrote BENCH_6.json).
+	Bench string `json:"bench"`
+	// CreatedAt is an RFC3339 stamp supplied by the writer.
+	CreatedAt string `json:"created_at,omitempty"`
+	// GoVersion, GOOS/GOARCH and GOMAXPROCS pin the measuring machine.
+	GoVersion  string `json:"go_version,omitempty"`
+	GOOS       string `json:"goos,omitempty"`
+	GOARCH     string `json:"goarch,omitempty"`
+	GOMAXPROCS int    `json:"gomaxprocs,omitempty"`
+
+	// Service is the load-scenario report (nil when only host tables were
+	// measured).
+	Service *Report `json:"service,omitempty"`
+	// Checks are the evaluated thresholds and Passed their conjunction.
+	Checks []Check `json:"checks,omitempty"`
+	Passed bool    `json:"passed"`
+
+	// Host is the measured host-engine throughput section.
+	Host *HostBench `json:"host,omitempty"`
+}
+
+// HostBench is the snapshot's host-throughput section: the measured
+// flips/ns of the registered CPU engines at one lattice size (the
+// `benchtables -host` measurement) and the lane-packed ensemble engine's
+// aggregate throughput — the numbers the Romero et al. GPU baselines are
+// compared against.
+type HostBench struct {
+	// Lattice is the square lattice side; Sweeps the timed sweeps per cell.
+	Lattice int `json:"lattice"`
+	Sweeps  int `json:"sweeps"`
+	// FlipsPerNs maps backend registry names to measured throughput.
+	FlipsPerNs map[string]float64 `json:"flips_per_ns"`
+	// EnsembleLanes and EnsembleAggregate record the lane-packed ensemble
+	// engine: aggregate flips/ns over all lanes in shared-random mode.
+	EnsembleLanes     int     `json:"ensemble_lanes,omitempty"`
+	EnsembleAggregate float64 `json:"ensemble_aggregate_flips_per_ns,omitempty"`
+}
+
+// Write atomically writes the snapshot as indented JSON (temp file +
+// rename), so a crash mid-write never leaves a truncated BENCH file.
+func (s *Snapshot) Write(path string) error {
+	blob, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Errorf("load: encoding snapshot: %w", err)
+	}
+	blob = append(blob, '\n')
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadSnapshot loads a BENCH_*.json written by Write.
+func ReadSnapshot(path string) (*Snapshot, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(blob, &s); err != nil {
+		return nil, fmt.Errorf("load: decoding %s: %w", path, err)
+	}
+	return &s, nil
+}

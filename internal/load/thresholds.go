@@ -1,0 +1,115 @@
+package load
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Threshold is one declared pass/fail gate over a Report metric, k6 style:
+// the metric's flat name (see Report.Metrics), a comparison operator and the
+// bound — "submit_p95_ms<250" reads "the p95 submit latency must stay under
+// 250 ms".
+type Threshold struct {
+	Metric string  `json:"metric"`
+	Op     string  `json:"op"` // "<", "<=", ">", ">="
+	Value  float64 `json:"value"`
+}
+
+// String renders the threshold back to its declaration form.
+func (t Threshold) String() string {
+	return fmt.Sprintf("%s%s%g", t.Metric, t.Op, t.Value)
+}
+
+// thresholdOps lists the operators in match order: two-character operators
+// first, so "<=" is not split as "<" + "=...".
+var thresholdOps = []string{"<=", ">=", "<", ">"}
+
+// ParseThreshold parses one declaration like "error_rate<0.01".
+func ParseThreshold(s string) (Threshold, error) {
+	s = strings.TrimSpace(s)
+	for _, op := range thresholdOps {
+		i := strings.Index(s, op)
+		if i <= 0 {
+			continue
+		}
+		metric := strings.TrimSpace(s[:i])
+		raw := strings.TrimSpace(s[i+len(op):])
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return Threshold{}, fmt.Errorf("load: threshold %q: bad bound %q", s, raw)
+		}
+		return Threshold{Metric: metric, Op: op, Value: v}, nil
+	}
+	return Threshold{}, fmt.Errorf("load: threshold %q: want <metric><op><value> with op one of %v", s, thresholdOps)
+}
+
+// ParseThresholds parses a comma-separated declaration list, e.g. the
+// isingload -thresholds flag ("submit_p95_ms<250,error_rate<0.01").
+func ParseThresholds(csv string) ([]Threshold, error) {
+	var out []Threshold
+	for _, part := range strings.Split(csv, ",") {
+		if strings.TrimSpace(part) == "" {
+			continue
+		}
+		t, err := ParseThreshold(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// Check is one evaluated threshold: the declaration, the measured value and
+// the verdict. A threshold naming a metric the report does not export fails
+// with Missing set — a typo in a CI gate must not silently pass.
+type Check struct {
+	Threshold
+	Actual  float64 `json:"actual"`
+	OK      bool    `json:"ok"`
+	Missing bool    `json:"missing,omitempty"`
+}
+
+// EvaluateThresholds checks every threshold against the flat metric map,
+// returning the per-threshold verdicts and whether all passed.
+func EvaluateThresholds(thresholds []Threshold, metrics map[string]float64) ([]Check, bool) {
+	checks := make([]Check, 0, len(thresholds))
+	pass := true
+	for _, t := range thresholds {
+		c := Check{Threshold: t}
+		v, ok := metrics[t.Metric]
+		if !ok {
+			c.Missing = true
+		} else {
+			c.Actual = v
+			switch t.Op {
+			case "<":
+				c.OK = v < t.Value
+			case "<=":
+				c.OK = v <= t.Value
+			case ">":
+				c.OK = v > t.Value
+			case ">=":
+				c.OK = v >= t.Value
+			}
+		}
+		if !c.OK {
+			pass = false
+		}
+		checks = append(checks, c)
+	}
+	return checks, pass
+}
+
+// MetricNames returns the sorted metric names of a report's flat map — the
+// vocabulary thresholds may gate on, for error messages and docs.
+func MetricNames(metrics map[string]float64) []string {
+	names := make([]string, 0, len(metrics))
+	for n := range metrics {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

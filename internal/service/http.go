@@ -146,6 +146,11 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	flusher, _ := w.(http.Flusher)
 	sent := 0
 	for {
+		// Every iteration is one subscriber wakeup; the counter feeds the
+		// stats endpoint so load tests can measure wakeups per sweep. With
+		// watch firing only on sample appends and terminal transitions, the
+		// count scales with samples written, not sweeps run.
+		s.streamWakeups.Add(1)
 		samples, dropped, terminal, updated := j.watch()
 		for ; sent < len(samples); sent++ {
 			if err := encode.WriteLine(w, samples[sent]); err != nil {

@@ -29,19 +29,20 @@ func (s JobState) terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCanceled
 }
 
-// maxSampleHistory bounds the per-job sample history. Samples beyond it are
-// counted but not retained — a stream reports the loss with one final
-// truncation line (encode.Sample.Truncated) instead of silently ending
-// short. Jobs that need every observation should raise SampleInterval so
-// the run fits the bound.
+// maxSampleHistory is the default bound on the per-job sample history
+// (Config.SampleHistory overrides it). Samples beyond it are counted but not
+// retained — a stream reports the loss with one final truncation line
+// (encode.Sample.Truncated) instead of silently ending short. Jobs that need
+// every observation should raise SampleInterval so the run fits the bound.
 const maxSampleHistory = 1 << 16
 
 // Job is one scheduled simulation. All exported methods are safe for
 // concurrent use.
 type Job struct {
-	id   string
-	spec JobSpec // normalized
-	key  string  // spec.CacheKey()
+	id      string
+	spec    JobSpec // normalized
+	key     string  // spec.CacheKey()
+	history int     // sample-history bound (Config.SampleHistory)
 
 	ctx    context.Context
 	cancel context.CancelCauseFunc
@@ -57,9 +58,14 @@ type Job struct {
 	result     *encode.Result
 	sweepsDone int
 	samples    []encode.Sample
-	dropped    int           // samples beyond maxSampleHistory
-	updated    chan struct{} // closed and replaced on every change (broadcast)
-	done       chan struct{} // closed when the state turns terminal
+	dropped    int // samples beyond the history bound
+	// streamed is closed and replaced only when a stream gains something to
+	// write: a sample append or a terminal transition. Progress updates
+	// (setSweepsDone) deliberately do NOT touch it — waking every open
+	// stream once per sweep with nothing new to send is the wake-storm the
+	// service's stream_wakeups counter measures.
+	streamed chan struct{}
+	done     chan struct{} // closed when the state turns terminal
 }
 
 // JobStatus is the JSON status representation of a job (GET /v1/jobs/{id}).
@@ -78,14 +84,17 @@ type JobStatus struct {
 	Result  *encode.Result `json:"result,omitempty"`
 }
 
-func newJob(id string, spec JobSpec) *Job {
+func newJob(id string, spec JobSpec, history int) *Job {
 	ctx, cancel := context.WithCancelCause(context.Background())
+	if history <= 0 {
+		history = maxSampleHistory
+	}
 	return &Job{
-		id: id, spec: spec, key: spec.CacheKey(),
+		id: id, spec: spec, key: spec.CacheKey(), history: history,
 		ctx: ctx, cancel: cancel,
-		state:   StateQueued,
-		updated: make(chan struct{}),
-		done:    make(chan struct{}),
+		state:    StateQueued,
+		streamed: make(chan struct{}),
+		done:     make(chan struct{}),
 	}
 }
 
@@ -120,16 +129,19 @@ func (j *Job) Result() (*encode.Result, error) {
 	return j.result, j.err
 }
 
-// broadcast signals every watcher; the caller must hold j.mu.
-func (j *Job) broadcast() {
-	close(j.updated)
-	j.updated = make(chan struct{})
+// notifyStream wakes every stream watcher; the caller must hold j.mu. Only
+// sample appends and terminal transitions call it — those are the only
+// events that give a stream something new to write.
+func (j *Job) notifyStream() {
+	close(j.streamed)
+	j.streamed = make(chan struct{})
 }
 
 // setState transitions the job, reporting whether the transition happened
 // (false once the job is already terminal — callers use this to keep the
 // server counters exact when a cancel races a completion). Terminal
-// transitions close done exactly once.
+// transitions close done exactly once and wake stream watchers so open
+// streams end promptly.
 func (j *Job) setState(state JobState, err error) bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -138,8 +150,8 @@ func (j *Job) setState(state JobState, err error) bool {
 	}
 	j.state = state
 	j.err = err
-	j.broadcast()
 	if state.terminal() {
+		j.notifyStream()
 		close(j.done)
 	}
 	return true
@@ -156,37 +168,39 @@ func (j *Job) finish(result *encode.Result, cached bool) bool {
 	j.state = StateDone
 	j.result = result
 	j.cached = cached
-	j.broadcast()
+	j.notifyStream()
 	close(j.done)
 	return true
 }
 
-// setSweepsDone publishes progress.
+// setSweepsDone publishes progress. It does not wake stream watchers: a
+// sweep without a new sample gives a stream nothing to write, and waking
+// every subscriber per sweep is O(subscribers x sweeps) spurious wakeups.
 func (j *Job) setSweepsDone(n int) {
 	j.mu.Lock()
 	j.sweepsDone = n
-	j.broadcast()
 	j.mu.Unlock()
 }
 
 // appendSample records one streamed observation.
 func (j *Job) appendSample(s encode.Sample) {
 	j.mu.Lock()
-	if len(j.samples) < maxSampleHistory {
+	if len(j.samples) < j.history {
 		j.samples = append(j.samples, s)
 	} else {
 		j.dropped++
 	}
-	j.broadcast()
+	j.notifyStream()
 	j.mu.Unlock()
 }
 
 // watch returns the sample history (append-only: the prefix a caller has
 // already consumed stays valid), the count of samples dropped beyond the
 // history bound, whether the job is terminal, and a channel closed at the
-// next change. Stream writers loop on it.
+// next sample append or terminal transition. Stream writers loop on it;
+// per-sweep progress updates never fire it.
 func (j *Job) watch() (samples []encode.Sample, dropped int, terminal bool, updated <-chan struct{}) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.samples, j.dropped, j.state.terminal(), j.updated
+	return j.samples, j.dropped, j.state.terminal(), j.streamed
 }

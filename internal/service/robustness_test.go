@@ -1,0 +1,271 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"tpuising/internal/service/encode"
+)
+
+// waitRunning polls until the job leaves the queue (a worker picked it up)
+// or the test times out.
+func waitRunning(t *testing.T, j *Job) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for j.Status().State == StateQueued {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never started running: %+v", j.ID(), j.Status())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestStreamWatchWakeupsScaleWithSamples is the wake-storm regression: a
+// stream watcher of a job that runs many sweeps per sample must wake per
+// sample, not per sweep. Before the fix, setSweepsDone broadcast to every
+// watcher on every sweep, so this loop ran O(sweeps) iterations with nothing
+// to read; now watch() fires only on sample appends and terminal
+// transitions, so the iteration count is bounded by the sample count.
+func TestStreamWatchWakeupsScaleWithSamples(t *testing.T) {
+	srv, _ := New(Config{Workers: 1})
+	defer srv.Close()
+	const sweeps, interval = 2000, 500 // 4 samples, 2000 per-sweep updates
+	j, err := srv.Submit(JobSpec{Backend: "checkerboard", Rows: 16, Sweeps: sweeps,
+		Temperature: 2.5, Seed: 1, SampleInterval: interval})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iterations, sent := 0, 0
+	for {
+		iterations++
+		samples, _, terminal, updated := j.watch()
+		sent = len(samples)
+		if terminal {
+			break
+		}
+		<-updated
+	}
+	wantSamples := sweeps / interval
+	if sent != wantSamples {
+		t.Fatalf("watched %d samples, want %d", sent, wantSamples)
+	}
+	// One iteration per sample append, one for the terminal transition, one
+	// initial look, plus slack for coalescing races. Per-sweep broadcasts
+	// would push this to ~sweeps.
+	if limit := wantSamples + 4; iterations > limit {
+		t.Fatalf("stream watcher woke %d times for %d samples over %d sweeps (want <= %d): per-sweep wake-storm is back",
+			iterations, wantSamples, sweeps, limit)
+	}
+}
+
+// TestCancelFreesQueueSlot is the queue-pinning regression: canceling queued
+// jobs must release their queue slots immediately. Before the fix a canceled
+// job sat in the queue channel until a worker drained it, so a full queue of
+// canceled jobs kept rejecting fresh submissions while the workers were busy
+// elsewhere.
+func TestCancelFreesQueueSlot(t *testing.T) {
+	srv, _ := New(Config{Workers: 1, QueueDepth: 2})
+	defer srv.Close()
+	long := JobSpec{Backend: "checkerboard", Rows: 64, Cols: 64, Sweeps: 500000,
+		Temperature: 2.3, SampleInterval: 1000}
+
+	// Occupy the single worker.
+	running := long
+	running.Seed = 1
+	jr, err := srv.Submit(running)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, jr)
+
+	// Fill every queue slot, then verify the queue is really full.
+	var queued []*Job
+	for seed := uint64(2); seed <= 3; seed++ {
+		s := long
+		s.Seed = seed
+		j, err := srv.Submit(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queued = append(queued, j)
+	}
+	over := long
+	over.Seed = 4
+	if _, err := srv.Submit(over); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("submit to a full queue: %v, want ErrQueueFull", err)
+	}
+
+	// Cancel every queued job: their slots must free without any worker
+	// becoming available.
+	for _, j := range queued {
+		if _, err := srv.Cancel(j.ID()); err != nil {
+			t.Fatal(err)
+		}
+		if st := j.Status(); st.State != StateCanceled {
+			t.Fatalf("queued job %s after cancel: %+v", j.ID(), st)
+		}
+	}
+	fresh := long
+	fresh.Seed = 5
+	jf, err := srv.Submit(fresh)
+	if err != nil {
+		t.Fatalf("submit after canceling all queued jobs: %v (canceled jobs still pin queue slots)", err)
+	}
+	// The canceled jobs must never reach a worker.
+	if _, err := srv.Cancel(jf.ID()); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range queued {
+		if st := j.Status(); st.State != StateCanceled {
+			t.Fatalf("canceled queued job %s changed state: %+v", j.ID(), st)
+		}
+	}
+	if got := srv.Stats().JobsCanceled; got != 3 {
+		t.Fatalf("jobs_canceled = %d, want 3", got)
+	}
+}
+
+// TestStalledStreamSubscriberDoesNotBlock checks slow-subscriber isolation:
+// a client that opens an NDJSON stream and never reads must not hold up the
+// job, a well-behaved subscriber of the same job, or Server.Close.
+func TestStalledStreamSubscriberDoesNotBlock(t *testing.T) {
+	srv, _ := New(Config{Workers: 1})
+	ts := httptest.NewServer(srv.Handler())
+
+	j, err := srv.Submit(JobSpec{Backend: "checkerboard", Rows: 32, Cols: 32,
+		Sweeps: 6000, Temperature: 2.5, Seed: 1, SampleInterval: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The stalled subscriber: sends the request, then never reads a byte.
+	stalled, err := net.Dial("tcp", ts.Listener.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(stalled, "GET /v1/jobs/%s/stream HTTP/1.1\r\nHost: stall\r\n\r\n", j.ID())
+
+	// The well-behaved subscriber must still receive the whole stream.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + j.ID() + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	scanner := bufio.NewScanner(resp.Body)
+	for scanner.Scan() {
+		lines++
+	}
+	resp.Body.Close()
+	if lines != 30 {
+		t.Fatalf("good subscriber read %d lines next to a stalled one, want 30", lines)
+	}
+	if st := waitDone(t, j); st.State != StateDone {
+		t.Fatalf("job next to a stalled subscriber: %+v", st)
+	}
+	if wakes := srv.Stats().StreamWakeups; wakes == 0 {
+		t.Fatal("stream_wakeups counter never moved")
+	}
+
+	// Server.Close must return even though the stalled connection is open.
+	closed := make(chan struct{})
+	go func() { srv.Close(); close(closed) }()
+	select {
+	case <-closed:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Server.Close blocked on a stalled stream subscriber")
+	}
+	stalled.Close()
+	ts.Close()
+}
+
+// TestStreamOfCanceledJobTerminates checks that canceling a job promptly
+// ends its open NDJSON streams instead of leaving subscribers hanging.
+func TestStreamOfCanceledJobTerminates(t *testing.T) {
+	srv, _ := New(Config{Workers: 1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	j, err := srv.Submit(JobSpec{Backend: "checkerboard", Rows: 64, Cols: 64,
+		Sweeps: 500000, Temperature: 2.3, Seed: 1, SampleInterval: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, j)
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + j.ID() + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	eof := make(chan error, 1)
+	go func() {
+		_, err := io.Copy(io.Discard, resp.Body)
+		eof <- err
+	}()
+	if _, err := srv.Cancel(j.ID()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-eof:
+		if err != nil {
+			t.Fatalf("stream of canceled job ended with %v, want clean EOF", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("stream of a canceled job never terminated")
+	}
+}
+
+// TestTruncatedLineExactlyOnce checks the sample-history contract under a
+// tiny Config.SampleHistory: a stream of a job that overran the bound ends
+// with exactly one Truncated bookkeeping line carrying the drop count.
+func TestTruncatedLineExactlyOnce(t *testing.T) {
+	srv, _ := New(Config{Workers: 1, SampleHistory: 4})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	j, err := srv.Submit(JobSpec{Backend: "checkerboard", Rows: 8, Sweeps: 10,
+		Temperature: 2.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + j.ID() + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var observations, truncated int
+	var last encode.Sample
+	scanner := bufio.NewScanner(resp.Body)
+	for scanner.Scan() {
+		var sm encode.Sample
+		if err := json.Unmarshal(scanner.Bytes(), &sm); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", scanner.Text(), err)
+		}
+		last = sm
+		if sm.Truncated > 0 {
+			truncated++
+		} else {
+			observations++
+		}
+	}
+	if observations != 4 {
+		t.Fatalf("streamed %d retained samples, want 4", observations)
+	}
+	if truncated != 1 {
+		t.Fatalf("stream carried %d Truncated lines, want exactly 1", truncated)
+	}
+	if last.Truncated != 6 {
+		t.Fatalf("final line %+v, want the Truncated=6 bookkeeping line last", last)
+	}
+}

@@ -45,6 +45,10 @@ type Config struct {
 	// evicted. An evicted job's status is gone (GET returns 404), but its
 	// result stays reachable through the cache by resubmitting its spec.
 	JobHistory int
+	// SampleHistory bounds the retained samples per job (default 65536).
+	// Samples beyond it are counted, not stored; a stream of such a job ends
+	// with exactly one Truncated bookkeeping line.
+	SampleHistory int
 }
 
 func (c Config) withDefaults() Config {
@@ -60,6 +64,9 @@ func (c Config) withDefaults() Config {
 	}
 	if out.JobHistory == 0 {
 		out.JobHistory = 1024
+	}
+	if out.SampleHistory <= 0 {
+		out.SampleHistory = maxSampleHistory
 	}
 	return out
 }
@@ -99,7 +106,14 @@ type Server struct {
 	cache  map[string]*encode.Result
 	cacheQ []string // insertion order, for eviction
 
-	queue   chan *Job
+	// queue holds the jobs waiting for a worker, in submission order, guarded
+	// by mu; workers wait on queueCond. A slice (not a channel) so Cancel can
+	// remove a queued job immediately — a canceled job must free its queue
+	// slot instead of pinning it until a worker drains it, or cancel-heavy
+	// traffic makes Submit return ErrQueueFull while workers sit idle.
+	queue     []*Job
+	queueCond *sync.Cond // signalled on queue append and on Close
+
 	closing chan struct{} // closed by Close; ends long-lived streams
 	wg      sync.WaitGroup
 
@@ -112,11 +126,16 @@ type Server struct {
 	sweepsRun          atomic.Int64
 	checkpointsWritten atomic.Int64
 	checkpointBytes    atomic.Int64
+	streamWakeups      atomic.Int64
 }
 
 // Stats is the server's counter snapshot (GET /v1/stats). SweepsRun counts
 // whole-lattice updates actually executed by workers — a cache hit does not
-// move it, which is exactly what the cache tests assert.
+// move it, which is exactly what the cache tests assert. StreamWakeups
+// counts iterations of open NDJSON stream loops: how often any subscriber
+// woke to look for new samples. Dividing its delta by the SweepsRun delta is
+// the load harness's wake-storm gauge — with the sample-only notification
+// channel it stays near samples-per-sweep instead of subscribers-per-sweep.
 type Stats struct {
 	JobsSubmitted      int64 `json:"jobs_submitted"`
 	JobsCompleted      int64 `json:"jobs_completed"`
@@ -127,6 +146,7 @@ type Stats struct {
 	SweepsRun          int64 `json:"sweeps_run"`
 	CheckpointsWritten int64 `json:"checkpoints_written"`
 	CheckpointBytes    int64 `json:"checkpoint_bytes"`
+	StreamWakeups      int64 `json:"stream_wakeups"`
 	CacheEntries       int   `json:"cache_entries"`
 	Queued             int   `json:"queued"`
 	Running            int   `json:"running"`
@@ -144,21 +164,21 @@ func New(cfg Config) (*Server, []error) {
 		cache:   make(map[string]*encode.Result),
 		closing: make(chan struct{}),
 	}
+	s.queueCond = sync.NewCond(&s.mu)
 	var states []*checkpointState
 	var skipped []error
 	if s.cfg.CheckpointDir != "" {
 		states, skipped = scanCheckpoints(s.cfg.CheckpointDir)
 	}
-	// Size the queue for the restart burst on top of the steady-state bound:
-	// every resumed checkpoint must enqueue without blocking New, or a
-	// directory holding more checkpoints than QueueDepth would stall daemon
-	// startup until a worker finished a whole resumed job.
-	s.queue = make(chan *Job, s.cfg.QueueDepth+len(states))
 	for i := 0; i < s.cfg.Workers; i++ {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			for j := range s.queue {
+			for {
+				j, ok := s.nextQueued()
+				if !ok {
+					return
+				}
 				s.run(j)
 			}
 		}()
@@ -185,7 +205,7 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		s.mu.Unlock()
 		return nil, ErrClosed
 	}
-	j := newJob(s.newIDLocked(), norm)
+	j := newJob(s.newIDLocked(), norm, s.cfg.SampleHistory)
 	if cached, ok := s.cache[j.key]; ok {
 		s.addJobLocked(j)
 		s.mu.Unlock()
@@ -195,37 +215,69 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		s.pruneJobs()
 		return j, nil
 	}
-	select {
-	case s.queue <- j:
-	default:
+	if len(s.queue) >= s.cfg.QueueDepth {
 		s.mu.Unlock()
 		return nil, ErrQueueFull
 	}
+	s.queue = append(s.queue, j)
 	s.addJobLocked(j)
+	s.queueCond.Signal()
 	s.mu.Unlock()
 	s.jobsSubmitted.Add(1)
 	return j, nil
 }
 
-// resume re-queues a checkpointed job from a previous daemon run. The send
-// cannot block: New sized the queue for QueueDepth plus every scanned
-// checkpoint, because a daemon must never drop (or stall on) a checkpointed
-// job during startup.
+// resume re-queues a checkpointed job from a previous daemon run. It appends
+// past the QueueDepth bound on purpose: a daemon must never drop (or stall
+// on) a checkpointed job during startup, however large the restart burst.
 func (s *Server) resume(cs *checkpointState) error {
 	s.mu.Lock()
 	if _, exists := s.jobs[cs.Job]; exists {
 		s.mu.Unlock()
 		return fmt.Errorf("service: duplicate checkpoint for job %s", cs.Job)
 	}
-	j := newJob(cs.Job, cs.Spec)
+	j := newJob(cs.Job, cs.Spec, s.cfg.SampleHistory)
 	j.resume = cs
 	j.sweepsDone = cs.DoneSweeps
+	s.queue = append(s.queue, j)
 	s.addJobLocked(j)
 	s.advanceIDLocked(cs.Job)
+	s.queueCond.Signal()
 	s.mu.Unlock()
-	s.queue <- j
 	s.jobsResumed.Add(1)
 	return nil
+}
+
+// nextQueued blocks until a job is queued (returning it) or the server is
+// closed (returning false). Jobs left queued at close stay queued — their
+// checkpoints, if any, are the durability mechanism, exactly as before.
+func (s *Server) nextQueued() (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.queue) == 0 && !s.closed {
+		s.queueCond.Wait()
+	}
+	if s.closed {
+		return nil, false
+	}
+	j := s.queue[0]
+	s.queue = s.queue[1:]
+	return j, true
+}
+
+// dequeue removes a job from the waiting queue if it is still there,
+// reporting whether it was. Cancel uses it to free the job's queue slot
+// immediately instead of leaving a dead job pinning queue capacity.
+func (s *Server) dequeue(j *Job) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, q := range s.queue {
+		if q == j {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			return true
+		}
+	}
+	return false
 }
 
 // Get returns the job with the given ID.
@@ -250,15 +302,17 @@ func (s *Server) Jobs() []*Job {
 	return out
 }
 
-// Cancel stops a job: a queued job never runs, a running job stops at its
-// next chunk boundary, and the job's checkpoint (if any) is removed.
-// Canceling a terminal job is a no-op.
+// Cancel stops a job: a queued job never runs (and releases its queue slot
+// immediately, so cancel-heavy traffic cannot fill the queue with dead
+// jobs), a running job stops at its next chunk boundary, and the job's
+// checkpoint (if any) is removed. Canceling a terminal job is a no-op.
 func (s *Server) Cancel(id string) (*Job, error) {
 	j, err := s.Get(id)
 	if err != nil {
 		return nil, err
 	}
 	j.cancel(errCanceled)
+	s.dequeue(j)
 	if j.setState(StateCanceled, errCanceled) {
 		s.jobsCanceled.Add(1)
 		s.removeCheckpoint(j)
@@ -279,6 +333,7 @@ func (s *Server) Stats() Stats {
 		SweepsRun:          s.sweepsRun.Load(),
 		CheckpointsWritten: s.checkpointsWritten.Load(),
 		CheckpointBytes:    s.checkpointBytes.Load(),
+		StreamWakeups:      s.streamWakeups.Load(),
 	}
 	s.mu.Lock()
 	st.CacheEntries = len(s.cache)
@@ -314,11 +369,11 @@ func (s *Server) Close() {
 	for _, j := range s.jobs {
 		jobs = append(jobs, j)
 	}
+	s.queueCond.Broadcast()
 	s.mu.Unlock()
 	for _, j := range jobs {
 		j.cancel(errClosing)
 	}
-	close(s.queue)
 	s.wg.Wait()
 }
 
