@@ -12,7 +12,8 @@
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /v1/jobs/{id}/result final result (202 until done)
 //	GET    /v1/jobs/{id}/stream NDJSON observable stream
-//	GET    /v1/stats            server counters
+//	GET    /v1/stats            server counters (JSON)
+//	GET    /metrics             Prometheus text exposition of the counters
 //
 // Example session:
 //
@@ -23,7 +24,16 @@
 //
 // On SIGINT/SIGTERM the daemon stops accepting work, writes a final
 // checkpoint for every running snapshottable job and exits; restarting over
-// the same -checkpoint-dir resumes those jobs where they stopped.
+// the same -checkpoint-dir resumes those jobs where they stopped. With a
+// checkpoint directory every accepted job is durable: jobs without an engine
+// snapshot (tempering ladders, batched ensembles) rerun from sweep zero
+// after a restart, which the deterministic engines turn into the identical
+// result.
+//
+// The -max-queued-per-client / -max-running-per-client flags turn on
+// per-client quotas keyed by the X-Client-ID submission header (or the
+// spec's client field); -cache-bytes, -cache-ttl, -job-ttl and -history
+// bound the result cache and the finished-job table.
 package main
 
 import (
@@ -46,16 +56,26 @@ func main() {
 	ckptDir := flag.String("checkpoint-dir", "", "directory for job checkpoints (empty = no checkpointing)")
 	ckptInterval := flag.Int("checkpoint-interval", 1000, "default sweeps between checkpoints for snapshottable backends")
 	cacheSize := flag.Int("cache", 256, "result cache entries (negative = disable caching)")
+	cacheBytes := flag.Int64("cache-bytes", 32<<20, "result cache byte bound (negative = no byte bound)")
+	cacheTTL := flag.Duration("cache-ttl", 0, "result cache entry lifetime (0 = never expire)")
 	history := flag.Int("history", 1024, "finished jobs kept queryable (negative = keep forever)")
+	jobTTL := flag.Duration("job-ttl", 0, "finished-job retention age (0 = only the -history count bound)")
+	maxQueued := flag.Int("max-queued-per-client", 0, "per-client queued-job quota (0 = no quota; X-Client-ID keys it)")
+	maxRunning := flag.Int("max-running-per-client", 0, "per-client running-job cap (0 = no cap)")
 	flag.Parse()
 
 	srv, skipped := service.New(service.Config{
-		Workers:            *workers,
-		QueueDepth:         *queue,
-		CheckpointDir:      *ckptDir,
-		CheckpointInterval: *ckptInterval,
-		CacheSize:          *cacheSize,
-		JobHistory:         *history,
+		Workers:             *workers,
+		QueueDepth:          *queue,
+		CheckpointDir:       *ckptDir,
+		CheckpointInterval:  *ckptInterval,
+		CacheSize:           *cacheSize,
+		CacheBytes:          *cacheBytes,
+		CacheTTL:            *cacheTTL,
+		JobHistory:          *history,
+		JobTTL:              *jobTTL,
+		MaxQueuedPerClient:  *maxQueued,
+		MaxRunningPerClient: *maxRunning,
 	})
 	for _, err := range skipped {
 		log.Printf("isingd: skipping checkpoint: %v", err)

@@ -1,0 +1,236 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"tpuising/internal/service"
+	"tpuising/internal/service/encode"
+)
+
+// upgradeSpecs is the mixed fleet for the graceful-upgrade e2e: eight jobs
+// spanning the snapshot path (checkerboard/multispin singles), a tempering
+// ladder and a batched ensemble — the two job kinds with no engine snapshot,
+// which survive the restart through their durable intent records instead.
+var upgradeSpecs = []service.JobSpec{
+	{Backend: "checkerboard", Rows: 32, Sweeps: 3000, BurnIn: 100, Temperature: 2.3, Seed: 1, SampleInterval: 100},
+	{Backend: "checkerboard", Rows: 32, Sweeps: 3000, BurnIn: 100, Temperature: 2.5, Seed: 2, SampleInterval: 100},
+	{Backend: "multispin", Rows: 32, Cols: 64, Sweeps: 6000, BurnIn: 200, Temperature: 2.3, Seed: 3, SampleInterval: 500, Workers: 1},
+	{Backend: "checkerboard", Rows: 24, Sweeps: 2500, Temperature: 2.2, Seed: 4, SampleInterval: 100},
+	{Backend: "checkerboard", Rows: 24, Sweeps: 2500, Temperature: 2.4, Seed: 5, SampleInterval: 100},
+	{Backend: "checkerboard", Rows: 16, Sweeps: 2000, Temperatures: []float64{2.0, 2.3, 2.6}, Seed: 6, SampleInterval: 100, SwapInterval: 10},
+	{Backend: "multispin", Rows: 16, Cols: 64, Sweeps: 2000, Temperature: 2.3, Seed: 7, SampleInterval: 200, Replicas: 4, Workers: 1},
+	{Backend: "checkerboard", Rows: 32, Sweeps: 2800, Temperature: 2.35, Seed: 8, SampleInterval: 100},
+}
+
+// buildDaemon compiles the isingd binary once per test run.
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "isingd")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building isingd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// daemon is one running isingd process under test.
+type daemon struct {
+	cmd  *exec.Cmd
+	base string
+}
+
+// startDaemon launches the binary against a checkpoint directory and waits
+// until its API answers.
+func startDaemon(t *testing.T, bin, ckptDir string) *daemon {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	cmd := exec.Command(bin,
+		"-addr", addr,
+		"-workers", "2",
+		"-checkpoint-dir", ckptDir,
+		"-checkpoint-interval", "256")
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{cmd: cmd, base: "http://" + addr}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(d.base + "/v1/stats")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return d
+			}
+		}
+		if time.Now().After(deadline) {
+			_ = cmd.Process.Kill()
+			t.Fatalf("daemon at %s never came up", d.base)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// terminate sends SIGTERM and waits for a clean exit.
+func (d *daemon) terminate(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- d.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited uncleanly: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		_ = d.cmd.Process.Kill()
+		t.Fatal("daemon did not exit on SIGTERM")
+	}
+}
+
+func (d *daemon) submit(t *testing.T, spec service.JobSpec) string {
+	t.Helper()
+	blob, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(d.base+"/v1/jobs", "application/json", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit returned %d", resp.StatusCode)
+	}
+	var st service.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st.ID
+}
+
+// awaitResult polls until the job's result is ready and returns it
+// canonicalized: the wall-clock fields (the only nondeterministic ones)
+// cleared, the rest marshaled back to comparable bytes.
+func (d *daemon) awaitResult(t *testing.T, id string) string {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		resp, err := http.Get(d.base + "/v1/jobs/" + id + "/result")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusOK {
+			var r encode.Result
+			if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			r.ElapsedSec, r.FlipsPerNs = 0, 0
+			blob, err := json.Marshal(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return string(blob)
+		}
+		var st service.JobStatus
+		_ = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("result of %s returned %d: %+v", id, resp.StatusCode, st)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never finished: %+v", id, st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func (d *daemon) stats(t *testing.T) service.Stats {
+	t.Helper()
+	resp, err := http.Get(d.base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st service.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestGracefulUpgradeSIGTERM is the end-to-end graceful-upgrade proof with a
+// real process and a real signal: a daemon loaded with eight in-flight jobs
+// — including a tempering ladder and a batched ensemble — is SIGTERMed
+// mid-run, a fresh daemon restarts over the same checkpoint directory, and
+// every job's final result is byte-identical to an uninterrupted daemon's.
+func TestGracefulUpgradeSIGTERM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real daemons")
+	}
+	bin := buildDaemon(t)
+
+	// Reference: an uninterrupted daemon computes every result.
+	ref := startDaemon(t, bin, t.TempDir())
+	want := make(map[int]string, len(upgradeSpecs))
+	refIDs := make([]string, len(upgradeSpecs))
+	for i, spec := range upgradeSpecs {
+		refIDs[i] = ref.submit(t, spec)
+	}
+	for i, id := range refIDs {
+		want[i] = ref.awaitResult(t, id)
+	}
+	ref.terminate(t)
+
+	// The "old" daemon: all eight jobs in flight, then SIGTERM mid-run.
+	ckptDir := t.TempDir()
+	old := startDaemon(t, bin, ckptDir)
+	ids := make([]string, len(upgradeSpecs))
+	for i, spec := range upgradeSpecs {
+		ids[i] = old.submit(t, spec)
+	}
+	if st := old.stats(t); st.Queued+st.Running < len(upgradeSpecs) {
+		t.Fatalf("want >=%d in-flight jobs at SIGTERM, have %d queued + %d running",
+			len(upgradeSpecs), st.Queued, st.Running)
+	}
+	old.terminate(t)
+
+	// The "new" daemon over the same checkpoint directory: every job resumes
+	// under its original ID and finishes with the reference bytes.
+	neu := startDaemon(t, bin, ckptDir)
+	defer neu.terminate(t)
+	if st := neu.stats(t); int(st.JobsResumed) != len(upgradeSpecs) {
+		t.Fatalf("jobs_resumed = %d after restart, want %d", st.JobsResumed, len(upgradeSpecs))
+	}
+	for i, id := range ids {
+		if got := neu.awaitResult(t, id); got != want[i] {
+			t.Errorf("job %s (spec %d) differs after upgrade:\n got %s\nwant %s", id, i, got, want[i])
+		}
+	}
+	// Every checkpoint was consumed: nothing left to resume.
+	leftovers, err := filepath.Glob(filepath.Join(ckptDir, "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leftovers) != 0 {
+		t.Fatalf("checkpoint dir not empty after all jobs finished: %v", leftovers)
+	}
+}

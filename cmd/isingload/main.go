@@ -9,7 +9,7 @@
 // Usage:
 //
 //	isingload [-addr http://localhost:8765] [-duration 5s]
-//	          [-submitters 16] [-subscribers 8] [-cancel-every 0]
+//	          [-submitters 16] [-subscribers 8] [-cancel-every 0] [-clients 0]
 //	          [-backend multispin] [-rows 64] [-sweeps 400] [-interval 50]
 //	          [-seeds 0] [-thresholds "submit_p95_ms<250,error_rate<0.01"]
 //	          [-bench 6] [-out BENCH_6.json] [-host] [-hostsize 256] [-hostsweeps 5]
@@ -77,6 +77,7 @@ func run(args []string, out *os.File) error {
 	submitters := fs.Int("submitters", 16, "concurrent submit→poll→result users")
 	subscribers := fs.Int("subscribers", 8, "concurrent NDJSON stream subscribers")
 	cancelEvery := fs.Int("cancel-every", 0, "cancel every Nth accepted job right after submit (0 = never)")
+	clients := fs.Int("clients", 0, "distinct X-Client-ID identities spread across submitters (0 = anonymous); exercises per-client quotas")
 	backendName := fs.String("backend", "multispin", "job backend (registry name)")
 	rows := fs.Int("rows", 64, "job lattice side")
 	sweeps := fs.Int("sweeps", 400, "measured sweeps per job")
@@ -115,6 +116,7 @@ func run(args []string, out *os.File) error {
 		Duration:    *duration,
 		Seeds:       *seeds,
 		CancelEvery: *cancelEvery,
+		Clients:     *clients,
 		Spec: service.JobSpec{
 			Backend: *backendName, Rows: *rows,
 			Sweeps: *sweeps, SampleInterval: *interval, Seed: 1,

@@ -4,11 +4,39 @@ import (
 	"context"
 	"net/http/httptest"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
 	"tpuising/internal/service"
 )
+
+func TestParsePromText(t *testing.T) {
+	const text = `# HELP isingd_jobs_submitted_total Jobs accepted.
+# TYPE isingd_jobs_submitted_total counter
+isingd_jobs_submitted_total 42
+
+# TYPE isingd_cache_bytes gauge
+isingd_cache_bytes 1.5e+03
+`
+	m, err := parsePromText(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["isingd_jobs_submitted_total"] != 42 {
+		t.Errorf("submitted = %g, want 42", m["isingd_jobs_submitted_total"])
+	}
+	if m["isingd_cache_bytes"] != 1500 {
+		t.Errorf("cache_bytes = %g, want 1500", m["isingd_cache_bytes"])
+	}
+	// A malformed line must be an error, not a silently dropped metric: a
+	// dropped counter would read as "it never moved" and pass a >= gate.
+	for _, bad := range []string{"lonely_name\n", "a b c\n", "metric notanumber\n"} {
+		if _, err := parsePromText(strings.NewReader(bad)); err == nil {
+			t.Errorf("parsePromText(%q) passed, want error", bad)
+		}
+	}
+}
 
 func TestHistogramQuantiles(t *testing.T) {
 	h := NewHistogram()
@@ -224,6 +252,63 @@ func TestScenarioCancelHeavy(t *testing.T) {
 	}
 	if r.Errors != 0 {
 		t.Fatalf("cancel-heavy run errored %d times:\n%s", r.Errors, r.Text())
+	}
+}
+
+// TestScenarioQuotasAndEvictions drives a quota-limited, cache-starved
+// daemon with several client identities — the configuration the CI load
+// smoke gates on. Quota rejections must show up on both sides of the wire
+// (client 429 count, server counter delta), cache evictions must register,
+// and none of it may count as an error.
+func TestScenarioQuotasAndEvictions(t *testing.T) {
+	// One worker and jobs a few hundred sweeps long: arrivals outrun the
+	// drain, the queue backs up, and each client's 4 submitters contend for
+	// a 1-queued + 1-running quota. Tiny instant jobs would drain before a
+	// second same-client submission ever lands.
+	_, ts := startService(t, service.Config{
+		Workers:             1,
+		QueueDepth:          64,
+		CacheSize:           4,
+		MaxQueuedPerClient:  1,
+		MaxRunningPerClient: 1,
+	})
+	sc := Scenario{
+		BaseURL:     ts.URL,
+		Submitters:  8,
+		Subscribers: 2,
+		Clients:     2,
+		Duration:    1500 * time.Millisecond,
+		Seeds:       64, // far past CacheSize: storing results must evict
+		Spec: service.JobSpec{Backend: "checkerboard", Rows: 32,
+			Temperature: 2.5, Sweeps: 400, SampleInterval: 100},
+	}
+	r, err := sc.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Errors != 0 {
+		t.Fatalf("quota rejections counted as errors:\n%s", r.Text())
+	}
+	if r.QuotaRejected == 0 {
+		t.Fatalf("8 submitters as 2 clients against a 1-queued/1-running quota never saw a 429:\n%s", r.Text())
+	}
+	if r.Server.QuotaRejections == 0 {
+		t.Fatalf("server metrics delta shows no quota rejections:\n%s", r.Text())
+	}
+	if r.Server.CacheEvictions == 0 {
+		t.Fatalf("64 seeds over a 4-entry cache evicted nothing:\n%s", r.Text())
+	}
+	if r.JobsDone == 0 {
+		t.Fatalf("no job completed under quotas:\n%s", r.Text())
+	}
+	m := r.Metrics()
+	for _, name := range []string{"quota_rejections", "cache_evictions", "cache_bytes", "worker_panics"} {
+		if _, ok := m[name]; !ok {
+			t.Errorf("metric %q missing from %v", name, MetricNames(m))
+		}
+	}
+	if m["worker_panics"] != 0 {
+		t.Fatalf("worker panics under plain load: %g", m["worker_panics"])
 	}
 }
 

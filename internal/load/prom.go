@@ -1,0 +1,38 @@
+package load
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// parsePromText parses the subset of the Prometheus text exposition format
+// isingd emits — unlabelled `name value` samples with # HELP/# TYPE comment
+// lines — into a flat name → value map. A malformed sample line is an error:
+// the scrape feeds the threshold gate, and a silently dropped metric would
+// read as "the counter never moved".
+func parsePromText(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("load: malformed metrics line %q", line)
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("load: metrics line %q: %w", line, err)
+		}
+		out[fields[0]] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -47,6 +47,12 @@ type Scenario struct {
 	// submission instead of awaiting it — the cancel-heavy traffic that
 	// pins queue slots when cancellation leaks them.
 	CancelEvery int
+	// Clients, when > 0, spreads the submitters over this many distinct
+	// client identities (submitter i sends X-Client-ID "client-NN" with
+	// NN = i mod Clients), exercising the daemon's per-client quotas; a 429
+	// is counted as QuotaRejected and backed off, the declared backpressure,
+	// never an error. 0 sends no header (one anonymous quota bucket).
+	Clients int
 	// PollInterval is the status-poll spacing of submitters (default 2ms).
 	PollInterval time.Duration
 }
@@ -85,11 +91,13 @@ type Report struct {
 	ElapsedSec  float64         `json:"elapsed_sec"`
 
 	// Request counters. Errors are transport failures and unexpected status
-	// codes; queue-full rejections (503 on submit) are counted separately —
-	// they are the service's declared backpressure, not a malfunction.
-	Requests  int64 `json:"requests"`
-	Errors    int64 `json:"errors"`
-	QueueFull int64 `json:"queue_full"`
+	// codes; queue-full rejections (503 on submit) and quota rejections (429)
+	// are counted separately — they are the service's declared backpressure,
+	// not a malfunction.
+	Requests      int64 `json:"requests"`
+	Errors        int64 `json:"errors"`
+	QueueFull     int64 `json:"queue_full"`
+	QuotaRejected int64 `json:"quota_rejected,omitempty"`
 
 	// Job outcomes as the submitters observed them. JobsFailed counts jobs
 	// the server accepted and then moved to the failed state — a bad spec
@@ -102,8 +110,8 @@ type Report struct {
 	CacheHits    int64 `json:"cache_hits"`
 
 	// Stream outcomes. StreamsStale counts subscriptions that hit a job
-	// already evicted by the server's JobHistory retention (404) — expected
-	// under cache-hit churn, so separate from Errors.
+	// already evicted by the server's JobHistory retention (410 Gone) —
+	// expected under cache-hit churn, so separate from Errors.
 	Streams         int64 `json:"streams"`
 	StreamsStale    int64 `json:"streams_stale,omitempty"`
 	SamplesStreamed int64 `json:"samples_streamed"`
@@ -118,8 +126,9 @@ type Report struct {
 	Server ServerDelta `json:"server"`
 }
 
-// ServerDelta is the server-side view of the run: the /v1/stats counters
-// after minus before, plus rates derived against the run's wall clock.
+// ServerDelta is the server-side view of the run, scraped from the daemon's
+// Prometheus /metrics exposition: counters after minus before, gauges at
+// after, plus rates derived against the run's wall clock.
 type ServerDelta struct {
 	JobsSubmitted   int64   `json:"jobs_submitted"`
 	JobsCompleted   int64   `json:"jobs_completed"`
@@ -127,6 +136,10 @@ type ServerDelta struct {
 	JobsCached      int64   `json:"jobs_cached"`
 	SweepsRun       int64   `json:"sweeps_run"`
 	StreamWakeups   int64   `json:"stream_wakeups"`
+	CacheEvictions  int64   `json:"cache_evictions"`
+	QuotaRejections int64   `json:"quota_rejections"`
+	WorkerPanics    int64   `json:"worker_panics"`
+	CacheBytes      int64   `json:"cache_bytes"` // gauge: bytes held after the run
 	SweepsPerSec    float64 `json:"sweeps_per_sec"`
 	FlipsPerNs      float64 `json:"flips_per_ns"`
 	WakeupsPerSweep float64 `json:"wakeups_per_sweep"`
@@ -139,6 +152,11 @@ func (r *Report) Metrics() map[string]float64 {
 		"requests":                 float64(r.Requests),
 		"errors":                   float64(r.Errors),
 		"queue_full":               float64(r.QueueFull),
+		"quota_rejected":           float64(r.QuotaRejected),
+		"quota_rejections":         float64(r.Server.QuotaRejections),
+		"cache_evictions":          float64(r.Server.CacheEvictions),
+		"cache_bytes":              float64(r.Server.CacheBytes),
+		"worker_panics":            float64(r.Server.WorkerPanics),
 		"jobs_done":                float64(r.JobsDone),
 		"jobs_failed":              float64(r.JobsFailed),
 		"samples_streamed":         float64(r.SamplesStreamed),
@@ -159,6 +177,7 @@ func (r *Report) Metrics() map[string]float64 {
 	if r.Requests > 0 {
 		m["error_rate"] = float64(r.Errors) / float64(r.Requests)
 		m["queue_full_rate"] = float64(r.QueueFull) / float64(r.Requests)
+		m["quota_rejection_rate"] = float64(r.QuotaRejected) / float64(r.Requests)
 	} else {
 		m["error_rate"] = 1 // a run that made no requests did not pass
 	}
@@ -175,8 +194,8 @@ func (r *Report) Text() string {
 		r.Submitters, r.Subscribers, r.ElapsedSec, r.BaseURL)
 	fmt.Fprintf(&b, "  spec: %s %dx%d sweeps=%d sample_interval=%d seeds=%d\n",
 		r.Spec.Backend, r.Spec.Rows, r.Spec.Cols, r.Spec.Sweeps, r.Spec.SampleInterval, r.Seeds)
-	fmt.Fprintf(&b, "requests.............: %d (%.1f/s), errors %d, queue_full %d\n",
-		r.Requests, float64(r.Requests)/r.ElapsedSec, r.Errors, r.QueueFull)
+	fmt.Fprintf(&b, "requests.............: %d (%.1f/s), errors %d, queue_full %d, quota_rejected %d\n",
+		r.Requests, float64(r.Requests)/r.ElapsedSec, r.Errors, r.QueueFull, r.QuotaRejected)
 	fmt.Fprintf(&b, "jobs.................: accepted %d, done %d, failed %d, canceled %d, cache hits %d\n",
 		r.JobsAccepted, r.JobsDone, r.JobsFailed, r.JobsCanceled, r.CacheHits)
 	fmt.Fprintf(&b, "streams..............: %d (%d stale), samples %d\n",
@@ -192,6 +211,8 @@ func (r *Report) Text() string {
 	fmt.Fprintf(&b, "server...............: %d sweeps (%.0f/s, %.4f flips/ns), %d stream wakeups (%.3f/sweep)\n",
 		r.Server.SweepsRun, r.Server.SweepsPerSec, r.Server.FlipsPerNs,
 		r.Server.StreamWakeups, r.Server.WakeupsPerSweep)
+	fmt.Fprintf(&b, "server limits........: %d cache evictions, %d cache bytes held, %d quota rejections, %d worker panics\n",
+		r.Server.CacheEvictions, r.Server.CacheBytes, r.Server.QuotaRejections, r.Server.WorkerPanics)
 	return b.String()
 }
 
@@ -203,7 +224,7 @@ type runState struct {
 
 	submitH, statusH, resultH, firstSampleH *Histogram
 
-	requests, errors, queueFull                       atomic.Int64
+	requests, errors, queueFull, quotaRejected        atomic.Int64
 	jobsAccepted, jobsDone, jobsFailed, jobsCanceled  atomic.Int64
 	cacheHits, streams, streamsStale, samplesStreamed atomic.Int64
 	seedCounter                                       atomic.Int64
@@ -263,9 +284,9 @@ func (sc Scenario) Run(ctx context.Context) (*Report, error) {
 		resultH:      NewHistogram(),
 		firstSampleH: NewHistogram(),
 	}
-	before, err := rs.fetchStats(ctx)
+	before, err := rs.fetchMetrics(ctx)
 	if err != nil {
-		return nil, fmt.Errorf("load: reading %s/v1/stats before the run: %w", sc.BaseURL, err)
+		return nil, fmt.Errorf("load: scraping %s/metrics before the run: %w", sc.BaseURL, err)
 	}
 
 	rs.deadline = time.Now().Add(sc.Duration)
@@ -290,15 +311,16 @@ func (sc Scenario) Run(ctx context.Context) (*Report, error) {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	after, err := rs.fetchStats(ctx)
+	after, err := rs.fetchMetrics(ctx)
 	if err != nil {
-		return nil, fmt.Errorf("load: reading %s/v1/stats after the run: %w", sc.BaseURL, err)
+		return nil, fmt.Errorf("load: scraping %s/metrics after the run: %w", sc.BaseURL, err)
 	}
 	return rs.report(elapsed, before, after), nil
 }
 
-// report assembles the final Report from the run state and the stats delta.
-func (rs *runState) report(elapsed time.Duration, before, after service.Stats) *Report {
+// report assembles the final Report from the run state and the scraped
+// metrics delta.
+func (rs *runState) report(elapsed time.Duration, before, after map[string]float64) *Report {
 	r := &Report{
 		BaseURL:     rs.sc.BaseURL,
 		Submitters:  rs.sc.Submitters,
@@ -308,9 +330,10 @@ func (rs *runState) report(elapsed time.Duration, before, after service.Stats) *
 		CancelEvery: rs.sc.CancelEvery,
 		ElapsedSec:  elapsed.Seconds(),
 
-		Requests:  rs.requests.Load(),
-		Errors:    rs.errors.Load(),
-		QueueFull: rs.queueFull.Load(),
+		Requests:      rs.requests.Load(),
+		Errors:        rs.errors.Load(),
+		QueueFull:     rs.queueFull.Load(),
+		QuotaRejected: rs.quotaRejected.Load(),
 
 		JobsAccepted: rs.jobsAccepted.Load(),
 		JobsDone:     rs.jobsDone.Load(),
@@ -327,13 +350,18 @@ func (rs *runState) report(elapsed time.Duration, before, after service.Stats) *
 		Result:      rs.resultH.Summary(),
 		FirstSample: rs.firstSampleH.Summary(),
 	}
+	delta := func(name string) int64 { return int64(after[name] - before[name]) }
 	d := ServerDelta{
-		JobsSubmitted: after.JobsSubmitted - before.JobsSubmitted,
-		JobsCompleted: after.JobsCompleted - before.JobsCompleted,
-		JobsCanceled:  after.JobsCanceled - before.JobsCanceled,
-		JobsCached:    after.JobsCached - before.JobsCached,
-		SweepsRun:     after.SweepsRun - before.SweepsRun,
-		StreamWakeups: after.StreamWakeups - before.StreamWakeups,
+		JobsSubmitted:   delta("isingd_jobs_submitted_total"),
+		JobsCompleted:   delta("isingd_jobs_completed_total"),
+		JobsCanceled:    delta("isingd_jobs_canceled_total"),
+		JobsCached:      delta("isingd_jobs_cached_total"),
+		SweepsRun:       delta("isingd_sweeps_run_total"),
+		StreamWakeups:   delta("isingd_stream_wakeups_total"),
+		CacheEvictions:  delta("isingd_cache_evictions_total"),
+		QuotaRejections: delta("isingd_quota_rejections_total"),
+		WorkerPanics:    delta("isingd_worker_panics_total"),
+		CacheBytes:      int64(after["isingd_cache_bytes"]),
 	}
 	if s := elapsed.Seconds(); s > 0 {
 		d.SweepsPerSec = float64(d.SweepsRun) / s
@@ -352,32 +380,36 @@ func (rs *runState) report(elapsed time.Duration, before, after service.Stats) *
 	return r
 }
 
-// fetchStats reads the server's counter snapshot.
-func (rs *runState) fetchStats(ctx context.Context) (service.Stats, error) {
-	var st service.Stats
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rs.sc.BaseURL+"/v1/stats", nil)
+// fetchMetrics scrapes the daemon's Prometheus /metrics exposition into a
+// flat name → value map — the same scrape any monitoring stack would do.
+func (rs *runState) fetchMetrics(ctx context.Context) (map[string]float64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rs.sc.BaseURL+"/metrics", nil)
 	if err != nil {
-		return st, err
+		return nil, err
 	}
 	resp, err := rs.client.Do(req)
 	if err != nil {
-		return st, err
+		return nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return st, fmt.Errorf("stats endpoint returned %d", resp.StatusCode)
+		return nil, fmt.Errorf("metrics endpoint returned %d", resp.StatusCode)
 	}
-	return st, json.NewDecoder(resp.Body).Decode(&st)
+	return parsePromText(resp.Body)
 }
 
 // submitter is one virtual submitting user: until the deadline, POST a spec
 // from the seed window, then cancel it or await its result.
 func (rs *runState) submitter(ctx context.Context, id int) {
+	client := ""
+	if rs.sc.Clients > 0 {
+		client = fmt.Sprintf("client-%02d", id%rs.sc.Clients)
+	}
 	submitted := 0
 	for time.Now().Before(rs.deadline) && ctx.Err() == nil {
 		spec := rs.sc.Spec
 		spec.Seed = rs.sc.Spec.Seed + uint64(rs.seedCounter.Add(1)%int64(rs.sc.Seeds))
-		st, code, err := rs.postJob(ctx, spec)
+		st, code, err := rs.postJob(ctx, spec, client)
 		if err != nil {
 			rs.errors.Add(1)
 			continue
@@ -399,14 +431,20 @@ func (rs *runState) submitter(ctx context.Context, id int) {
 			rs.queueFull.Add(1)
 			// Back off briefly: the queue is telling us it is full.
 			sleepCtx(ctx, rs.sc.PollInterval)
+		case http.StatusTooManyRequests:
+			// The per-client quota said no: declared backpressure, like a
+			// full queue. Back off until some of our jobs drain.
+			rs.quotaRejected.Add(1)
+			sleepCtx(ctx, rs.sc.PollInterval)
 		default:
 			rs.errors.Add(1)
 		}
 	}
 }
 
-// postJob submits one spec, recording the request latency.
-func (rs *runState) postJob(ctx context.Context, spec service.JobSpec) (service.JobStatus, int, error) {
+// postJob submits one spec under a client identity, recording the request
+// latency.
+func (rs *runState) postJob(ctx context.Context, spec service.JobSpec, client string) (service.JobStatus, int, error) {
 	var st service.JobStatus
 	blob, err := json.Marshal(spec)
 	if err != nil {
@@ -417,6 +455,9 @@ func (rs *runState) postJob(ctx context.Context, spec service.JobSpec) (service.
 		return st, 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if client != "" {
+		req.Header.Set("X-Client-ID", client)
+	}
 	start := time.Now()
 	resp, err := rs.client.Do(req)
 	rs.requests.Add(1)
@@ -470,6 +511,11 @@ func (rs *runState) awaitResult(ctx context.Context, id string) {
 			return
 		}
 		rs.statusH.Observe(time.Since(start))
+		if code == http.StatusGone {
+			// The job finished and aged out of the history between polls —
+			// retention doing its job under churn, not a malfunction.
+			return
+		}
 		if code != http.StatusOK {
 			rs.errors.Add(1)
 			return
@@ -506,6 +552,9 @@ func (rs *runState) awaitResult(ctx context.Context, id string) {
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
+	if resp.StatusCode == http.StatusGone {
+		return // evicted between the final poll and the fetch: retention churn
+	}
 	if resp.StatusCode != http.StatusOK {
 		rs.errors.Add(1)
 		return
@@ -565,9 +614,10 @@ func (rs *runState) consumeStream(ctx context.Context, jobID string) {
 		return
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode == http.StatusNotFound {
-		// The job aged out of the server's JobHistory retention between our
-		// picking its ID and subscribing — expected under cache-hit churn.
+	if resp.StatusCode == http.StatusGone || resp.StatusCode == http.StatusNotFound {
+		// The job aged out of the server's JobHistory retention (410; 404
+		// from pre-retention daemons) between our picking its ID and
+		// subscribing — expected under cache-hit churn.
 		io.Copy(io.Discard, resp.Body)
 		rs.streamsStale.Add(1)
 		rs.dropID(jobID)

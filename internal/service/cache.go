@@ -1,0 +1,145 @@
+package service
+
+import (
+	"container/list"
+	"encoding/json"
+	"time"
+
+	"tpuising/internal/service/encode"
+)
+
+// resultCache is the deduplicating result store: a size-bounded LRU keyed by
+// JobSpec.CacheKey, bounded both in entries (Config.CacheSize) and in bytes
+// (Config.CacheBytes), with optional age expiry (Config.CacheTTL). It
+// replaces the unbounded map the service grew up with: a long-running daemon
+// cycling through distinct seeds used to accumulate every result it ever
+// computed; now the cache provably holds at most maxBytes of encoded results
+// and evicts least-recently-used entries first, counting every eviction.
+//
+// The cache is NOT internally locked — every method is called with the
+// server's mu held, which also makes the hit/miss/eviction counters exact
+// against the job counters taken under the same lock.
+type resultCache struct {
+	maxEntries int           // <0 disables the cache entirely
+	maxBytes   int64         // <=0 means no byte bound
+	ttl        time.Duration // <=0 means no age expiry
+
+	bytes int64 // current sum of entry sizes
+	ll    *list.List
+	index map[string]*list.Element
+
+	misses    int64
+	evictions int64
+}
+
+// cacheEntry is one stored result. size is the entry's accounting weight:
+// the key plus the JSON-encoded result, the same bytes a client would
+// receive — so the byte bound reads as "at most N bytes of cached results".
+type cacheEntry struct {
+	key      string
+	result   *encode.Result
+	size     int64
+	storedAt time.Time
+}
+
+func newResultCache(maxEntries int, maxBytes int64, ttl time.Duration) *resultCache {
+	return &resultCache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ttl:        ttl,
+		ll:         list.New(),
+		index:      make(map[string]*list.Element),
+	}
+}
+
+// resultSize is the accounting size of one entry.
+func resultSize(key string, r *encode.Result) int64 {
+	blob, err := json.Marshal(r)
+	if err != nil {
+		// encode.Result contains only marshalable fields; this cannot happen.
+		panic(err)
+	}
+	return int64(len(key) + len(blob))
+}
+
+// get returns the cached result for the key, promoting it to
+// most-recently-used. An entry past its TTL is removed and counted as both a
+// miss and an eviction — an expired result must never be served.
+func (c *resultCache) get(key string, now time.Time) (*encode.Result, bool) {
+	if c.maxEntries < 0 {
+		return nil, false
+	}
+	el, ok := c.index[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	e := el.Value.(*cacheEntry)
+	if c.ttl > 0 && now.Sub(e.storedAt) > c.ttl {
+		c.removeElement(el)
+		c.evictions++
+		c.misses++
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return e.result, true
+}
+
+// put stores a result and evicts least-recently-used entries until both
+// bounds hold again. An entry larger than the whole byte budget is simply
+// not cached (storing it would immediately evict everything else for a
+// result nobody has re-asked for yet).
+func (c *resultCache) put(key string, r *encode.Result, now time.Time) {
+	if c.maxEntries < 0 {
+		return
+	}
+	size := resultSize(key, r)
+	if c.maxBytes > 0 && size > c.maxBytes {
+		return
+	}
+	if el, ok := c.index[key]; ok {
+		e := el.Value.(*cacheEntry)
+		c.bytes += size - e.size
+		e.result, e.size, e.storedAt = r, size, now
+		c.ll.MoveToFront(el)
+	} else {
+		el := c.ll.PushFront(&cacheEntry{key: key, result: r, size: size, storedAt: now})
+		c.index[key] = el
+		c.bytes += size
+	}
+	for c.ll.Len() > c.maxEntries || (c.maxBytes > 0 && c.bytes > c.maxBytes) {
+		oldest := c.ll.Back()
+		if oldest == nil {
+			break
+		}
+		c.removeElement(oldest)
+		c.evictions++
+	}
+}
+
+// pruneExpired drops every entry past the TTL (the janitor's path; get
+// handles the lazy case).
+func (c *resultCache) pruneExpired(now time.Time) {
+	if c.ttl <= 0 || c.maxEntries < 0 {
+		return
+	}
+	for el := c.ll.Back(); el != nil; {
+		prev := el.Prev()
+		if e := el.Value.(*cacheEntry); now.Sub(e.storedAt) > c.ttl {
+			c.removeElement(el)
+			c.evictions++
+		}
+		el = prev
+	}
+}
+
+func (c *resultCache) removeElement(el *list.Element) {
+	e := el.Value.(*cacheEntry)
+	c.ll.Remove(el)
+	delete(c.index, e.key)
+	c.bytes -= e.size
+}
+
+// len and size report the cache gauges (entries, bytes).
+func (c *resultCache) len() int    { return c.ll.Len() }
+func (c *resultCache) size() int64 { return c.bytes }

@@ -19,6 +19,13 @@ import (
 // encoding/json); the accumulator floats round-trip exactly, and the
 // snapshot carries the spins, RNG key and step counter, so the resumed chain
 // and its emission schedule continue exactly where they stopped.
+//
+// A checkpoint with an empty Snapshot and DoneSweeps 0 is a durable intent
+// record: Submit writes one for every accepted job before acknowledging it,
+// so an accepted job that never reached (or cannot reach) an engine snapshot
+// — tempering and batched jobs have none — still survives a daemon restart
+// by rerunning from sweep zero, which the deterministic engines turn into
+// the byte-identical result.
 type checkpointState struct {
 	Version    int                    `json:"version"`
 	Job        string                 `json:"job"`
@@ -48,41 +55,51 @@ func (s *Server) writeCheckpoint(j *Job, snapper ising.Snapshotter, done int, ab
 	if err != nil {
 		return err
 	}
-	blob, err := json.Marshal(checkpointState{
+	return s.writeCheckpointState(&checkpointState{
 		Version: checkpointVersion, Job: j.id, Spec: j.spec,
 		DoneSweeps: done, AbsM: absM, Energy: energy,
 		Snapshot: ising.EncodeSnapshot(snap),
 	})
+}
+
+// writeSpecCheckpoint records a just-accepted job's spec durably — a
+// checkpoint with no snapshot and zero progress. It never overwrites a real
+// snapshot: only Submit calls it, before the job has run.
+func (s *Server) writeSpecCheckpoint(j *Job) error {
+	return s.writeCheckpointState(&checkpointState{
+		Version: checkpointVersion, Job: j.id, Spec: j.spec,
+	})
+}
+
+// writeCheckpointState serializes a checkpoint and atomically replaces the
+// job's file through the configured CheckpointFS: write a temp file (synced),
+// rename over the target, sync the directory. A failure anywhere removes the
+// temp file — a failed write must not leave droppings that a later scan
+// would trip on — and moves the checkpoint_failures counter, so a full disk
+// is loud in the stats even before the job fails.
+func (s *Server) writeCheckpointState(cs *checkpointState) (err error) {
+	defer func() {
+		if err != nil {
+			s.checkpointFailures.Add(1)
+		}
+	}()
+	blob, err := json.Marshal(cs)
 	if err != nil {
 		return err
 	}
-	path := s.checkpointPath(j.id)
+	fs := s.cfg.CheckpointFS
+	path := s.checkpointPath(cs.Job)
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
+	if err := fs.WriteFile(tmp, blob); err != nil {
+		_ = fs.Remove(tmp)
 		return err
 	}
-	_, err = f.Write(blob)
-	if err == nil {
-		// Flush the data before the rename makes it visible: without this a
-		// power loss could persist the rename but not the contents, replacing
-		// the previous good checkpoint with a truncated one.
-		err = f.Sync()
-	}
-	if closeErr := f.Close(); err == nil {
-		err = closeErr
-	}
-	if err != nil {
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := fs.Rename(tmp, path); err != nil {
+		_ = fs.Remove(tmp)
 		return err
 	}
 	// Best-effort directory sync so the rename itself is durable.
-	if d, err := os.Open(s.cfg.CheckpointDir); err == nil {
-		_ = d.Sync()
-		_ = d.Close()
-	}
+	_ = fs.SyncDir(s.cfg.CheckpointDir)
 	s.checkpointsWritten.Add(1)
 	s.checkpointBytes.Add(int64(len(blob)))
 	return nil
@@ -94,7 +111,7 @@ func (s *Server) removeCheckpoint(j *Job) {
 	if s.cfg.CheckpointDir == "" {
 		return
 	}
-	_ = os.Remove(s.checkpointPath(j.id))
+	_ = s.cfg.CheckpointFS.Remove(s.checkpointPath(j.id))
 }
 
 // loadCheckpoint parses and validates one checkpoint file.
@@ -120,6 +137,14 @@ func loadCheckpoint(path string) (*checkpointState, error) {
 	cs.Spec = spec
 	if cs.DoneSweeps < 0 || cs.DoneSweeps > spec.totalSweeps() {
 		return nil, fmt.Errorf("%s: done_sweeps %d out of range", path, cs.DoneSweeps)
+	}
+	if len(cs.Snapshot) == 0 {
+		// A durable intent record: valid only at zero progress — the job
+		// reruns from sweep zero. Progress without a snapshot is rot.
+		if cs.DoneSweeps != 0 {
+			return nil, fmt.Errorf("%s: done_sweeps %d but no snapshot", path, cs.DoneSweeps)
+		}
+		return &cs, nil
 	}
 	if _, err := ising.DecodeSnapshot(cs.Snapshot); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)

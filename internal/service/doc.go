@@ -11,7 +11,21 @@
 // a daemon restarted over the same checkpoint directory resumes interrupted
 // jobs bit-identically (the chain state, the running observable
 // accumulators and the sample emission schedule all continue exactly where
-// they stopped — asserted by the determinism tests in this package).
+// they stopped — asserted by the determinism tests in this package). With a
+// checkpoint directory, admission itself is durable: Submit parks each job
+// behind a written intent record before any worker may pick it up, so even
+// jobs without an engine snapshot (tempering ladders, batched ensembles)
+// survive a restart by deterministically rerunning from sweep zero.
+//
+// The Server is bounded on every axis a long-lived daemon can grow along:
+// the queue (Config.QueueDepth), per-client admissions
+// (Config.MaxQueuedPerClient / MaxRunningPerClient, keyed by JobSpec.Client
+// or the X-Client-ID header, with JobSpec.Priority ordering the dequeue),
+// the result cache (Config.CacheSize entries, CacheBytes bytes, CacheTTL
+// age — an LRU, not a map that grows forever) and the finished-job table
+// (Config.JobHistory count, JobTTL age). Evicted job IDs answer
+// ErrJobExpired (HTTP 410), distinct from never-issued IDs (404). Every
+// bound has a counter in Stats, exposed as Prometheus text at GET /metrics.
 //
 // The data flow of one job:
 //

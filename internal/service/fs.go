@@ -1,0 +1,61 @@
+package service
+
+import "os"
+
+// CheckpointFS is the filesystem the checkpoint store writes through. The
+// server performs its atomic-replace discipline (write a temp file, rename
+// over the target, sync the directory) in terms of these four primitives, so
+// a test can inject a filesystem that fails mid-write — a full disk, a
+// read-only volume — and assert the service fails the job loudly and cleans
+// up its temp file instead of silently dropping resume data. Production code
+// always runs on the real osFS.
+type CheckpointFS interface {
+	// WriteFile creates or truncates path, writes data and syncs it to
+	// stable storage before returning.
+	WriteFile(path string, data []byte) error
+	// Rename atomically replaces newPath with oldPath.
+	Rename(oldPath, newPath string) error
+	// Remove deletes path (missing files are not an error for callers that
+	// ignore the return).
+	Remove(path string) error
+	// SyncDir flushes the directory entry metadata, making a preceding
+	// Rename durable. Best-effort: callers ignore its error.
+	SyncDir(dir string) error
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+func (osFS) WriteFile(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(data)
+	if err == nil {
+		// Flush the data before any rename makes it visible: without this a
+		// power loss could persist the rename but not the contents, replacing
+		// the previous good checkpoint with a truncated one.
+		err = f.Sync()
+	}
+	if closeErr := f.Close(); err == nil {
+		err = closeErr
+	}
+	return err
+}
+
+func (osFS) Rename(oldPath, newPath string) error { return os.Rename(oldPath, newPath) }
+
+func (osFS) Remove(path string) error { return os.Remove(path) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	syncErr := d.Sync()
+	if closeErr := d.Close(); syncErr == nil {
+		syncErr = closeErr
+	}
+	return syncErr
+}

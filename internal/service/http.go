@@ -18,7 +18,14 @@ import (
 //	DELETE /v1/jobs/{id}        cancel a job
 //	GET    /v1/jobs/{id}/result the encode.Result (202 + status until done)
 //	GET    /v1/jobs/{id}/stream NDJSON encode.Sample lines while the job runs
-//	GET    /v1/stats            server counters
+//	GET    /v1/stats            server counters (JSON)
+//	GET    /metrics             the same counters in Prometheus text format
+//
+// Submissions may carry an X-Client-ID header: it fills JobSpec.Client when
+// the spec leaves it empty, keying the per-client quotas. A submission over
+// quota answers 429; a status poll for a job evicted by the history
+// retention answers 410 (Gone, "expired") where an ID that never existed
+// answers 404.
 //
 // cmd/isingd serves it over TCP; tests and examples mount it on
 // net/http/httptest servers.
@@ -31,6 +38,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
 
@@ -59,10 +67,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad job spec: %w", err))
 		return
 	}
+	if spec.Client == "" {
+		spec.Client = r.Header.Get("X-Client-ID")
+	}
 	j, err := s.Submit(spec)
 	switch {
 	case errors.Is(err, ErrQueueFull) || errors.Is(err, ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, ErrQuotaExceeded):
+		writeError(w, http.StatusTooManyRequests, err)
 		return
 	case err != nil:
 		writeError(w, http.StatusBadRequest, err)
@@ -85,10 +99,17 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// getJob resolves the {id} path value, writing the 404 itself.
+// getJob resolves the {id} path value, writing the error itself: 410 (Gone)
+// for a job the history retention evicted — the client should resubmit the
+// spec for a cache hit, not retry the poll — and 404 for an ID this server
+// never issued.
 func (s *Server) getJob(w http.ResponseWriter, r *http.Request) (*Job, bool) {
 	j, err := s.Get(r.PathValue("id"))
-	if err != nil {
+	switch {
+	case errors.Is(err, ErrJobExpired):
+		writeError(w, http.StatusGone, err)
+		return nil, false
+	case err != nil:
 		writeError(w, http.StatusNotFound, fmt.Errorf("%w: %s", ErrUnknownJob, r.PathValue("id")))
 		return nil, false
 	}

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -205,5 +206,139 @@ func TestHTTPCancel(t *testing.T) {
 	// The result endpoint reports the cancellation as a conflict.
 	if code := getJSON(t, fmt.Sprintf("%s/v1/jobs/%s/result", ts.URL, st.ID), nil); code != http.StatusConflict {
 		t.Fatalf("result of canceled job returned %d, want 409", code)
+	}
+}
+
+// TestHTTPExpiredVsUnknown pins the wire-level error taxonomy: a job ID the
+// server issued and then evicted answers 410 Gone with "expired" in the
+// body; an ID it never issued answers 404.
+func TestHTTPExpiredVsUnknown(t *testing.T) {
+	srv, _ := New(Config{Workers: 1, JobHistory: 1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var first string
+	for seed := uint64(1); seed <= 3; seed++ {
+		st, code := postJob(t, ts, JobSpec{Backend: "checkerboard", Rows: 4, Sweeps: 2, Seed: seed})
+		if code != http.StatusAccepted && code != http.StatusOK {
+			t.Fatalf("submit returned %d", code)
+		}
+		if first == "" {
+			first = st.ID
+		}
+		j, err := srv.Get(st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitDone(t, j)
+	}
+	for _, path := range []string{"/v1/jobs/" + first, "/v1/jobs/" + first + "/result", "/v1/jobs/" + first + "/stream"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var apiErr apiError
+		if err := json.NewDecoder(resp.Body).Decode(&apiErr); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusGone || !strings.Contains(apiErr.Error, "expired") {
+			t.Fatalf("GET %s for evicted job: %d %q, want 410 with \"expired\"", path, resp.StatusCode, apiErr.Error)
+		}
+	}
+	if code := getJSON(t, ts.URL+"/v1/jobs/job-999999", nil); code != http.StatusNotFound {
+		t.Fatalf("never-issued ID returned %d, want 404", code)
+	}
+}
+
+// TestHTTPClientQuota checks the HTTP quota surface: the X-Client-ID header
+// keys the quota, an over-budget submission answers 429, and a different
+// header value is a different budget.
+func TestHTTPClientQuota(t *testing.T) {
+	srv, _ := New(Config{Workers: 1, MaxQueuedPerClient: 1})
+	defer srv.Close()
+	release := make(chan struct{})
+	srv.testHookRun = func(*Job) { <-release }
+	defer close(release)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	submit := func(client string, seed uint64) int {
+		blob, err := json.Marshal(JobSpec{Backend: "checkerboard", Rows: 4, Sweeps: 2, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", bytes.NewReader(blob))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Client-ID", client)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var apiErr apiError
+		_ = json.NewDecoder(resp.Body).Decode(&apiErr)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests && !strings.Contains(apiErr.Error, "quota") {
+			t.Fatalf("429 body should name the quota, got %q", apiErr.Error)
+		}
+		return resp.StatusCode
+	}
+	if code := submit("alice", 1); code != http.StatusAccepted {
+		t.Fatalf("first submission returned %d", code)
+	}
+	if code := submit("alice", 2); code != http.StatusTooManyRequests {
+		t.Fatalf("over-quota submission returned %d, want 429", code)
+	}
+	if code := submit("bob", 3); code != http.StatusAccepted {
+		t.Fatalf("bob throttled by alice's quota: %d", code)
+	}
+}
+
+// TestHTTPMetrics checks the Prometheus exposition: text format, HELP/TYPE
+// lines, and values agreeing with the /v1/stats snapshot they mirror.
+func TestHTTPMetrics(t *testing.T) {
+	srv, _ := New(Config{Workers: 1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	st, _ := postJob(t, ts, JobSpec{Backend: "checkerboard", Rows: 4, Sweeps: 2, Seed: 1})
+	j, err := srv.Get(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	body := new(strings.Builder)
+	if _, err := io.Copy(body, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := body.String()
+	for _, want := range []string{
+		"# TYPE isingd_jobs_submitted_total counter",
+		"# TYPE isingd_cache_bytes gauge",
+		"isingd_jobs_submitted_total 1",
+		"isingd_jobs_completed_total 1",
+		"isingd_workers 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics exposition missing %q:\n%s", want, text)
+		}
+	}
+	stats := srv.Stats()
+	if !strings.Contains(text, fmt.Sprintf("isingd_sweeps_run_total %d", stats.SweepsRun)) {
+		t.Fatalf("metrics disagree with stats (sweeps_run %d):\n%s", stats.SweepsRun, text)
 	}
 }

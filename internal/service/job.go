@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"sync"
+	"time"
 
 	"tpuising/internal/service/encode"
 )
@@ -46,16 +47,24 @@ type Job struct {
 
 	ctx    context.Context
 	cancel context.CancelCauseFunc
+	now    func() time.Time // the server's clock, for finishedAt
 
 	// resume carries the checkpoint the job restarts from (nil for fresh
 	// jobs); it is read once by the worker.
 	resume *checkpointState
+
+	// held parks the job in the queue until Submit finishes writing its
+	// durable intent record: a job must never run — let alone finish —
+	// before the daemon could survive a restart with it. Guarded by the
+	// SERVER's mu (it is scheduler state), not j.mu.
+	held bool
 
 	mu         sync.Mutex
 	state      JobState
 	cached     bool
 	err        error
 	result     *encode.Result
+	finishedAt time.Time // terminal-transition timestamp, for Config.JobTTL
 	sweepsDone int
 	samples    []encode.Sample
 	dropped    int // samples beyond the history bound
@@ -84,14 +93,17 @@ type JobStatus struct {
 	Result  *encode.Result `json:"result,omitempty"`
 }
 
-func newJob(id string, spec JobSpec, history int) *Job {
+func newJob(id string, spec JobSpec, history int, now func() time.Time) *Job {
 	ctx, cancel := context.WithCancelCause(context.Background())
 	if history <= 0 {
 		history = maxSampleHistory
 	}
+	if now == nil {
+		now = time.Now
+	}
 	return &Job{
 		id: id, spec: spec, key: spec.CacheKey(), history: history,
-		ctx: ctx, cancel: cancel,
+		ctx: ctx, cancel: cancel, now: now,
 		state:    StateQueued,
 		streamed: make(chan struct{}),
 		done:     make(chan struct{}),
@@ -151,6 +163,7 @@ func (j *Job) setState(state JobState, err error) bool {
 	j.state = state
 	j.err = err
 	if state.terminal() {
+		j.finishedAt = j.now()
 		j.notifyStream()
 		close(j.done)
 	}
@@ -168,6 +181,7 @@ func (j *Job) finish(result *encode.Result, cached bool) bool {
 	j.state = StateDone
 	j.result = result
 	j.cached = cached
+	j.finishedAt = j.now()
 	j.notifyStream()
 	close(j.done)
 	return true

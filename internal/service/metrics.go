@@ -1,0 +1,67 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// promMetric is one exposed metric: its Prometheus name, type and help text,
+// plus how to read it from a Stats snapshot. The exposition is hand-rolled
+// (no client library dependency): every metric is an unlabelled counter or
+// gauge, which is exactly the subset the text format makes trivial.
+type promMetric struct {
+	name  string
+	kind  string // "counter" or "gauge"
+	help  string
+	value func(Stats) int64
+}
+
+// promMetrics is the /metrics catalogue, all prefixed isingd_. Counters carry
+// the conventional _total suffix; gauges are instantaneous. isingload scrapes
+// these (internal/load) and the CI load-smoke gate thresholds them, so a
+// rename here is a breaking change to the perf trajectory.
+var promMetrics = []promMetric{
+	{"isingd_jobs_submitted_total", "counter", "Jobs accepted by Submit (including cache hits).", func(s Stats) int64 { return s.JobsSubmitted }},
+	{"isingd_jobs_completed_total", "counter", "Jobs that finished with a result (excluding cache hits).", func(s Stats) int64 { return s.JobsCompleted }},
+	{"isingd_jobs_failed_total", "counter", "Jobs that stopped with an error.", func(s Stats) int64 { return s.JobsFailed }},
+	{"isingd_jobs_canceled_total", "counter", "Jobs canceled by clients or lost to shutdown.", func(s Stats) int64 { return s.JobsCanceled }},
+	{"isingd_jobs_cached_total", "counter", "Cache hits: submissions served without sweeping.", func(s Stats) int64 { return s.JobsCached }},
+	{"isingd_jobs_resumed_total", "counter", "Jobs re-queued from checkpoints at startup.", func(s Stats) int64 { return s.JobsResumed }},
+	{"isingd_jobs_evicted_total", "counter", "Terminal jobs dropped by the history retention (JobHistory/JobTTL).", func(s Stats) int64 { return s.JobsEvicted }},
+	{"isingd_sweeps_run_total", "counter", "Whole-lattice updates executed by workers.", func(s Stats) int64 { return s.SweepsRun }},
+	{"isingd_checkpoints_written_total", "counter", "Checkpoint files written (snapshots and intent records).", func(s Stats) int64 { return s.CheckpointsWritten }},
+	{"isingd_checkpoint_bytes_total", "counter", "Bytes of checkpoint data written.", func(s Stats) int64 { return s.CheckpointBytes }},
+	{"isingd_checkpoint_failures_total", "counter", "Checkpoint writes that failed (the job fails loudly with them).", func(s Stats) int64 { return s.CheckpointFailures }},
+	{"isingd_stream_wakeups_total", "counter", "NDJSON stream loop iterations across all subscribers.", func(s Stats) int64 { return s.StreamWakeups }},
+	{"isingd_cache_misses_total", "counter", "Result-cache lookups that found nothing.", func(s Stats) int64 { return s.CacheMisses }},
+	{"isingd_cache_evictions_total", "counter", "Result-cache entries evicted by the size, byte or TTL bounds.", func(s Stats) int64 { return s.CacheEvictions }},
+	{"isingd_quota_rejections_total", "counter", "Submissions rejected by the per-client quota (HTTP 429).", func(s Stats) int64 { return s.QuotaRejections }},
+	{"isingd_queue_full_rejections_total", "counter", "Submissions rejected by the queue-depth bound (HTTP 503).", func(s Stats) int64 { return s.QueueFullRejections }},
+	{"isingd_worker_panics_total", "counter", "Worker panics converted into failed jobs.", func(s Stats) int64 { return s.WorkerPanics }},
+	{"isingd_cache_bytes", "gauge", "Current encoded bytes held by the result cache (bounded by CacheBytes).", func(s Stats) int64 { return s.CacheBytes }},
+	{"isingd_cache_entries", "gauge", "Current result-cache entries (bounded by CacheSize).", func(s Stats) int64 { return int64(s.CacheEntries) }},
+	{"isingd_jobs_queued", "gauge", "Jobs waiting for a worker.", func(s Stats) int64 { return int64(s.Queued) }},
+	{"isingd_jobs_running", "gauge", "Jobs occupying workers.", func(s Stats) int64 { return int64(s.Running) }},
+	{"isingd_workers", "gauge", "Worker-pool size.", func(s Stats) int64 { return int64(s.Workers) }},
+}
+
+// writeMetrics renders the Prometheus text exposition of a Stats snapshot.
+func writeMetrics(w *strings.Builder, st Stats) {
+	for _, m := range promMetrics {
+		fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.kind)
+		fmt.Fprintf(w, "%s %d\n", m.name, m.value(st))
+	}
+}
+
+// handleMetrics serves GET /metrics: the server counters in the Prometheus
+// text exposition format (version 0.0.4), scrape-ready for any Prometheus
+// and parsed by isingload's threshold gate.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	writeMetrics(&b, s.Stats())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = fmt.Fprint(w, b.String())
+}

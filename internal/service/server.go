@@ -37,18 +37,52 @@ type Config struct {
 	// for engines that implement ising.Snapshotter (0 = only jobs that set
 	// their own checkpoint_interval are checkpointed).
 	CheckpointInterval int
-	// CacheSize bounds the result cache (default 256 entries, evicted oldest
-	// first; negative disables caching).
+	// CacheSize bounds the result cache entries (default 256, least recently
+	// used evicted first; negative disables caching).
 	CacheSize int
+	// CacheBytes bounds the result cache's total encoded-result bytes
+	// (default 32 MiB; negative removes the byte bound). Whichever of
+	// CacheSize and CacheBytes is hit first evicts, LRU order, counted in
+	// the cache_evictions stat.
+	CacheBytes int64
+	// CacheTTL expires cache entries by age (0 = never): an entry older than
+	// it is a miss and is evicted on sight.
+	CacheTTL time.Duration
 	// JobHistory bounds the retained *terminal* jobs (default 1024, evicted
 	// oldest first; negative retains forever). Active jobs are never
-	// evicted. An evicted job's status is gone (GET returns 404), but its
-	// result stays reachable through the cache by resubmitting its spec.
+	// evicted. An evicted job's status is gone (GET answers "expired", 410),
+	// but its result stays reachable through the cache by resubmitting its
+	// spec.
 	JobHistory int
+	// JobTTL evicts terminal jobs from the history by age (0 = only the
+	// JobHistory count bound applies): a job finished longer than JobTTL ago
+	// is evicted even when the history is not full, so an idle daemon sheds
+	// its job table too.
+	JobTTL time.Duration
+	// MaxQueuedPerClient and MaxRunningPerClient are the per-client quotas,
+	// keyed by JobSpec.Client (empty Client = one shared anonymous bucket).
+	// MaxRunningPerClient caps how many of one client's jobs occupy workers
+	// at once — jobs beyond it stay queued until one finishes.
+	// MaxQueuedPerClient (0 = no quota) caps the client's backlog: a
+	// submission is rejected with ErrQuotaExceeded once the client has
+	// MaxQueuedPerClient+MaxRunningPerClient non-terminal jobs in the
+	// scheduler. The admission count is queued+running TOGETHER on purpose:
+	// the queued/running split depends on worker-drain timing, so counting
+	// them jointly is what makes admission decisions deterministic for any
+	// worker count — the quota determinism contract, asserted by tests.
+	MaxQueuedPerClient  int
+	MaxRunningPerClient int
 	// SampleHistory bounds the retained samples per job (default 65536).
 	// Samples beyond it are counted, not stored; a stream of such a job ends
 	// with exactly one Truncated bookkeeping line.
 	SampleHistory int
+	// CheckpointFS is the filesystem checkpoint writes go through (nil = the
+	// real one). Tests inject failing filesystems to exercise the
+	// full-disk paths.
+	CheckpointFS CheckpointFS
+	// Now is the server's clock (nil = time.Now). Tests inject fake clocks
+	// to drive the TTL paths deterministically.
+	Now func() time.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -62,11 +96,20 @@ func (c Config) withDefaults() Config {
 	if out.CacheSize == 0 {
 		out.CacheSize = 256
 	}
+	if out.CacheBytes == 0 {
+		out.CacheBytes = 32 << 20
+	}
 	if out.JobHistory == 0 {
 		out.JobHistory = 1024
 	}
 	if out.SampleHistory <= 0 {
 		out.SampleHistory = maxSampleHistory
+	}
+	if out.CheckpointFS == nil {
+		out.CheckpointFS = osFS{}
+	}
+	if out.Now == nil {
+		out.Now = time.Now
 	}
 	return out
 }
@@ -75,10 +118,18 @@ func (c Config) withDefaults() Config {
 var (
 	// ErrQueueFull means the job queue is at QueueDepth.
 	ErrQueueFull = errors.New("service: job queue is full")
+	// ErrQuotaExceeded means the submitting client is at its per-client
+	// quota (Config.MaxQueuedPerClient); the HTTP layer maps it to 429.
+	ErrQuotaExceeded = errors.New("service: client quota exceeded")
 	// ErrClosed means the server is shutting down.
 	ErrClosed = errors.New("service: server is closed")
-	// ErrUnknownJob means no job has the requested ID.
+	// ErrUnknownJob means no job ever had the requested ID.
 	ErrUnknownJob = errors.New("service: unknown job")
+	// ErrJobExpired means the job existed but its status was evicted by the
+	// history retention (Config.JobHistory / JobTTL) — distinguished from
+	// ErrUnknownJob so a client can tell "poll less lazily" (410) from
+	// "wrong ID" (404). The job's result may still be one cache hit away.
+	ErrJobExpired = errors.New("service: job status expired (evicted by history retention)")
 )
 
 // Cancellation causes distinguishing a client cancel from a daemon shutdown.
@@ -103,30 +154,48 @@ type Server struct {
 	nextID int
 	jobs   map[string]*Job
 	order  []string // submission order, for listing
-	cache  map[string]*encode.Result
-	cacheQ []string // insertion order, for eviction
+	cache  *resultCache
 
 	// queue holds the jobs waiting for a worker, in submission order, guarded
 	// by mu; workers wait on queueCond. A slice (not a channel) so Cancel can
 	// remove a queued job immediately — a canceled job must free its queue
 	// slot instead of pinning it until a worker drains it, or cancel-heavy
-	// traffic makes Submit return ErrQueueFull while workers sit idle.
+	// traffic makes Submit return ErrQueueFull while workers sit idle — and
+	// so the dequeue can scan for the highest-priority job whose client is
+	// under its running cap instead of popping strictly FIFO.
 	queue     []*Job
-	queueCond *sync.Cond // signalled on queue append and on Close
+	queueCond *sync.Cond // signalled on enqueue, on running-slot release and on Close
 
-	closing chan struct{} // closed by Close; ends long-lived streams
+	// clientQueued and clientRunning count each client's jobs waiting in the
+	// queue and occupying workers, guarded by mu. Their sum is the quota
+	// admission count (see Config.MaxQueuedPerClient); clientRunning alone
+	// gates the priority dequeue. Zero entries are deleted so the maps stay
+	// proportional to the set of active clients.
+	clientQueued  map[string]int
+	clientRunning map[string]int
+
+	closing chan struct{} // closed by Close; ends long-lived streams and the janitor
 	wg      sync.WaitGroup
 
-	jobsSubmitted      atomic.Int64
-	jobsCompleted      atomic.Int64
-	jobsFailed         atomic.Int64
-	jobsCanceled       atomic.Int64
-	jobsCached         atomic.Int64
-	jobsResumed        atomic.Int64
-	sweepsRun          atomic.Int64
-	checkpointsWritten atomic.Int64
-	checkpointBytes    atomic.Int64
-	streamWakeups      atomic.Int64
+	// testHookRun, when set by a test, runs on the worker goroutine right
+	// before a job executes — the injection point for induced worker panics.
+	testHookRun func(*Job)
+
+	jobsSubmitted       atomic.Int64
+	jobsCompleted       atomic.Int64
+	jobsFailed          atomic.Int64
+	jobsCanceled        atomic.Int64
+	jobsCached          atomic.Int64
+	jobsResumed         atomic.Int64
+	jobsEvicted         atomic.Int64
+	sweepsRun           atomic.Int64
+	checkpointsWritten  atomic.Int64
+	checkpointBytes     atomic.Int64
+	checkpointFailures  atomic.Int64
+	streamWakeups       atomic.Int64
+	quotaRejections     atomic.Int64
+	queueFullRejections atomic.Int64
+	workerPanics        atomic.Int64
 }
 
 // Stats is the server's counter snapshot (GET /v1/stats). SweepsRun counts
@@ -141,15 +210,27 @@ type Stats struct {
 	JobsCompleted      int64 `json:"jobs_completed"`
 	JobsFailed         int64 `json:"jobs_failed"`
 	JobsCanceled       int64 `json:"jobs_canceled"`
-	JobsCached         int64 `json:"jobs_cached"`
+	JobsCached         int64 `json:"jobs_cached"` // cache hits: submissions served without sweeping
 	JobsResumed        int64 `json:"jobs_resumed"`
+	JobsEvicted        int64 `json:"jobs_evicted"` // terminal jobs dropped by JobHistory/JobTTL
 	SweepsRun          int64 `json:"sweeps_run"`
 	CheckpointsWritten int64 `json:"checkpoints_written"`
 	CheckpointBytes    int64 `json:"checkpoint_bytes"`
+	CheckpointFailures int64 `json:"checkpoint_failures"`
 	StreamWakeups      int64 `json:"stream_wakeups"`
-	CacheEntries       int   `json:"cache_entries"`
-	Queued             int   `json:"queued"`
-	Running            int   `json:"running"`
+	// CacheMisses and CacheEvictions complete the cache picture next to the
+	// JobsCached hit counter; CacheBytes is the current encoded size of every
+	// retained result — provably bounded by Config.CacheBytes.
+	CacheMisses         int64 `json:"cache_misses"`
+	CacheEvictions      int64 `json:"cache_evictions"`
+	CacheBytes          int64 `json:"cache_bytes"`
+	QuotaRejections     int64 `json:"quota_rejections"`
+	QueueFullRejections int64 `json:"queue_full_rejections"`
+	WorkerPanics        int64 `json:"worker_panics"`
+	CacheEntries        int   `json:"cache_entries"`
+	Queued              int   `json:"queued"`
+	Running             int   `json:"running"`
+	Workers             int   `json:"workers"`
 }
 
 // New starts a server: Workers goroutines draining the queue. If the
@@ -158,11 +239,14 @@ type Stats struct {
 // snapshots. Skipped (unreadable) checkpoint files are returned as a
 // non-fatal second value.
 func New(cfg Config) (*Server, []error) {
+	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg.withDefaults(),
-		jobs:    make(map[string]*Job),
-		cache:   make(map[string]*encode.Result),
-		closing: make(chan struct{}),
+		cfg:           cfg,
+		jobs:          make(map[string]*Job),
+		cache:         newResultCache(cfg.CacheSize, cfg.CacheBytes, cfg.CacheTTL),
+		clientQueued:  make(map[string]int),
+		clientRunning: make(map[string]int),
+		closing:       make(chan struct{}),
 	}
 	s.queueCond = sync.NewCond(&s.mu)
 	var states []*checkpointState
@@ -179,9 +263,14 @@ func New(cfg Config) (*Server, []error) {
 				if !ok {
 					return
 				}
-				s.run(j)
+				s.runProtected(j)
+				s.releaseRunning(j)
 			}
 		}()
+	}
+	if s.cfg.JobTTL > 0 || s.cfg.CacheTTL > 0 {
+		s.wg.Add(1)
+		go s.janitor()
 	}
 	for _, cs := range states {
 		if err := s.resume(cs); err != nil {
@@ -191,10 +280,35 @@ func New(cfg Config) (*Server, []error) {
 	return s, skipped
 }
 
+// janitor periodically applies the age bounds (JobTTL, CacheTTL) so an idle
+// daemon still sheds expired history and cache entries; the terminal-event
+// and lookup paths apply them lazily as well.
+func (s *Server) janitor() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.closing:
+			return
+		case <-ticker.C:
+			s.pruneJobs()
+			s.mu.Lock()
+			s.cache.pruneExpired(s.cfg.Now())
+			s.mu.Unlock()
+		}
+	}
+}
+
 // Submit validates and schedules a job. A spec whose cache key matches a
 // completed job returns immediately as a done job carrying the cached result
-// — no backend is constructed or stepped. The returned job is also
-// retrievable by ID until the server closes.
+// — no backend is constructed or stepped (a cache hit also bypasses the
+// queue, so it costs no quota). The returned job is retrievable by ID until
+// the history retention evicts it. When the server has a checkpoint
+// directory, every accepted job writes a durable intent record before the
+// submission returns, so a daemon restart loses no accepted job — jobs
+// without an engine snapshot simply rerun from sweep zero, which the
+// deterministic engines turn into the identical result.
 func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	norm, err := spec.Normalize()
 	if err != nil {
@@ -205,8 +319,8 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		s.mu.Unlock()
 		return nil, ErrClosed
 	}
-	j := newJob(s.newIDLocked(), norm, s.cfg.SampleHistory)
-	if cached, ok := s.cache[j.key]; ok {
+	j := newJob(s.newIDLocked(), norm, s.cfg.SampleHistory, s.cfg.Now)
+	if cached, ok := s.cache.get(j.key, s.cfg.Now()); ok {
 		s.addJobLocked(j)
 		s.mu.Unlock()
 		s.jobsSubmitted.Add(1)
@@ -215,31 +329,67 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		s.pruneJobs()
 		return j, nil
 	}
+	if q := s.cfg.MaxQueuedPerClient; q > 0 {
+		c := norm.Client
+		if s.clientQueued[c]+s.clientRunning[c] >= q+max(s.cfg.MaxRunningPerClient, 0) {
+			s.mu.Unlock()
+			s.quotaRejections.Add(1)
+			return nil, fmt.Errorf("%w: client %q already has %d jobs queued or running",
+				ErrQuotaExceeded, c, q+max(s.cfg.MaxRunningPerClient, 0))
+		}
+	}
 	if len(s.queue) >= s.cfg.QueueDepth {
 		s.mu.Unlock()
+		s.queueFullRejections.Add(1)
 		return nil, ErrQueueFull
 	}
+	// Durable admission: the job takes its queue slot now (so capacity and
+	// quota stay exact) but stays held — invisible to the dequeue — until
+	// its intent record is on disk. Without the hold a fast job could run,
+	// even finish, before it was ever durable.
+	j.held = s.cfg.CheckpointDir != ""
 	s.queue = append(s.queue, j)
+	s.clientQueued[norm.Client]++
 	s.addJobLocked(j)
 	s.queueCond.Signal()
 	s.mu.Unlock()
 	s.jobsSubmitted.Add(1)
+	if s.cfg.CheckpointDir != "" {
+		// A failure is loud — the job the daemon cannot make durable fails
+		// immediately instead of silently losing upgrade coverage — and the
+		// queue slot is freed the same way a cancel frees it.
+		if err := s.writeSpecCheckpoint(j); err != nil {
+			s.dequeue(j)
+			s.fail(j, fmt.Errorf("service: recording job %s for restart durability: %w", j.id, err))
+			return j, nil
+		}
+		s.mu.Lock()
+		j.held = false
+		s.queueCond.Signal()
+		s.mu.Unlock()
+	}
 	return j, nil
 }
 
 // resume re-queues a checkpointed job from a previous daemon run. It appends
-// past the QueueDepth bound on purpose: a daemon must never drop (or stall
-// on) a checkpointed job during startup, however large the restart burst.
+// past the QueueDepth bound (and the per-client quotas) on purpose: a daemon
+// must never drop (or stall on) a checkpointed job during startup, however
+// large the restart burst. A checkpoint without an engine snapshot — the
+// durable intent record every accepted job writes — restarts the job from
+// sweep zero; the deterministic engines make the rerun byte-identical.
 func (s *Server) resume(cs *checkpointState) error {
 	s.mu.Lock()
 	if _, exists := s.jobs[cs.Job]; exists {
 		s.mu.Unlock()
 		return fmt.Errorf("service: duplicate checkpoint for job %s", cs.Job)
 	}
-	j := newJob(cs.Job, cs.Spec, s.cfg.SampleHistory)
-	j.resume = cs
-	j.sweepsDone = cs.DoneSweeps
+	j := newJob(cs.Job, cs.Spec, s.cfg.SampleHistory, s.cfg.Now)
+	if len(cs.Snapshot) > 0 {
+		j.resume = cs
+		j.sweepsDone = cs.DoneSweeps
+	}
 	s.queue = append(s.queue, j)
+	s.clientQueued[cs.Spec.Client]++
 	s.addJobLocked(j)
 	s.advanceIDLocked(cs.Job)
 	s.queueCond.Signal()
@@ -248,44 +398,102 @@ func (s *Server) resume(cs *checkpointState) error {
 	return nil
 }
 
-// nextQueued blocks until a job is queued (returning it) or the server is
-// closed (returning false). Jobs left queued at close stay queued — their
-// checkpoints, if any, are the durability mechanism, exactly as before.
+// nextQueued blocks until a runnable job is queued (returning it) or the
+// server is closed (returning false). "Runnable" folds in the scheduling
+// policy: the highest-priority queued job, FIFO within a priority, whose
+// client is under its MaxRunningPerClient cap. A queue holding only
+// over-cap clients parks the worker until a running slot frees. Jobs left
+// queued at close stay queued — their checkpoints, if any, are the
+// durability mechanism, exactly as before.
 func (s *Server) nextQueued() (*Job, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for len(s.queue) == 0 && !s.closed {
+	for {
+		if s.closed {
+			return nil, false
+		}
+		if i := s.eligibleLocked(); i >= 0 {
+			j := s.queue[i]
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			s.dropClientQueuedLocked(j.spec.Client)
+			s.clientRunning[j.spec.Client]++
+			return j, true
+		}
 		s.queueCond.Wait()
 	}
-	if s.closed {
-		return nil, false
+}
+
+// eligibleLocked returns the queue index of the job to run next — the first
+// (oldest) job of the highest priority whose client is under its running cap
+// — or -1 when nothing is runnable; the caller holds s.mu.
+func (s *Server) eligibleLocked() int {
+	best := -1
+	for i, j := range s.queue {
+		if j.held {
+			continue // durable-admission write still in flight
+		}
+		if s.cfg.MaxRunningPerClient > 0 && s.clientRunning[j.spec.Client] >= s.cfg.MaxRunningPerClient {
+			continue
+		}
+		if best < 0 || j.spec.Priority > s.queue[best].spec.Priority {
+			best = i
+		}
 	}
-	j := s.queue[0]
-	s.queue = s.queue[1:]
-	return j, true
+	return best
+}
+
+// releaseRunning returns a worker's running slot after a job ends (or is
+// parked for the next daemon at shutdown) and wakes the workers: a queued
+// job of the same client may have been waiting on the running cap.
+func (s *Server) releaseRunning(j *Job) {
+	s.mu.Lock()
+	c := j.spec.Client
+	if s.clientRunning[c]--; s.clientRunning[c] <= 0 {
+		delete(s.clientRunning, c)
+	}
+	s.queueCond.Broadcast()
+	s.mu.Unlock()
+}
+
+// dropClientQueuedLocked decrements a client's queued count, deleting the
+// zero entry; the caller holds s.mu.
+func (s *Server) dropClientQueuedLocked(client string) {
+	if s.clientQueued[client]--; s.clientQueued[client] <= 0 {
+		delete(s.clientQueued, client)
+	}
 }
 
 // dequeue removes a job from the waiting queue if it is still there,
 // reporting whether it was. Cancel uses it to free the job's queue slot
-// immediately instead of leaving a dead job pinning queue capacity.
+// (and its quota share) immediately instead of leaving a dead job pinning
+// queue capacity.
 func (s *Server) dequeue(j *Job) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for i, q := range s.queue {
 		if q == j {
 			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			s.dropClientQueuedLocked(j.spec.Client)
 			return true
 		}
 	}
 	return false
 }
 
-// Get returns the job with the given ID.
+// Get returns the job with the given ID. A miss distinguishes a job that was
+// evicted by the history retention (ErrJobExpired — the ID is within the
+// range this server has issued) from one that never existed (ErrUnknownJob),
+// so a lazy poller gets "your job finished and aged out; resubmit the spec
+// for a cache hit" instead of a bare not-found.
 func (s *Server) Get(id string) (*Job, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
 	if !ok {
+		if n, err := strconv.Atoi(strings.TrimPrefix(id, "job-")); err == nil &&
+			strings.HasPrefix(id, "job-") && n >= 1 && n <= s.nextID {
+			return nil, fmt.Errorf("%w: %s", ErrJobExpired, id)
+		}
 		return nil, ErrUnknownJob
 	}
 	return j, nil
@@ -324,19 +532,28 @@ func (s *Server) Cancel(id string) (*Job, error) {
 // Stats returns the server's counter snapshot.
 func (s *Server) Stats() Stats {
 	st := Stats{
-		JobsSubmitted:      s.jobsSubmitted.Load(),
-		JobsCompleted:      s.jobsCompleted.Load(),
-		JobsFailed:         s.jobsFailed.Load(),
-		JobsCanceled:       s.jobsCanceled.Load(),
-		JobsCached:         s.jobsCached.Load(),
-		JobsResumed:        s.jobsResumed.Load(),
-		SweepsRun:          s.sweepsRun.Load(),
-		CheckpointsWritten: s.checkpointsWritten.Load(),
-		CheckpointBytes:    s.checkpointBytes.Load(),
-		StreamWakeups:      s.streamWakeups.Load(),
+		JobsSubmitted:       s.jobsSubmitted.Load(),
+		JobsCompleted:       s.jobsCompleted.Load(),
+		JobsFailed:          s.jobsFailed.Load(),
+		JobsCanceled:        s.jobsCanceled.Load(),
+		JobsCached:          s.jobsCached.Load(),
+		JobsResumed:         s.jobsResumed.Load(),
+		JobsEvicted:         s.jobsEvicted.Load(),
+		SweepsRun:           s.sweepsRun.Load(),
+		CheckpointsWritten:  s.checkpointsWritten.Load(),
+		CheckpointBytes:     s.checkpointBytes.Load(),
+		CheckpointFailures:  s.checkpointFailures.Load(),
+		StreamWakeups:       s.streamWakeups.Load(),
+		QuotaRejections:     s.quotaRejections.Load(),
+		QueueFullRejections: s.queueFullRejections.Load(),
+		WorkerPanics:        s.workerPanics.Load(),
+		Workers:             s.cfg.Workers,
 	}
 	s.mu.Lock()
-	st.CacheEntries = len(s.cache)
+	st.CacheEntries = s.cache.len()
+	st.CacheBytes = s.cache.size()
+	st.CacheMisses = s.cache.misses
+	st.CacheEvictions = s.cache.evictions
 	for _, j := range s.jobs {
 		j.mu.Lock()
 		switch j.state {
@@ -397,17 +614,27 @@ func (s *Server) addJobLocked(j *Job) {
 	s.order = append(s.order, j.id)
 }
 
-// pruneJobs evicts the oldest terminal jobs beyond Config.JobHistory, so a
-// long-running daemon's job table stays bounded no matter how much traffic
-// it serves. Active (queued/running) jobs are never evicted; an evicted
-// job's result remains reachable through the cache.
+// pruneJobs evicts terminal jobs past the retention bounds — older than
+// Config.JobTTL (when set), then the oldest beyond the Config.JobHistory
+// count — so a long-running daemon's job table stays bounded no matter how
+// much traffic it serves and an idle daemon sheds its table by age too.
+// Active (queued/running) jobs are never evicted; an evicted job's result
+// remains reachable through the cache, and its ID answers "expired" (410),
+// not "unknown" (404). Every eviction moves the jobs_evicted counter.
 func (s *Server) pruneJobs() {
 	limit := s.cfg.JobHistory
-	if limit < 0 {
+	ttl := s.cfg.JobTTL
+	if limit < 0 && ttl <= 0 {
 		return
 	}
+	now := s.cfg.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	expired := func(j *Job) bool {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		return ttl > 0 && j.state.terminal() && now.Sub(j.finishedAt) > ttl
+	}
 	terminal := 0
 	for _, id := range s.order {
 		j := s.jobs[id]
@@ -417,43 +644,55 @@ func (s *Server) pruneJobs() {
 		}
 		j.mu.Unlock()
 	}
-	if terminal <= limit {
-		return
+	overCount := 0
+	if limit >= 0 && terminal > limit {
+		overCount = terminal - limit
 	}
-	evict := terminal - limit
 	kept := s.order[:0]
+	evicted := 0
 	for _, id := range s.order {
 		j := s.jobs[id]
 		j.mu.Lock()
 		dead := j.state.terminal()
 		j.mu.Unlock()
-		if dead && evict > 0 {
+		if dead && (overCount > 0 || expired(j)) {
 			delete(s.jobs, id)
-			evict--
+			evicted++
+			if overCount > 0 {
+				overCount--
+			}
 			continue
 		}
 		kept = append(kept, id)
 	}
 	s.order = kept
+	if evicted > 0 {
+		s.jobsEvicted.Add(int64(evicted))
+	}
 }
 
-// storeResult caches a completed result and evicts the oldest entries
-// beyond CacheSize.
+// storeResult caches a completed result (the LRU applies its own bounds).
 func (s *Server) storeResult(key string, r *encode.Result) {
-	if s.cfg.CacheSize < 0 {
-		return
-	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.cache[key]; !ok {
-		s.cacheQ = append(s.cacheQ, key)
+	s.cache.put(key, r, s.cfg.Now())
+}
+
+// runProtected executes one job, converting a worker panic — a backend bug,
+// an induced chaos-test fault — into a loudly failed job instead of a dead
+// daemon: the worker goroutine survives, the panic is counted, and the job
+// reports the panic value as its error.
+func (s *Server) runProtected(j *Job) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.workerPanics.Add(1)
+			s.fail(j, fmt.Errorf("service: job %s panicked: %v", j.id, r))
+		}
+	}()
+	if s.testHookRun != nil {
+		s.testHookRun(j)
 	}
-	s.cache[key] = r
-	for len(s.cacheQ) > s.cfg.CacheSize {
-		evict := s.cacheQ[0]
-		s.cacheQ = s.cacheQ[1:]
-		delete(s.cache, evict)
-	}
+	s.run(j)
 }
 
 // run executes one job on a worker goroutine.
@@ -510,6 +749,14 @@ func (s *Server) interrupted(j *Job, snapper ising.Snapshotter, canCkpt bool, do
 				j.setState(StateQueued, nil)
 				return
 			}
+		}
+		if s.cfg.CheckpointDir != "" {
+			// No engine snapshot (or the final write failed), but the job's
+			// durable intent record from Submit is still on disk: the next
+			// daemon reruns it from sweep zero, byte-identically. Park it
+			// queued rather than canceling it.
+			j.setState(StateQueued, nil)
+			return
 		}
 		if j.setState(StateCanceled, errClosing) {
 			s.jobsCanceled.Add(1)

@@ -509,8 +509,8 @@ func TestJobHistoryPruning(t *testing.T) {
 	if got := len(srv.Jobs()); got != 2 {
 		t.Fatalf("retained %d jobs, want 2", got)
 	}
-	if _, err := srv.Get(ids[0]); !errors.Is(err, ErrUnknownJob) {
-		t.Fatalf("oldest job should be evicted, got %v", err)
+	if _, err := srv.Get(ids[0]); !errors.Is(err, ErrJobExpired) {
+		t.Fatalf("oldest job should answer expired, got %v", err)
 	}
 	if _, err := srv.Get(ids[3]); err != nil {
 		t.Fatalf("newest job should be retained: %v", err)

@@ -62,11 +62,30 @@ type JobSpec struct {
 	// Mutually exclusive with Temperatures (a ladder already defines its
 	// replica count) and with checkpointing (no batch snapshot support).
 	Replicas int `json:"replicas,omitempty"`
+	// Client identifies the submitting client for the server's per-client
+	// quotas (Config.MaxQueuedPerClient / MaxRunningPerClient). Empty means
+	// anonymous; all anonymous submissions share one quota bucket. The HTTP
+	// layer fills it from the X-Client-ID header when the spec leaves it
+	// empty. It never changes a result, so it is NOT part of the cache
+	// identity — two clients submitting the same physics share one entry.
+	Client string `json:"client,omitempty"`
+	// Priority orders the queue: 0 (default) to MaxPriority, higher first,
+	// FIFO within a priority. A stream of high-priority jobs can starve
+	// lower priorities by design — per-client quotas bound the damage. Like
+	// Client, it schedules the job without changing its result, so it is NOT
+	// part of the cache identity.
+	Priority int `json:"priority,omitempty"`
 }
 
 // MaxReplicas bounds JobSpec.Replicas: the word width of the lane-packed
 // ensemble engine, so a multispin batch job always fits one packed engine.
 const MaxReplicas = 64
+
+// MaxPriority bounds JobSpec.Priority (0..MaxPriority, higher runs sooner).
+const MaxPriority = 9
+
+// maxClientLen bounds JobSpec.Client: an identity, not a payload channel.
+const maxClientLen = 64
 
 // defaultSwapInterval mirrors the isingtpu -swapint default.
 const defaultSwapInterval = 10
@@ -102,6 +121,12 @@ func (s JobSpec) Normalize() (JobSpec, error) {
 	}
 	if out.CheckpointInterval < 0 {
 		return out, fmt.Errorf("service: checkpoint_interval must not be negative, got %d", out.CheckpointInterval)
+	}
+	if out.Priority < 0 || out.Priority > MaxPriority {
+		return out, fmt.Errorf("service: priority must be 0..%d, got %d", MaxPriority, out.Priority)
+	}
+	if len(out.Client) > maxClientLen {
+		return out, fmt.Errorf("service: client ID longer than %d bytes", maxClientLen)
 	}
 	if out.Replicas < 0 {
 		return out, fmt.Errorf("service: replicas must not be negative, got %d", out.Replicas)
@@ -156,10 +181,11 @@ func (s JobSpec) Normalize() (JobSpec, error) {
 }
 
 // cacheIdentity is the subset of a normalized spec that determines the
-// result. Workers and CheckpointInterval are deliberately absent: every
-// registered engine is bit-deterministic in its worker count, and
-// checkpointing never changes a chain (both asserted by tests), so specs
-// differing only in them share one cache entry.
+// result. Workers, CheckpointInterval, Client and Priority are deliberately
+// absent: every registered engine is bit-deterministic in its worker count,
+// checkpointing never changes a chain (both asserted by tests), and client
+// identity and queue priority only schedule a job, so specs differing only
+// in them share one cache entry.
 type cacheIdentity struct {
 	Backend        string    `json:"backend"`
 	Rows           int       `json:"rows"`
