@@ -1,0 +1,163 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"tpuising/internal/service/encode"
+)
+
+// kill delivers SIGKILL — no handler, no flush, no goodbye — and reaps the
+// process. The daemon gets zero opportunity to clean up; whatever recovery
+// happens next is carried entirely by the durable state on disk.
+func (d *daemon) kill(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	// Wait returns an error for a killed process; that is the point.
+	_ = d.cmd.Wait()
+}
+
+// awaitResultOrGone polls for the job's result like awaitResult, but reports
+// ok=false instead of failing when the daemon answers 404 or 410 — the fate
+// of a job that finished (or was admitted) only in the killed process's
+// memory.
+func (d *daemon) awaitResultOrGone(t *testing.T, id string) (string, bool) {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		resp, err := http.Get(d.base + "/v1/jobs/" + id + "/result")
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			var r encode.Result
+			if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			r.ElapsedSec, r.FlipsPerNs = 0, 0
+			blob, err := json.Marshal(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return string(blob), true
+		case http.StatusNotFound, http.StatusGone:
+			resp.Body.Close()
+			return "", false
+		case http.StatusAccepted:
+			resp.Body.Close()
+		default:
+			resp.Body.Close()
+			t.Fatalf("result of %s returned %d", id, resp.StatusCode)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never finished", id)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestCrashRecoveryKill9 is the crash-only proof with a real process and the
+// one signal that cannot be handled: a daemon loaded with the mixed
+// eight-job fleet is SIGKILLed mid-run — at least one periodic snapshot past
+// the admission records, a stale .tmp dropping planted as the mid-write
+// casualty — and a fresh daemon over the same directory must sweep the
+// dropping, resume every checkpointed job, and deliver results
+// byte-identical to an uninterrupted daemon's. Jobs that lived only in the
+// killed process's memory (completed before the kill, result never read) are
+// recomputed by resubmission: determinism makes that the same bytes.
+func TestCrashRecoveryKill9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real daemons")
+	}
+	bin := buildDaemon(t)
+
+	// Reference: an uninterrupted daemon computes every result.
+	ref := startDaemon(t, bin, t.TempDir())
+	want := make(map[int]string, len(upgradeSpecs))
+	refIDs := make([]string, len(upgradeSpecs))
+	for i, spec := range upgradeSpecs {
+		refIDs[i] = ref.submit(t, spec)
+	}
+	for i, id := range refIDs {
+		want[i] = ref.awaitResult(t, id)
+	}
+	ref.terminate(t)
+
+	// The victim: all eight jobs in flight, killed once the stats show at
+	// least one periodic snapshot checkpoint beyond the eight admission
+	// records — so the restart exercises a genuine mid-run resume, not just
+	// intent-record reruns.
+	ckptDir := t.TempDir()
+	victim := startDaemon(t, bin, ckptDir)
+	ids := make([]string, len(upgradeSpecs))
+	for i, spec := range upgradeSpecs {
+		ids[i] = victim.submit(t, spec)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for victim.stats(t).CheckpointsWritten <= int64(len(upgradeSpecs)) {
+		if time.Now().After(deadline) {
+			t.Fatal("no periodic checkpoint beyond the admission records")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	victim.kill(t)
+
+	// Plant the dropping a kill between write and rename would leave, so the
+	// sweep is deterministically exercised even if the real kill landed
+	// between checkpoints.
+	tmp := filepath.Join(ckptDir, "job-999999.ckpt.tmp")
+	if err := os.WriteFile(tmp, []byte("torn mid-write by SIGKILL"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The replacement daemon over the same directory.
+	neu := startDaemon(t, bin, ckptDir)
+	defer neu.terminate(t)
+	st := neu.stats(t)
+	if st.JobsResumed < 1 || st.JobsResumed > int64(len(upgradeSpecs)) {
+		t.Fatalf("jobs_resumed = %d after kill -9, want 1..%d", st.JobsResumed, len(upgradeSpecs))
+	}
+	if st.CheckpointCorrupt != 0 {
+		t.Fatalf("checkpoint_corrupt = %d: atomic-replace writes must never leave a torn .ckpt", st.CheckpointCorrupt)
+	}
+	if st.CheckpointTmpSwept < 1 {
+		t.Fatalf("checkpoint_tmp_swept = %d, want >=1", st.CheckpointTmpSwept)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("stale temp file survived the restart scan: %v", err)
+	}
+
+	resumed, recomputed := 0, 0
+	for i, id := range ids {
+		got, ok := neu.awaitResultOrGone(t, id)
+		if ok {
+			resumed++
+		} else {
+			// The job died with the process's memory; resubmitting the spec
+			// must recompute the identical bytes.
+			recomputed++
+			got = neu.awaitResult(t, neu.submit(t, upgradeSpecs[i]))
+		}
+		if got != want[i] {
+			t.Errorf("job %s (spec %d) differs after kill -9:\n got %s\nwant %s", id, i, got, want[i])
+		}
+	}
+	t.Logf("kill -9 recovery: %d resumed, %d recomputed", resumed, recomputed)
+
+	// Nothing left to resume once every job finished.
+	leftovers, err := filepath.Glob(filepath.Join(ckptDir, "*.ckpt*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leftovers) != 0 {
+		t.Fatalf("checkpoint files left after all jobs finished: %v", leftovers)
+	}
+}

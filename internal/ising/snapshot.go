@@ -108,6 +108,13 @@ func DecodeSnapshot(data []byte) (*Snapshot, error) {
 	if s.Rows <= 0 || s.Cols <= 0 {
 		return nil, fmt.Errorf("ising: snapshot has invalid lattice size %dx%d", s.Rows, s.Cols)
 	}
+	// Dimensions are attacker-controlled u32s: guard the rows*cols product
+	// against int overflow before any size arithmetic trusts it. (The spin
+	// payload itself was already bounds-checked against the input length, so
+	// a huge claimed size can never allocate — it just fails here.)
+	if s.Rows > (math.MaxInt-7)/s.Cols {
+		return nil, fmt.Errorf("ising: snapshot lattice size %dx%d overflows", s.Rows, s.Cols)
+	}
 	if want := PackedSpinBytes(s.Rows, s.Cols); len(s.Spins) != want {
 		return nil, fmt.Errorf("ising: snapshot has %d spin bytes, want %d for %dx%d", len(s.Spins), want, s.Rows, s.Cols)
 	}

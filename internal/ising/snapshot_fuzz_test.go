@@ -1,0 +1,167 @@
+package ising
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// fuzzSeedSnapshot is a small, fully populated snapshot for the decode
+// hardening tests and the fuzz seed corpus.
+func fuzzSeedSnapshot() *Snapshot {
+	return &Snapshot{
+		Backend: "checkerboard", Rows: 4, Cols: 6, Temperature: 2.3, Step: 17,
+		RNG:   []byte{1, 2, 3, 4, 5, 6, 7, 8},
+		Spins: []byte{0xAA, 0x55, 0xF0},
+	}
+}
+
+// TestDecodeSnapshotTruncated slices a valid encoding at every byte boundary
+// and asserts the decoder returns an error for each proper prefix — never a
+// panic, never a silent success on torn input.
+func TestDecodeSnapshotTruncated(t *testing.T) {
+	full := EncodeSnapshot(fuzzSeedSnapshot())
+	if _, err := DecodeSnapshot(full); err != nil {
+		t.Fatalf("full encoding must decode: %v", err)
+	}
+	for n := 0; n < len(full); n++ {
+		if _, err := DecodeSnapshot(full[:n]); err == nil {
+			t.Errorf("truncation to %d of %d bytes decoded without error", n, len(full))
+		}
+	}
+	// Trailing garbage is as torn as a truncation: the byte count no longer
+	// matches the structure.
+	if _, err := DecodeSnapshot(append(append([]byte(nil), full...), 0x00)); err == nil {
+		t.Error("trailing byte decoded without error")
+	}
+}
+
+// TestDecodeSnapshotOversizedLengths forges length fields far beyond the
+// actual payload — the classic alloc-bomb shape — and asserts the decoder
+// errors without allocating for the claimed size (the bounds check runs
+// before any copy).
+func TestDecodeSnapshotOversizedLengths(t *testing.T) {
+	craft := func(mutate func([]byte) []byte) []byte {
+		return mutate(EncodeSnapshot(fuzzSeedSnapshot()))
+	}
+	cases := map[string][]byte{
+		// Name length u16 maxed: claims a 65535-byte backend name.
+		"name-length": craft(func(b []byte) []byte {
+			binary.LittleEndian.PutUint16(b[8:10], 0xFFFF)
+			return b
+		}),
+		// RNG length u32 maxed: claims a 4 GiB generator state.
+		"rng-length": craft(func(b []byte) []byte {
+			off := 8 + 2 + len("checkerboard") + 4 + 4 + 8 + 8
+			binary.LittleEndian.PutUint32(b[off:off+4], 0xFFFFFFFF)
+			return b
+		}),
+		// Spin length u32 maxed: claims a 4 GiB lattice.
+		"spin-length": craft(func(b []byte) []byte {
+			off := 8 + 2 + len("checkerboard") + 4 + 4 + 8 + 8 + 4 + 8
+			binary.LittleEndian.PutUint32(b[off:off+4], 0xFFFFFFFF)
+			return b
+		}),
+		// Rows and cols both u32-maxed: rows*cols would overflow int64.
+		"dimension-overflow": craft(func(b []byte) []byte {
+			off := 8 + 2 + len("checkerboard")
+			binary.LittleEndian.PutUint32(b[off:off+4], 0xFFFFFFFF)
+			binary.LittleEndian.PutUint32(b[off+4:off+8], 0xFFFFFFFF)
+			return b
+		}),
+	}
+	for name, data := range cases {
+		s, err := DecodeSnapshot(data)
+		if err == nil {
+			t.Errorf("%s: forged input decoded to %+v, want error", name, s)
+		}
+	}
+	// The allocation guard is structural: bytes() bounds-checks the claimed
+	// length against the remaining input before any slice is taken, so the
+	// only allocations on these paths are the error values themselves. Assert
+	// the error mentions what went wrong rather than a generic failure.
+	if _, err := DecodeSnapshot(cases["dimension-overflow"]); err == nil ||
+		!strings.Contains(err.Error(), "truncated") && !strings.Contains(err.Error(), "overflow") {
+		t.Errorf("dimension overflow error unhelpful: %v", err)
+	}
+}
+
+// fuzzDecodeSnapshotSeeds is the committed seed corpus for FuzzDecodeSnapshot
+// (mirrored into testdata/fuzz by TestWriteFuzzCorpus): a valid encoding, its
+// truncations, bare magic, and a forged oversized spin-length field.
+func fuzzDecodeSnapshotSeeds() [][]byte {
+	valid := EncodeSnapshot(fuzzSeedSnapshot())
+	oversized := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(oversized[len(oversized)-4-len(fuzzSeedSnapshot().Spins):], 0xFFFFFFFF)
+	return [][]byte{
+		valid,
+		valid[:len(valid)/2],
+		valid[:9],
+		{},
+		[]byte("ISNAPV1\n"),
+		oversized,
+	}
+}
+
+// TestWriteFuzzCorpus regenerates the committed seed corpus under
+// testdata/fuzz when run with WRITE_FUZZ_CORPUS=1; otherwise it verifies the
+// committed files are exactly the in-code seeds, so the two can never drift.
+func TestWriteFuzzCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecodeSnapshot")
+	write := os.Getenv("WRITE_FUZZ_CORPUS") != ""
+	if write {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, seed := range fuzzDecodeSnapshotSeeds() {
+		path := filepath.Join(dir, fmt.Sprintf("seed-%03d", i))
+		want := "go test fuzz v1\n[]byte(" + strconv.Quote(string(seed)) + ")\n"
+		if write {
+			if err := os.WriteFile(path, []byte(want), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing committed corpus entry (regenerate with WRITE_FUZZ_CORPUS=1): %v", err)
+		}
+		if string(got) != want {
+			t.Errorf("%s drifted from the in-code seed (regenerate with WRITE_FUZZ_CORPUS=1)", path)
+		}
+	}
+}
+
+// FuzzDecodeSnapshot holds the snapshot decoder to "error or valid, never
+// panic": any input either fails cleanly or decodes to a snapshot whose
+// canonical re-encoding reproduces the input byte-for-byte (the codec admits
+// exactly one encoding per snapshot — no malleability).
+func FuzzDecodeSnapshot(f *testing.F) {
+	for _, seed := range fuzzDecodeSnapshotSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeSnapshot(data)
+		if err != nil {
+			return
+		}
+		re := EncodeSnapshot(s)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("decode/encode not canonical:\n in  %x\n out %x", data, re)
+		}
+		s2, err := DecodeSnapshot(re)
+		if err != nil {
+			t.Fatalf("re-encoded snapshot failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(s, s2) {
+			t.Fatalf("decode(encode(s)) != s: %+v vs %+v", s, s2)
+		}
+	})
+}

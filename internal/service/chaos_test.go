@@ -21,10 +21,15 @@ import (
 // counters, no leaked temp files, no lost jobs.
 
 // faultFS is a CheckpointFS that delegates to the real filesystem until a
-// switch flips a primitive into failing — the injectable full disk.
+// switch flips a primitive into failing — the injectable full disk (write
+// side) or rotting disk (read side, for the recovery scan).
 type faultFS struct {
 	failWrite  atomic.Bool
 	failRename atomic.Bool
+	failRead   atomic.Bool
+	// corruptRead, when set, serves the real file contents with one bit
+	// flipped — a read path that silently returns rotten bytes.
+	corruptRead atomic.Bool
 }
 
 func (f *faultFS) WriteFile(path string, data []byte) error {
@@ -34,6 +39,17 @@ func (f *faultFS) WriteFile(path string, data []byte) error {
 	return osFS{}.WriteFile(path, data)
 }
 
+func (f *faultFS) ReadFile(path string) ([]byte, error) {
+	if f.failRead.Load() {
+		return nil, errors.New("faultfs: read error")
+	}
+	blob, err := osFS{}.ReadFile(path)
+	if err == nil && f.corruptRead.Load() && len(blob) > 0 {
+		blob[len(blob)/2] ^= 0x10
+	}
+	return blob, err
+}
+
 func (f *faultFS) Rename(oldPath, newPath string) error {
 	if f.failRename.Load() {
 		return errors.New("faultfs: rename denied")
@@ -41,8 +57,10 @@ func (f *faultFS) Rename(oldPath, newPath string) error {
 	return osFS{}.Rename(oldPath, newPath)
 }
 
-func (f *faultFS) Remove(path string) error { return osFS{}.Remove(path) }
-func (f *faultFS) SyncDir(dir string) error { return osFS{}.SyncDir(dir) }
+func (f *faultFS) ReadDir(dir string) ([]string, error) { return osFS{}.ReadDir(dir) }
+func (f *faultFS) MkdirAll(dir string) error            { return osFS{}.MkdirAll(dir) }
+func (f *faultFS) Remove(path string) error             { return osFS{}.Remove(path) }
+func (f *faultFS) SyncDir(dir string) error             { return osFS{}.SyncDir(dir) }
 
 // fakeClock is an injectable Config.Now for the TTL tests.
 type fakeClock struct {
@@ -61,6 +79,21 @@ func (c *fakeClock) Now() time.Time {
 func (c *fakeClock) Advance(d time.Duration) {
 	c.mu.Lock()
 	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// Rewind moves the clock backwards — the NTP step / VM migration scenario
+// the monotonic clock floor defends against.
+func (c *fakeClock) Rewind(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(-d)
+	c.mu.Unlock()
+}
+
+// Set jumps the clock to an absolute time, in either direction.
+func (c *fakeClock) Set(t0 time.Time) {
+	c.mu.Lock()
+	c.t = t0
 	c.mu.Unlock()
 }
 

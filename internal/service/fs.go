@@ -2,17 +2,27 @@ package service
 
 import "os"
 
-// CheckpointFS is the filesystem the checkpoint store writes through. The
+// CheckpointFS is the filesystem the checkpoint store runs on — both the
+// write path and, since the crash-recovery work, the read/scan path. The
 // server performs its atomic-replace discipline (write a temp file, rename
-// over the target, sync the directory) in terms of these four primitives, so
-// a test can inject a filesystem that fails mid-write — a full disk, a
-// read-only volume — and assert the service fails the job loudly and cleans
-// up its temp file instead of silently dropping resume data. Production code
-// always runs on the real osFS.
+// over the target, sync the directory) and its startup recovery scan (read
+// the directory, load each file, quarantine the corrupt ones) in terms of
+// these primitives, so a test can inject a filesystem that fails mid-write
+// — a full disk, a read-only volume — or serves torn/corrupt bytes on read,
+// and assert the service degrades the documented way: loud failures on
+// write, quarantine-never-panic on read. Production code always runs on the
+// real osFS.
 type CheckpointFS interface {
 	// WriteFile creates or truncates path, writes data and syncs it to
 	// stable storage before returning.
 	WriteFile(path string, data []byte) error
+	// ReadFile returns the file's contents.
+	ReadFile(path string) ([]byte, error)
+	// ReadDir lists the names of the plain files in dir (subdirectories —
+	// the quarantine — are not files to recover, so they are omitted).
+	ReadDir(dir string) ([]string, error)
+	// MkdirAll creates dir and any missing parents (a no-op when it exists).
+	MkdirAll(dir string) error
 	// Rename atomically replaces newPath with oldPath.
 	Rename(oldPath, newPath string) error
 	// Remove deletes path (missing files are not an error for callers that
@@ -43,6 +53,25 @@ func (osFS) WriteFile(path string, data []byte) error {
 	}
 	return err
 }
+
+func (osFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	return names, nil
+}
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
 
 func (osFS) Rename(oldPath, newPath string) error { return os.Rename(oldPath, newPath) }
 

@@ -101,12 +101,14 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 
 // getJob resolves the {id} path value, writing the error itself: 410 (Gone)
 // for a job the history retention evicted — the client should resubmit the
-// spec for a cache hit, not retry the poll — and 404 for an ID this server
-// never issued.
+// spec for a cache hit, not retry the poll — 410 with the distinct
+// corruption message for a job whose checkpoint was quarantined at startup
+// (resubmit to recompute; the ID itself is lost), and 404 for an ID this
+// server never issued.
 func (s *Server) getJob(w http.ResponseWriter, r *http.Request) (*Job, bool) {
 	j, err := s.Get(r.PathValue("id"))
 	switch {
-	case errors.Is(err, ErrJobExpired):
+	case errors.Is(err, ErrJobExpired) || errors.Is(err, ErrJobCorrupt):
 		writeError(w, http.StatusGone, err)
 		return nil, false
 	case err != nil:

@@ -49,6 +49,12 @@ type Job struct {
 	cancel context.CancelCauseFunc
 	now    func() time.Time // the server's clock, for finishedAt
 
+	// admittedAt is the job's admission wall-clock stamp. It is persisted in
+	// every checkpoint and restored on resume, so age accounting survives a
+	// restart even when the host's wall clock does not move forward with it.
+	// Written at construction/resume only, before the job is visible.
+	admittedAt time.Time
+
 	// resume carries the checkpoint the job restarts from (nil for fresh
 	// jobs); it is read once by the worker.
 	resume *checkpointState
@@ -103,7 +109,7 @@ func newJob(id string, spec JobSpec, history int, now func() time.Time) *Job {
 	}
 	return &Job{
 		id: id, spec: spec, key: spec.CacheKey(), history: history,
-		ctx: ctx, cancel: cancel, now: now,
+		ctx: ctx, cancel: cancel, now: now, admittedAt: now(),
 		state:    StateQueued,
 		streamed: make(chan struct{}),
 		done:     make(chan struct{}),

@@ -33,6 +33,8 @@ var promMetrics = []promMetric{
 	{"isingd_checkpoints_written_total", "counter", "Checkpoint files written (snapshots and intent records).", func(s Stats) int64 { return s.CheckpointsWritten }},
 	{"isingd_checkpoint_bytes_total", "counter", "Bytes of checkpoint data written.", func(s Stats) int64 { return s.CheckpointBytes }},
 	{"isingd_checkpoint_failures_total", "counter", "Checkpoint writes that failed (the job fails loudly with them).", func(s Stats) int64 { return s.CheckpointFailures }},
+	{"isingd_checkpoint_corrupt_total", "counter", "Checkpoint files quarantined by the startup scan (unreadable, torn or checksum-failing).", func(s Stats) int64 { return s.CheckpointCorrupt }},
+	{"isingd_checkpoint_tmp_swept_total", "counter", "Stale checkpoint temp files swept by the startup scan (kill mid-write droppings).", func(s Stats) int64 { return s.CheckpointTmpSwept }},
 	{"isingd_stream_wakeups_total", "counter", "NDJSON stream loop iterations across all subscribers.", func(s Stats) int64 { return s.StreamWakeups }},
 	{"isingd_cache_misses_total", "counter", "Result-cache lookups that found nothing.", func(s Stats) int64 { return s.CacheMisses }},
 	{"isingd_cache_evictions_total", "counter", "Result-cache entries evicted by the size, byte or TTL bounds.", func(s Stats) int64 { return s.CacheEvictions }},

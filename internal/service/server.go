@@ -76,12 +76,15 @@ type Config struct {
 	// Samples beyond it are counted, not stored; a stream of such a job ends
 	// with exactly one Truncated bookkeeping line.
 	SampleHistory int
-	// CheckpointFS is the filesystem checkpoint writes go through (nil = the
-	// real one). Tests inject failing filesystems to exercise the
-	// full-disk paths.
+	// CheckpointFS is the filesystem all checkpoint I/O goes through — writes
+	// AND the startup recovery scan (nil = the real one). Tests inject
+	// failing filesystems to exercise the full-disk paths and corrupt-read
+	// recovery.
 	CheckpointFS CheckpointFS
 	// Now is the server's clock (nil = time.Now). Tests inject fake clocks
-	// to drive the TTL paths deterministically.
+	// to drive the TTL and skew paths deterministically. The server clamps
+	// it monotonic: if Now jumps backwards, server time holds still until
+	// the wall clock catches up, so TTLs pause rather than rewind.
 	Now func() time.Time
 }
 
@@ -130,6 +133,13 @@ var (
 	// ErrUnknownJob so a client can tell "poll less lazily" (410) from
 	// "wrong ID" (404). The job's result may still be one cache hit away.
 	ErrJobExpired = errors.New("service: job status expired (evicted by history retention)")
+	// ErrJobCorrupt means the job's checkpoint failed validation during the
+	// startup recovery scan and was quarantined: the job is lost to
+	// corruption. Deliberately distinct from ErrJobExpired — "the daemon shed
+	// old state on schedule" and "the disk ate your job" demand different
+	// reactions — though both answer 410: the ID is gone for good, and
+	// resubmitting the spec recomputes the result deterministically.
+	ErrJobCorrupt = errors.New("service: job lost to checkpoint corruption (file quarantined)")
 )
 
 // Cancellation causes distinguishing a client cancel from a daemon shutdown.
@@ -174,6 +184,20 @@ type Server struct {
 	clientQueued  map[string]int
 	clientRunning map[string]int
 
+	// corruptJobs holds the IDs of jobs whose checkpoint files failed the
+	// startup scan and were quarantined, guarded by mu. Get answers
+	// ErrJobCorrupt for them — the corruption taxonomy, distinct from TTL
+	// eviction. Bounded by the number of corrupt files found at startup.
+	corruptJobs map[string]bool
+
+	// nowFloor is the monotonic clock floor in Unix nanoseconds: the largest
+	// timestamp now() has returned (or resumed from a checkpoint's persisted
+	// admission time). When Config.Now jumps backwards — NTP step, a restart
+	// on a skewed host — now() holds at the floor instead of following, so
+	// ages never go negative, expired state is never revived, and TTLs
+	// simply pause until the wall clock catches up.
+	nowFloor atomic.Int64
+
 	closing chan struct{} // closed by Close; ends long-lived streams and the janitor
 	wg      sync.WaitGroup
 
@@ -192,10 +216,42 @@ type Server struct {
 	checkpointsWritten  atomic.Int64
 	checkpointBytes     atomic.Int64
 	checkpointFailures  atomic.Int64
+	checkpointCorrupt   atomic.Int64
+	checkpointTmpSwept  atomic.Int64
 	streamWakeups       atomic.Int64
 	quotaRejections     atomic.Int64
 	queueFullRejections atomic.Int64
 	workerPanics        atomic.Int64
+}
+
+// now is the server's clock: Config.Now clamped to never run backwards (see
+// nowFloor). Every time-accounting path — TTLs, admission stamps, janitor
+// sweeps — reads it instead of Config.Now directly.
+func (s *Server) now() time.Time {
+	t := s.cfg.Now()
+	n := t.UnixNano()
+	for {
+		prev := s.nowFloor.Load()
+		if n <= prev {
+			return time.Unix(0, prev)
+		}
+		if s.nowFloor.CompareAndSwap(prev, n) {
+			return t
+		}
+	}
+}
+
+// advanceNowFloor raises the monotonic clock floor to at least the given
+// Unix-nanosecond timestamp (no-op for older ones). Resume calls it with
+// persisted admission times so clock skew across a restart cannot rewind
+// the daemon behind state it already holds.
+func (s *Server) advanceNowFloor(unixNano int64) {
+	for {
+		prev := s.nowFloor.Load()
+		if unixNano <= prev || s.nowFloor.CompareAndSwap(prev, unixNano) {
+			return
+		}
+	}
 }
 
 // Stats is the server's counter snapshot (GET /v1/stats). SweepsRun counts
@@ -217,6 +273,11 @@ type Stats struct {
 	CheckpointsWritten int64 `json:"checkpoints_written"`
 	CheckpointBytes    int64 `json:"checkpoint_bytes"`
 	CheckpointFailures int64 `json:"checkpoint_failures"`
+	// CheckpointCorrupt counts checkpoint files quarantined by the startup
+	// scan (unreadable, torn or checksum-failing); CheckpointTmpSwept counts
+	// stale atomic-write temp files swept by it.
+	CheckpointCorrupt  int64 `json:"checkpoint_corrupt"`
+	CheckpointTmpSwept int64 `json:"checkpoint_tmp_swept"`
 	StreamWakeups      int64 `json:"stream_wakeups"`
 	// CacheMisses and CacheEvictions complete the cache picture next to the
 	// JobsCached hit counter; CacheBytes is the current encoded size of every
@@ -246,13 +307,14 @@ func New(cfg Config) (*Server, []error) {
 		cache:         newResultCache(cfg.CacheSize, cfg.CacheBytes, cfg.CacheTTL),
 		clientQueued:  make(map[string]int),
 		clientRunning: make(map[string]int),
+		corruptJobs:   make(map[string]bool),
 		closing:       make(chan struct{}),
 	}
 	s.queueCond = sync.NewCond(&s.mu)
 	var states []*checkpointState
 	var skipped []error
 	if s.cfg.CheckpointDir != "" {
-		states, skipped = scanCheckpoints(s.cfg.CheckpointDir)
+		states, skipped = s.scanCheckpoints()
 	}
 	for i := 0; i < s.cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -294,7 +356,7 @@ func (s *Server) janitor() {
 		case <-ticker.C:
 			s.pruneJobs()
 			s.mu.Lock()
-			s.cache.pruneExpired(s.cfg.Now())
+			s.cache.pruneExpired(s.now())
 			s.mu.Unlock()
 		}
 	}
@@ -319,8 +381,8 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		s.mu.Unlock()
 		return nil, ErrClosed
 	}
-	j := newJob(s.newIDLocked(), norm, s.cfg.SampleHistory, s.cfg.Now)
-	if cached, ok := s.cache.get(j.key, s.cfg.Now()); ok {
+	j := newJob(s.newIDLocked(), norm, s.cfg.SampleHistory, s.now)
+	if cached, ok := s.cache.get(j.key, s.now()); ok {
 		s.addJobLocked(j)
 		s.mu.Unlock()
 		s.jobsSubmitted.Add(1)
@@ -383,7 +445,12 @@ func (s *Server) resume(cs *checkpointState) error {
 		s.mu.Unlock()
 		return fmt.Errorf("service: duplicate checkpoint for job %s", cs.Job)
 	}
-	j := newJob(cs.Job, cs.Spec, s.cfg.SampleHistory, s.cfg.Now)
+	j := newJob(cs.Job, cs.Spec, s.cfg.SampleHistory, s.now)
+	// Keep the original admission stamp across the restart and fold it into
+	// the clock floor: a wall clock that went backwards over the restart must
+	// not make resumed state look younger than work admitted after it.
+	j.admittedAt = admittedAtOrNow(cs.AdmittedAt, s.now)
+	s.advanceNowFloor(cs.AdmittedAt)
 	if len(cs.Snapshot) > 0 {
 		j.resume = cs
 		j.sweepsDone = cs.DoneSweeps
@@ -490,6 +557,9 @@ func (s *Server) Get(id string) (*Job, error) {
 	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
 	if !ok {
+		if s.corruptJobs[id] {
+			return nil, fmt.Errorf("%w: %s", ErrJobCorrupt, id)
+		}
 		if n, err := strconv.Atoi(strings.TrimPrefix(id, "job-")); err == nil &&
 			strings.HasPrefix(id, "job-") && n >= 1 && n <= s.nextID {
 			return nil, fmt.Errorf("%w: %s", ErrJobExpired, id)
@@ -543,6 +613,8 @@ func (s *Server) Stats() Stats {
 		CheckpointsWritten:  s.checkpointsWritten.Load(),
 		CheckpointBytes:     s.checkpointBytes.Load(),
 		CheckpointFailures:  s.checkpointFailures.Load(),
+		CheckpointCorrupt:   s.checkpointCorrupt.Load(),
+		CheckpointTmpSwept:  s.checkpointTmpSwept.Load(),
 		StreamWakeups:       s.streamWakeups.Load(),
 		QuotaRejections:     s.quotaRejections.Load(),
 		QueueFullRejections: s.queueFullRejections.Load(),
@@ -627,7 +699,7 @@ func (s *Server) pruneJobs() {
 	if limit < 0 && ttl <= 0 {
 		return
 	}
-	now := s.cfg.Now()
+	now := s.now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	expired := func(j *Job) bool {
@@ -675,7 +747,7 @@ func (s *Server) pruneJobs() {
 func (s *Server) storeResult(key string, r *encode.Result) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.cache.put(key, r, s.cfg.Now())
+	s.cache.put(key, r, s.now())
 }
 
 // runProtected executes one job, converting a worker panic — a backend bug,

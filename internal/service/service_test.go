@@ -553,8 +553,8 @@ func TestResumeBurstBeyondQueueDepth(t *testing.T) {
 			t.Fatal(err)
 		}
 		id := fmt.Sprintf("job-%06d", i)
-		blob, err := json.Marshal(checkpointState{
-			Version: checkpointVersion, Job: id, Spec: spec, DoneSweeps: done,
+		blob, err := encodeCheckpoint(&checkpointState{
+			Job: id, Spec: spec, DoneSweeps: done,
 			AbsM: absAcc.State(), Energy: eAcc.State(),
 			Snapshot: ising.EncodeSnapshot(snap),
 		})

@@ -71,9 +71,13 @@ type JobSpec struct {
 	Client string `json:"client,omitempty"`
 	// Priority orders the queue: 0 (default) to MaxPriority, higher first,
 	// FIFO within a priority. A stream of high-priority jobs can starve
-	// lower priorities by design — per-client quotas bound the damage. Like
-	// Client, it schedules the job without changing its result, so it is NOT
-	// part of the cache identity.
+	// lower priorities by design — per-client quotas bound the damage: the
+	// dequeue skips clients at their MaxRunningPerClient cap, so one client
+	// flooding priority-9 jobs cannot hold more workers than its cap while
+	// a quiet client's priority-0 job runs on the rest (pinned by
+	// TestQuotaFairnessUnderStarvationFlood). Like Client, it schedules the
+	// job without changing its result, so it is NOT part of the cache
+	// identity.
 	Priority int `json:"priority,omitempty"`
 }
 
