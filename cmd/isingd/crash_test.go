@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"tpuising/internal/service"
 	"tpuising/internal/service/encode"
 )
 
@@ -61,6 +62,30 @@ func (d *daemon) awaitResultOrGone(t *testing.T, id string) (string, bool) {
 			t.Fatalf("job %s never finished", id)
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// trace fetches a job's lifecycle timeline; ok=false when the daemon never
+// heard of the job (it lived only in a killed predecessor's memory).
+func (d *daemon) trace(t *testing.T, id string) (service.JobTrace, bool) {
+	t.Helper()
+	resp, err := http.Get(d.base + "/v1/jobs/" + id + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var tr service.JobTrace
+		if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+			t.Fatal(err)
+		}
+		return tr, true
+	case http.StatusNotFound, http.StatusGone:
+		return service.JobTrace{}, false
+	default:
+		t.Fatalf("trace of %s returned %d", id, resp.StatusCode)
+		panic("unreachable")
 	}
 }
 
@@ -133,6 +158,32 @@ func TestCrashRecoveryKill9(t *testing.T) {
 	}
 	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
 		t.Fatalf("stale temp file survived the restart scan: %v", err)
+	}
+
+	// Every job the replacement daemon knows about must carry a `resumed`
+	// trace event — the timeline survives SIGKILL because it is rebuilt from
+	// the durable checkpoint, not replayed from the dead process's memory —
+	// and the resumed-trace count must agree with the jobs_resumed counter.
+	tracedResumes := 0
+	for _, id := range ids {
+		tr, ok := neu.trace(t, id)
+		if !ok {
+			continue
+		}
+		hasResumed := false
+		for _, ev := range tr.Events {
+			hasResumed = hasResumed || ev.Event == service.EventResumed
+		}
+		if !hasResumed {
+			t.Errorf("job %s survived the kill without a resumed trace event: %+v", id, tr.Events)
+		}
+		if tr.Events[0].Event != service.EventSubmitted {
+			t.Errorf("job %s trace opens with %s, want submitted", id, tr.Events[0].Event)
+		}
+		tracedResumes++
+	}
+	if int64(tracedResumes) != st.JobsResumed {
+		t.Errorf("%d resumed traces vs jobs_resumed %d", tracedResumes, st.JobsResumed)
 	}
 
 	resumed, recomputed := 0, 0

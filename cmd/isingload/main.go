@@ -11,8 +11,15 @@
 //	isingload [-addr http://localhost:8765] [-duration 5s]
 //	          [-submitters 16] [-subscribers 8] [-cancel-every 0] [-clients 0]
 //	          [-backend multispin] [-rows 64] [-sweeps 400] [-interval 50]
-//	          [-seeds 0] [-thresholds "submit_p95_ms<250,error_rate<0.01"]
+//	          [-seeds 0] [-thresholds "submit_p95_ms<250,queue_wait_p95_ms<100"]
 //	          [-bench 6] [-out BENCH_6.json] [-host] [-hostsize 256] [-hostsweeps 5]
+//	          [-profile cpu.pprof] [-profile-seconds 0] [-debug-addr localhost:6060]
+//
+// Thresholds may also gate the server-side stage quantiles (queue_wait_p95_ms,
+// run_p95_ms, checkpoint_write_p95_ms, stream_write_p95_ms), reconstructed
+// from the daemon's Prometheus histogram bucket deltas. -profile captures a
+// CPU profile of the daemon during the run: in-process when self-hosting,
+// via the daemon's -debug-addr pprof listener when driving a remote one.
 //
 // With no -addr, isingload boots an in-process daemon on a loopback port
 // (flags -workers and -queue shape it) and load-tests that — the same
@@ -28,11 +35,13 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -91,6 +100,9 @@ func run(args []string, out *os.File) error {
 	hostSweeps := fs.Int("hostsweeps", 5, "host-measurement timed sweeps per engine")
 	workers := fs.Int("workers", runtime.NumCPU(), "in-process daemon worker pool (only without -addr)")
 	queue := fs.Int("queue", 256, "in-process daemon queue depth (only without -addr)")
+	profilePath := fs.String("profile", "", "capture a CPU profile of the daemon during the run into this file (pprof format)")
+	profileSecs := fs.Int("profile-seconds", 0, "remote profile capture length in seconds (0 = the -duration, rounded up; only with -addr)")
+	debugURL := fs.String("debug-addr", "", "the daemon's -debug-addr (host:port or URL) to fetch remote profiles from (required for -profile with -addr)")
 	fs.Parse(args)
 
 	ths, err := load.ParseThresholds(*thresholds)
@@ -122,10 +134,50 @@ func run(args []string, out *os.File) error {
 			Sweeps: *sweeps, SampleInterval: *interval, Seed: 1,
 		},
 	}
+	// -profile captures the DAEMON's CPU during the load run: in-process for
+	// a self-hosted daemon (same process, runtime/pprof), over the daemon's
+	// -debug-addr pprof listener for a remote one — concurrent with the
+	// scenario, so the profile covers the loaded interval.
+	var finishProfile func() error
+	if *profilePath != "" {
+		secs := *profileSecs
+		if secs <= 0 {
+			secs = int((*duration + time.Second - 1) / time.Second)
+		}
+		if *addr == "" {
+			f, err := os.Create(*profilePath)
+			if err != nil {
+				return err
+			}
+			if err := pprof.StartCPUProfile(f); err != nil {
+				f.Close()
+				return err
+			}
+			finishProfile = func() error {
+				pprof.StopCPUProfile()
+				return f.Close()
+			}
+		} else {
+			if *debugURL == "" {
+				return fmt.Errorf("-profile with -addr needs -debug-addr (the daemon's pprof listener)")
+			}
+			profc := make(chan error, 1)
+			go func() { profc <- fetchProfile(*debugURL, *profilePath, secs) }()
+			finishProfile = func() error { return <-profc }
+		}
+		log.Printf("capturing CPU profile (%ds) into %s", secs, *profilePath)
+	}
+
 	log.Printf("driving %s: %d submitters + %d subscribers for %v", baseURL, *submitters, *subscribers, *duration)
 	report, err := sc.Run(context.Background())
 	if err != nil {
 		return err
+	}
+	if finishProfile != nil {
+		if err := finishProfile(); err != nil {
+			return fmt.Errorf("capturing CPU profile: %w", err)
+		}
+		log.Printf("wrote %s", *profilePath)
 	}
 	fmt.Fprint(out, report.Text())
 
@@ -179,6 +231,36 @@ func run(args []string, out *os.File) error {
 		return errThresholds{failed: failed}
 	}
 	return nil
+}
+
+// fetchProfile downloads a CPU profile from a daemon's -debug-addr pprof
+// listener into path. The server itself runs the capture for secs seconds, so
+// the HTTP client allows that long plus slack.
+func fetchProfile(debugAddr, path string, secs int) error {
+	base := debugAddr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	url := fmt.Sprintf("%s/debug/pprof/profile?seconds=%d", strings.TrimRight(base, "/"), secs)
+	client := &http.Client{Timeout: time.Duration(secs+30) * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s returned %d: %s", url, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(f, resp.Body); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // selfHost boots the service behind a real loopback HTTP listener and

@@ -1,0 +1,96 @@
+package hist
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestCumulative(t *testing.T) {
+	h := New()
+	for _, d := range []time.Duration{
+		200 * time.Microsecond,
+		2 * time.Millisecond,
+		2 * time.Millisecond,
+		40 * time.Millisecond,
+		2 * time.Second,
+	} {
+		h.Observe(d)
+	}
+	bounds := []float64{0.001, 0.01, 0.1, 1}
+	counts, n, sum := h.Cumulative(bounds)
+	if n != 5 {
+		t.Fatalf("count = %d, want 5", n)
+	}
+	// Cumulative counts at each bound: the 2s observation lives only in the
+	// implicit +Inf bucket the exposition layer appends.
+	want := []int64{1, 3, 4, 4}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Errorf("counts[le=%g] = %d, want %d", bounds[i], counts[i], want[i])
+		}
+	}
+	// The sum is exact (tracked as a duration), not bucket-approximated.
+	if wantSum := 2.0442; math.Abs(sum-wantSum) > 1e-9 {
+		t.Errorf("sum = %g, want %g", sum, wantSum)
+	}
+}
+
+func TestQuantileFromBucketsInterpolates(t *testing.T) {
+	// All 10 observations in the (1, 2] bucket: the median interpolates
+	// linearly to the bucket midpoint, exactly as PromQL histogram_quantile.
+	bounds := []float64{1, 2, 4}
+	cumulative := []float64{0, 10, 10}
+	if got := QuantileFromBuckets(bounds, cumulative, 10, 0.5); got != 1.5 {
+		t.Errorf("p50 = %g, want 1.5", got)
+	}
+	if got := QuantileFromBuckets(bounds, cumulative, 10, 1.0); got != 2 {
+		t.Errorf("p100 = %g, want 2", got)
+	}
+}
+
+func TestQuantileFromBucketsEdges(t *testing.T) {
+	inf := math.Inf(1)
+	// A quantile landing in the +Inf bucket reports the last finite bound.
+	if got := QuantileFromBuckets([]float64{1, inf}, []float64{0, 10}, 10, 0.99); got != 1 {
+		t.Errorf("+Inf landing = %g, want 1 (last finite bound)", got)
+	}
+	// Observations beyond every listed bound clamp to the last finite bound.
+	if got := QuantileFromBuckets([]float64{1, 2}, []float64{0, 0}, 10, 0.5); got != 2 {
+		t.Errorf("beyond-all-bounds = %g, want 2", got)
+	}
+	// Empty interval and shape mismatches are 0, not a panic.
+	if got := QuantileFromBuckets([]float64{1}, []float64{0}, 0, 0.5); got != 0 {
+		t.Errorf("empty = %g, want 0", got)
+	}
+	if got := QuantileFromBuckets([]float64{1, 2}, []float64{1}, 5, 0.5); got != 0 {
+		t.Errorf("mismatched shapes = %g, want 0", got)
+	}
+}
+
+// TestCumulativeQuantileRoundTrip closes the loop the load harness exercises
+// over HTTP: render a histogram as Prometheus buckets, reconstruct the
+// quantile from the scraped counts, and agree with the histogram's own
+// quantile to the exposed bucket width.
+func TestCumulativeQuantileRoundTrip(t *testing.T) {
+	h := New()
+	for i := 1; i <= 500; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	counts, n, _ := h.Cumulative(DefaultBuckets)
+	bounds := append(append([]float64(nil), DefaultBuckets...), math.Inf(1))
+	cumulative := make([]float64, len(bounds))
+	for i, c := range counts {
+		cumulative[i] = float64(c)
+	}
+	cumulative[len(cumulative)-1] = float64(n)
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		direct := h.Quantile(q).Seconds()
+		scraped := QuantileFromBuckets(bounds, cumulative, float64(n), q)
+		// The scraped estimate is coarser (16 bounds vs 192 internal
+		// buckets); they must land in the same neighborhood, not diverge.
+		if scraped < direct/2.6 || scraped > direct*2.6 {
+			t.Errorf("q%.2f: scraped %gs vs direct %gs — beyond one exposed bucket", q, scraped, direct)
+		}
+	}
+}

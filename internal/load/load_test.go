@@ -38,6 +38,68 @@ isingd_cache_bytes 1.5e+03
 	}
 }
 
+func TestParsePromTextLabelled(t *testing.T) {
+	const text = `# TYPE isingd_queue_wait_seconds histogram
+isingd_queue_wait_seconds_bucket{le="0.25"} 3
+isingd_queue_wait_seconds_bucket{le="+Inf"} 5
+isingd_queue_wait_seconds_sum 1.5
+isingd_queue_wait_seconds_count 5
+isingd_build_info{version="dev",goversion="go1.24"} 1
+`
+	m, err := parsePromText(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Labelled samples key verbatim — labels and all — which is what the
+	// bucket-delta quantile math looks up.
+	for key, want := range map[string]float64{
+		`isingd_queue_wait_seconds_bucket{le="0.25"}`:         3,
+		`isingd_queue_wait_seconds_bucket{le="+Inf"}`:         5,
+		"isingd_queue_wait_seconds_count":                     5,
+		`isingd_build_info{version="dev",goversion="go1.24"}`: 1,
+	} {
+		if m[key] != want {
+			t.Errorf("m[%s] = %g, want %g", key, m[key], want)
+		}
+	}
+	// An unknown # TYPE is an error — the CI smoke asserts the daemon's
+	// exposition contains only types this parser interprets.
+	if _, err := parsePromText(strings.NewReader("# TYPE foo summary\nfoo 1\n")); err == nil {
+		t.Error("unknown TYPE parsed, want error")
+	}
+	// A labelled sample with trailing junk is malformed, not two samples.
+	if _, err := parsePromText(strings.NewReader(`x_bucket{le="1"} 2 3` + "\n")); err == nil {
+		t.Error("labelled line with trailing junk parsed, want error")
+	}
+}
+
+func TestHistQuantileDelta(t *testing.T) {
+	scrape := func(le1, le2, inf, count float64) map[string]float64 {
+		return map[string]float64{
+			`h_bucket{le="1"}`:    le1,
+			`h_bucket{le="2"}`:    le2,
+			`h_bucket{le="+Inf"}`: inf,
+			"h_count":             count,
+		}
+	}
+	// Only the interval between the scrapes counts: the 90 pre-existing
+	// observations under le=1 subtract out, leaving 10 in (1, 2] whose
+	// median interpolates to 1.5s.
+	before := scrape(90, 90, 90, 90)
+	after := scrape(90, 100, 100, 100)
+	if got := histQuantileDelta(before, after, "h", 0.5); got != 1.5 {
+		t.Errorf("p50 delta = %g, want 1.5", got)
+	}
+	// A histogram absent from the scrape, or one that recorded nothing
+	// during the interval, reads 0 — thresholds over it stay evaluable.
+	if got := histQuantileDelta(before, after, "absent", 0.5); got != 0 {
+		t.Errorf("absent histogram = %g, want 0", got)
+	}
+	if got := histQuantileDelta(after, after, "h", 0.5); got != 0 {
+		t.Errorf("idle interval = %g, want 0", got)
+	}
+}
+
 func TestHistogramQuantiles(t *testing.T) {
 	h := NewHistogram()
 	for i := 1; i <= 1000; i++ {

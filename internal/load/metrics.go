@@ -1,132 +1,18 @@
 package load
 
-import (
-	"math"
-	"sync"
-	"time"
-)
+import "tpuising/internal/hist"
 
-// Histogram bucket layout: geometric buckets from histMinUS microseconds
-// growing by histGrowth per bucket, so every recorded latency lands in a
-// bucket within ~6% of its true value (half the 12% bucket width) — the
-// HDR-histogram trade k6's trend metrics make, without keeping every sample.
-const (
-	histMinUS  = 1.0  // lower edge of bucket 0, in microseconds
-	histGrowth = 1.12 // relative bucket width
-	histCount  = 192  // covers past 10 minutes
+// The log-bucketed latency histogram was born here measuring client-side
+// request latencies; it moved to internal/hist when the service grew
+// server-side stage histograms so both ends of the wire bucket latencies
+// identically. These aliases keep the load API (and the BENCH snapshot
+// schema, which embeds LatencySummary) unchanged.
+type (
+	// Histogram is a concurrency-safe log-bucketed latency histogram.
+	Histogram = hist.Histogram
+	// LatencySummary is the JSON quantile rendering of a histogram.
+	LatencySummary = hist.LatencySummary
 )
-
-// Histogram is a concurrency-safe log-bucketed latency histogram.
-// The zero value is not ready; use NewHistogram.
-type Histogram struct {
-	mu     sync.Mutex
-	counts [histCount]int64
-	n      int64
-	sum    time.Duration
-	max    time.Duration
-}
 
 // NewHistogram returns an empty histogram.
-func NewHistogram() *Histogram { return &Histogram{} }
-
-// bucketIndex maps a latency to its bucket.
-func bucketIndex(d time.Duration) int {
-	us := float64(d) / float64(time.Microsecond)
-	if us < histMinUS {
-		return 0
-	}
-	i := int(math.Log(us/histMinUS) / math.Log(histGrowth))
-	if i >= histCount {
-		i = histCount - 1
-	}
-	return i
-}
-
-// bucketValue is the representative latency of a bucket: its log-space
-// midpoint.
-func bucketValue(i int) time.Duration {
-	us := histMinUS * math.Pow(histGrowth, float64(i)+0.5)
-	return time.Duration(us * float64(time.Microsecond))
-}
-
-// Observe records one latency.
-func (h *Histogram) Observe(d time.Duration) {
-	if d < 0 {
-		d = 0
-	}
-	i := bucketIndex(d)
-	h.mu.Lock()
-	h.counts[i]++
-	h.n++
-	h.sum += d
-	if d > h.max {
-		h.max = d
-	}
-	h.mu.Unlock()
-}
-
-// Count returns the number of recorded latencies.
-func (h *Histogram) Count() int64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.n
-}
-
-// Quantile returns the q-quantile (0 < q <= 1) of the recorded latencies,
-// accurate to the bucket width; 0 when nothing was recorded. The true
-// maximum is reported exactly.
-func (h *Histogram) Quantile(q float64) time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.quantileLocked(q)
-}
-
-func (h *Histogram) quantileLocked(q float64) time.Duration {
-	if h.n == 0 {
-		return 0
-	}
-	rank := int64(math.Ceil(q * float64(h.n)))
-	if rank < 1 {
-		rank = 1
-	}
-	var seen int64
-	for i, c := range h.counts {
-		seen += c
-		if seen >= rank {
-			v := bucketValue(i)
-			if v > h.max {
-				return h.max
-			}
-			return v
-		}
-	}
-	return h.max
-}
-
-// LatencySummary is the JSON rendering of a histogram: the fields every
-// BENCH snapshot and threshold check consumes, in milliseconds.
-type LatencySummary struct {
-	Count  int64   `json:"count"`
-	MeanMs float64 `json:"mean_ms"`
-	P50Ms  float64 `json:"p50_ms"`
-	P95Ms  float64 `json:"p95_ms"`
-	P99Ms  float64 `json:"p99_ms"`
-	MaxMs  float64 `json:"max_ms"`
-}
-
-// Summary extracts the snapshot quantiles.
-func (h *Histogram) Summary() LatencySummary {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	s := LatencySummary{Count: h.n, MaxMs: ms(h.max)}
-	if h.n > 0 {
-		s.MeanMs = ms(h.sum / time.Duration(h.n))
-		s.P50Ms = ms(h.quantileLocked(0.50))
-		s.P95Ms = ms(h.quantileLocked(0.95))
-		s.P99Ms = ms(h.quantileLocked(0.99))
-	}
-	return s
-}
-
-// ms converts a duration to float milliseconds.
-func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+func NewHistogram() *Histogram { return hist.New() }

@@ -4,35 +4,105 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
+
+	"tpuising/internal/hist"
 )
 
+// promTypes is the vocabulary of # TYPE declarations the parser accepts —
+// exactly what isingd emits. An unknown type is an error, not a skip: the
+// scrape feeds the threshold gate, and a sample whose type we cannot
+// interpret would silently fall out of the quantile math. The CI load smoke
+// relies on this to assert the daemon's exposition contains zero
+// unknown-type lines.
+var promTypes = map[string]bool{"counter": true, "gauge": true, "histogram": true}
+
 // parsePromText parses the subset of the Prometheus text exposition format
-// isingd emits — unlabelled `name value` samples with # HELP/# TYPE comment
-// lines — into a flat name → value map. A malformed sample line is an error:
-// the scrape feeds the threshold gate, and a silently dropped metric would
-// read as "the counter never moved".
+// isingd emits — `name value` and `name{labels} value` samples with
+// # HELP/# TYPE comment lines — into a flat map. Labelled samples are keyed
+// verbatim (`isingd_queue_wait_seconds_bucket{le="0.25"}`), which is all the
+// delta and quantile math needs. A malformed sample line or an unknown # TYPE
+// is an error: a silently dropped metric would read as "the counter never
+// moved".
 func parsePromText(r io.Reader) (map[string]float64, error) {
 	out := make(map[string]float64)
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
+		if line == "" {
 			continue
 		}
-		fields := strings.Fields(line)
-		if len(fields) != 2 {
-			return nil, fmt.Errorf("load: malformed metrics line %q", line)
+		if strings.HasPrefix(line, "#") {
+			if fields := strings.Fields(line); len(fields) >= 4 && fields[1] == "TYPE" {
+				if !promTypes[fields[3]] {
+					return nil, fmt.Errorf("load: unknown metric type %q in line %q", fields[3], line)
+				}
+			}
+			continue
 		}
-		v, err := strconv.ParseFloat(fields[1], 64)
+		key, val := line, ""
+		if open := strings.IndexByte(line, '{'); open > 0 {
+			// A labelled sample: the key runs through the matching final '}';
+			// exactly one value field follows.
+			end := strings.LastIndexByte(line, '}')
+			if end < open {
+				return nil, fmt.Errorf("load: malformed metrics line %q", line)
+			}
+			key, val = line[:end+1], strings.TrimSpace(line[end+1:])
+			if strings.ContainsAny(val, " \t") {
+				return nil, fmt.Errorf("load: malformed metrics line %q", line)
+			}
+		} else {
+			fields := strings.Fields(line)
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("load: malformed metrics line %q", line)
+			}
+			key, val = fields[0], fields[1]
+		}
+		v, err := strconv.ParseFloat(val, 64)
 		if err != nil {
 			return nil, fmt.Errorf("load: metrics line %q: %w", line, err)
 		}
-		out[fields[0]] = v
+		out[key] = v
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// histQuantileDelta reconstructs the q-quantile, in seconds, of a scraped
+// Prometheus histogram over the interval between two scrapes: bucket counts
+// after minus before, fed through hist.QuantileFromBuckets the way PromQL's
+// histogram_quantile consumes a rate(). Returns 0 when the histogram is
+// absent from the scrape or recorded nothing during the interval.
+func histQuantileDelta(before, after map[string]float64, name string, q float64) float64 {
+	prefix := name + `_bucket{le="`
+	var bounds []float64
+	for key := range after {
+		if !strings.HasPrefix(key, prefix) {
+			continue
+		}
+		le := strings.TrimSuffix(strings.TrimPrefix(key, prefix), `"}`)
+		b, err := strconv.ParseFloat(le, 64)
+		if err != nil {
+			continue
+		}
+		bounds = append(bounds, b)
+	}
+	if len(bounds) == 0 {
+		return 0
+	}
+	sort.Float64s(bounds)
+	cumulative := make([]float64, len(bounds))
+	for i, b := range bounds {
+		// FormatFloat round-trips every bound the exposition printed,
+		// including "+Inf".
+		key := prefix + strconv.FormatFloat(b, 'g', -1, 64) + `"}`
+		cumulative[i] = after[key] - before[key]
+	}
+	total := after[name+"_count"] - before[name+"_count"]
+	return hist.QuantileFromBuckets(bounds, cumulative, total, q)
 }

@@ -143,6 +143,18 @@ type ServerDelta struct {
 	SweepsPerSec    float64 `json:"sweeps_per_sec"`
 	FlipsPerNs      float64 `json:"flips_per_ns"`
 	WakeupsPerSweep float64 `json:"wakeups_per_sweep"`
+
+	// Stage-latency quantiles over the run, in milliseconds, reconstructed
+	// from the daemon's Prometheus histogram bucket deltas (two scrapes,
+	// PromQL histogram_quantile math): where server-side time went — queue
+	// wait, worker occupancy, checkpoint fsyncs, stream write batches. Zero
+	// when the stage recorded nothing during the run.
+	QueueWaitP50Ms       float64 `json:"queue_wait_p50_ms,omitempty"`
+	QueueWaitP95Ms       float64 `json:"queue_wait_p95_ms,omitempty"`
+	QueueWaitP99Ms       float64 `json:"queue_wait_p99_ms,omitempty"`
+	RunP95Ms             float64 `json:"run_p95_ms,omitempty"`
+	CheckpointWriteP95Ms float64 `json:"checkpoint_write_p95_ms,omitempty"`
+	StreamWriteP95Ms     float64 `json:"stream_write_p95_ms,omitempty"`
 }
 
 // Metrics flattens the report into the metric map thresholds evaluate
@@ -169,6 +181,14 @@ func (r *Report) Metrics() map[string]float64 {
 		"sweeps_per_sec":           r.Server.SweepsPerSec,
 		"service_flips_per_ns":     r.Server.FlipsPerNs,
 		"stream_wakeups_per_sweep": r.Server.WakeupsPerSweep,
+		// Server-side stage quantiles: always present (zero when the stage
+		// recorded nothing) so a threshold on them can never be Missing.
+		"queue_wait_p50_ms":       r.Server.QueueWaitP50Ms,
+		"queue_wait_p95_ms":       r.Server.QueueWaitP95Ms,
+		"queue_wait_p99_ms":       r.Server.QueueWaitP99Ms,
+		"run_p95_ms":              r.Server.RunP95Ms,
+		"checkpoint_write_p95_ms": r.Server.CheckpointWriteP95Ms,
+		"stream_write_p95_ms":     r.Server.StreamWriteP95Ms,
 	}
 	if r.ElapsedSec > 0 {
 		m["requests_per_sec"] = float64(r.Requests) / r.ElapsedSec
@@ -213,6 +233,8 @@ func (r *Report) Text() string {
 		r.Server.StreamWakeups, r.Server.WakeupsPerSweep)
 	fmt.Fprintf(&b, "server limits........: %d cache evictions, %d cache bytes held, %d quota rejections, %d worker panics\n",
 		r.Server.CacheEvictions, r.Server.CacheBytes, r.Server.QuotaRejections, r.Server.WorkerPanics)
+	fmt.Fprintf(&b, "server stages (p95)..: queue_wait=%.2fms run=%.2fms checkpoint_write=%.2fms stream_write=%.2fms\n",
+		r.Server.QueueWaitP95Ms, r.Server.RunP95Ms, r.Server.CheckpointWriteP95Ms, r.Server.StreamWriteP95Ms)
 	return b.String()
 }
 
@@ -376,6 +398,13 @@ func (rs *runState) report(elapsed time.Duration, before, after map[string]float
 	if d.SweepsRun > 0 {
 		d.WakeupsPerSweep = float64(d.StreamWakeups) / float64(d.SweepsRun)
 	}
+	const toMs = 1e3 // histogram buckets are seconds; the report speaks ms
+	d.QueueWaitP50Ms = toMs * histQuantileDelta(before, after, "isingd_queue_wait_seconds", 0.50)
+	d.QueueWaitP95Ms = toMs * histQuantileDelta(before, after, "isingd_queue_wait_seconds", 0.95)
+	d.QueueWaitP99Ms = toMs * histQuantileDelta(before, after, "isingd_queue_wait_seconds", 0.99)
+	d.RunP95Ms = toMs * histQuantileDelta(before, after, "isingd_run_seconds", 0.95)
+	d.CheckpointWriteP95Ms = toMs * histQuantileDelta(before, after, "isingd_checkpoint_write_seconds", 0.95)
+	d.StreamWriteP95Ms = toMs * histQuantileDelta(before, after, "isingd_stream_write_seconds", 0.95)
 	r.Server = d
 	return r
 }

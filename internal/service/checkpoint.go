@@ -88,12 +88,16 @@ func (s *Server) writeCheckpoint(j *Job, snapper ising.Snapshotter, done int, ab
 	if err != nil {
 		return err
 	}
-	return s.writeCheckpointState(&checkpointState{
+	if err := s.writeCheckpointState(&checkpointState{
 		Job: j.id, Spec: j.spec,
 		DoneSweeps: done, AbsM: absM, Energy: energy,
 		Snapshot:   ising.EncodeSnapshot(snap),
 		AdmittedAt: j.admittedAt.UnixNano(),
-	})
+	}); err != nil {
+		return err
+	}
+	j.addEvent(EventCheckpointed, done)
+	return nil
 }
 
 // writeSpecCheckpoint records a just-accepted job's spec durably — a
@@ -126,9 +130,11 @@ func encodeCheckpoint(cs *checkpointState) ([]byte, error) {
 // is loud in the stats even before the job fails. (A kill -9 mid-write still
 // strands the temp file; the next daemon's startup scan sweeps it.)
 func (s *Server) writeCheckpointState(cs *checkpointState) (err error) {
+	start := s.now()
 	defer func() {
 		if err != nil {
 			s.checkpointFailures.Add(1)
+			s.logger.Error("checkpoint write failed", "job", cs.Job, "error", err)
 		}
 	}()
 	blob, err := encodeCheckpoint(cs)
@@ -150,6 +156,7 @@ func (s *Server) writeCheckpointState(cs *checkpointState) (err error) {
 	_ = fs.SyncDir(s.cfg.CheckpointDir)
 	s.checkpointsWritten.Add(1)
 	s.checkpointBytes.Add(int64(len(blob)))
+	s.checkpointWriteH.Observe(s.now().Sub(start))
 	return nil
 }
 
@@ -295,6 +302,7 @@ func (s *Server) quarantineCheckpoint(path, name string) {
 		_ = fs.SyncDir(s.cfg.CheckpointDir)
 	}
 	s.checkpointCorrupt.Add(1)
+	s.logger.Warn("checkpoint quarantined", "file", name)
 	jobID := strings.TrimSuffix(name, checkpointExt)
 	s.mu.Lock()
 	s.corruptJobs[jobID] = true

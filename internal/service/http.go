@@ -18,8 +18,10 @@ import (
 //	DELETE /v1/jobs/{id}        cancel a job
 //	GET    /v1/jobs/{id}/result the encode.Result (202 + status until done)
 //	GET    /v1/jobs/{id}/stream NDJSON encode.Sample lines while the job runs
+//	GET    /v1/jobs/{id}/trace  the job's lifecycle timeline (JobTrace)
 //	GET    /v1/stats            server counters (JSON)
-//	GET    /metrics             the same counters in Prometheus text format
+//	GET    /metrics             counters, gauges and stage-latency histograms
+//	                            in Prometheus text format
 //
 // Submissions may carry an X-Client-ID header: it fills JobSpec.Client when
 // the spec leaves it empty, keying the per-client quotas. A submission over
@@ -37,6 +39,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -175,6 +178,11 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		// count scales with samples written, not sweeps run.
 		s.streamWakeups.Add(1)
 		samples, dropped, terminal, updated := j.watch()
+		// A wakeup with new samples is one write batch: encode the lines and
+		// flush them, observing the whole batch (encode through flush) in the
+		// stream-write histogram. Empty wakeups observe nothing.
+		batch := sent < len(samples)
+		start := s.now()
 		for ; sent < len(samples); sent++ {
 			if err := encode.WriteLine(w, samples[sent]); err != nil {
 				return
@@ -182,6 +190,9 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		}
 		if flusher != nil {
 			flusher.Flush()
+		}
+		if batch {
+			s.streamWriteH.Observe(s.now().Sub(start))
 		}
 		if terminal {
 			if dropped > 0 {
@@ -198,6 +209,15 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		case <-r.Context().Done():
 			return
 		}
+	}
+}
+
+// handleTrace serves GET /v1/jobs/{id}/trace: the job's recorded lifecycle
+// timeline with derived stage durations. The trace shares the job's
+// retention: once the history evicts the job, its trace answers 410 with it.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.getJob(w, r); ok {
+		writeJSON(w, http.StatusOK, j.Trace())
 	}
 }
 

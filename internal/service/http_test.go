@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -340,5 +341,148 @@ func TestHTTPMetrics(t *testing.T) {
 	stats := srv.Stats()
 	if !strings.Contains(text, fmt.Sprintf("isingd_sweeps_run_total %d", stats.SweepsRun)) {
 		t.Fatalf("metrics disagree with stats (sweeps_run %d):\n%s", stats.SweepsRun, text)
+	}
+}
+
+// TestHTTPMetricsHistograms checks the histogram families, build-info gauge
+// and HEAD support of /metrics: after one job runs, every stage histogram is
+// declared with its bucket/sum/count series, the build labels surface, and a
+// HEAD probe answers the exact Content-Length with no body.
+func TestHTTPMetricsHistograms(t *testing.T) {
+	// A fake clock freezes isingd_uptime_seconds, so the HEAD render below
+	// is byte-identical to the GET it must match.
+	clock := newFakeClock()
+	srv, _ := New(Config{Workers: 1, Version: "v9-test", Now: clock.Now})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	st, _ := postJob(t, ts, JobSpec{Backend: "checkerboard", Rows: 4, Sweeps: 2, Seed: 1})
+	j, err := srv.Get(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(blob)
+	for _, want := range []string{
+		"# TYPE isingd_queue_wait_seconds histogram",
+		"# TYPE isingd_run_seconds histogram",
+		"# TYPE isingd_checkpoint_write_seconds histogram",
+		"# TYPE isingd_stream_write_seconds histogram",
+		`isingd_queue_wait_seconds_bucket{le="+Inf"} 1`,
+		"isingd_queue_wait_seconds_count 1",
+		"isingd_run_seconds_count 1",
+		`isingd_build_info{version="v9-test",goversion="`,
+		"# TYPE isingd_uptime_seconds gauge",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	// HEAD answers the headers a scraper sizes the scrape by — the GET
+	// body's exact length — without shipping the body.
+	head, err := http.Head(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	headBody, err := io.ReadAll(head.Body)
+	head.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if head.StatusCode != http.StatusOK || len(headBody) != 0 {
+		t.Fatalf("HEAD /metrics: status %d, %d body bytes", head.StatusCode, len(headBody))
+	}
+	if cl := head.Header.Get("Content-Length"); cl != fmt.Sprint(len(blob)) {
+		t.Fatalf("HEAD Content-Length %s, GET body is %d bytes", cl, len(blob))
+	}
+}
+
+// TestHTTPTrace checks the trace endpoint's wire behavior: a completed job
+// answers its full timeline, a never-issued ID is 404, and an evicted ID is
+// 410 — the same taxonomy as every other per-job endpoint.
+func TestHTTPTrace(t *testing.T) {
+	srv, _ := New(Config{Workers: 1, JobHistory: 1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	st, _ := postJob(t, ts, JobSpec{Backend: "checkerboard", Rows: 4, Sweeps: 2, Seed: 1})
+	j, err := srv.Get(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+
+	var tr JobTrace
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+st.ID+"/trace", &tr); code != http.StatusOK {
+		t.Fatalf("trace returned %d", code)
+	}
+	if tr.ID != st.ID || tr.State != StateDone {
+		t.Fatalf("trace header: %+v", tr)
+	}
+	events := make([]string, len(tr.Events))
+	for i, ev := range tr.Events {
+		events[i] = ev.Event
+	}
+	want := []string{EventSubmitted, EventQueued, EventAdmitted, EventRunning, EventCompleted}
+	if strings.Join(events, ",") != strings.Join(want, ",") {
+		t.Fatalf("timeline %v, want %v", events, want)
+	}
+
+	if code := getJSON(t, ts.URL+"/v1/jobs/job-999999/trace", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown job trace returned %d, want 404", code)
+	}
+	// Evict the first job by running two more through the history bound.
+	for seed := uint64(2); seed <= 3; seed++ {
+		more, _ := postJob(t, ts, JobSpec{Backend: "checkerboard", Rows: 4, Sweeps: 2, Seed: seed})
+		mj, err := srv.Get(more.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitDone(t, mj)
+	}
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+st.ID+"/trace", nil); code != http.StatusGone {
+		t.Fatalf("evicted job trace returned %d, want 410", code)
+	}
+}
+
+// TestRequestLog checks the HTTP middleware: one structured line per request
+// carrying method, path, status and the client identity header.
+func TestRequestLog(t *testing.T) {
+	srv, _ := New(Config{Workers: 1})
+	defer srv.Close()
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	ts := httptest.NewServer(RequestLog(logger, srv.Handler()))
+	defer ts.Close()
+
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/jobs/job-999999", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Client-ID", "alice")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	line := buf.String()
+	for _, want := range []string{"method=GET", "path=/v1/jobs/job-999999", "status=404", "client=alice"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("request log missing %q:\n%s", want, line)
+		}
 	}
 }

@@ -55,6 +55,11 @@ type Job struct {
 	// Written at construction/resume only, before the job is visible.
 	admittedAt time.Time
 
+	// enqueuedAt stamps when the job (re-)entered the queue — the opening
+	// edge of the queue-wait histogram, read by the dequeue. Written at
+	// construction, before the job is visible.
+	enqueuedAt time.Time
+
 	// resume carries the checkpoint the job restarts from (nil for fresh
 	// jobs); it is read once by the worker.
 	resume *checkpointState
@@ -71,9 +76,16 @@ type Job struct {
 	err        error
 	result     *encode.Result
 	finishedAt time.Time // terminal-transition timestamp, for Config.JobTTL
-	sweepsDone int
-	samples    []encode.Sample
-	dropped    int // samples beyond the history bound
+	// runStartedAt stamps the StateRunning transition — the opening edge of
+	// the run-duration histogram (zero for jobs that never ran).
+	runStartedAt time.Time
+	sweepsDone   int
+	samples      []encode.Sample
+	dropped      int // samples beyond the history bound
+	// trace is the job's lifecycle timeline (see trace.go), bounded at
+	// maxTraceEvents with the overflow counted in traceDropped.
+	trace        []TraceEvent
+	traceDropped int
 	// streamed is closed and replaced only when a stream gains something to
 	// write: a sample append or a terminal transition. Progress updates
 	// (setSweepsDone) deliberately do NOT touch it — waking every open
@@ -107,9 +119,10 @@ func newJob(id string, spec JobSpec, history int, now func() time.Time) *Job {
 	if now == nil {
 		now = time.Now
 	}
+	at := now()
 	return &Job{
 		id: id, spec: spec, key: spec.CacheKey(), history: history,
-		ctx: ctx, cancel: cancel, now: now, admittedAt: now(),
+		ctx: ctx, cancel: cancel, now: now, admittedAt: at, enqueuedAt: at,
 		state:    StateQueued,
 		streamed: make(chan struct{}),
 		done:     make(chan struct{}),
@@ -168,6 +181,12 @@ func (j *Job) setState(state JobState, err error) bool {
 	}
 	j.state = state
 	j.err = err
+	if state == StateRunning {
+		j.runStartedAt = j.now()
+	}
+	if ev, ok := stateEvent[state]; ok {
+		j.addEventLocked(ev, 0)
+	}
 	if state.terminal() {
 		j.finishedAt = j.now()
 		j.notifyStream()
@@ -187,10 +206,19 @@ func (j *Job) finish(result *encode.Result, cached bool) bool {
 	j.state = StateDone
 	j.result = result
 	j.cached = cached
+	j.addEventLocked(EventCompleted, 0)
 	j.finishedAt = j.now()
 	j.notifyStream()
 	close(j.done)
 	return true
+}
+
+// runStarted returns the StateRunning transition stamp (zero for a job that
+// never reached a worker).
+func (j *Job) runStarted() time.Time {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.runStartedAt
 }
 
 // setSweepsDone publishes progress. It does not wake stream watchers: a

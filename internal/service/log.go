@@ -1,0 +1,88 @@
+package service
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// noopHandler is the discard slog handler the server falls back to when
+// Config.Logger is nil, so every log call site stays unconditional.
+// (slog.DiscardHandler arrived after this module's Go baseline.)
+type noopHandler struct{}
+
+func (noopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (noopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (noopHandler) WithAttrs([]slog.Attr) slog.Handler        { return noopHandler{} }
+func (noopHandler) WithGroup(string) slog.Handler             { return noopHandler{} }
+
+// nopLogger returns a logger that drops everything.
+func nopLogger() *slog.Logger { return slog.New(noopHandler{}) }
+
+// jobLogger scopes the server's logger to one job: every line carries the
+// job ID, client, backend and priority, so `grep job-000123` (or a json
+// field match) reconstructs the job's story from the daemon log.
+func (s *Server) jobLogger(j *Job) *slog.Logger {
+	return s.logger.With(
+		"job", j.id,
+		"client", j.spec.Client,
+		"backend", j.spec.Backend,
+		"priority", j.spec.Priority,
+	)
+}
+
+// statusWriter captures the response status for the request log. It forwards
+// Flush so NDJSON streams keep flushing through the middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// RequestLog wraps an HTTP handler with a structured request log: one line
+// per request with method, path, status, duration and the submitting client
+// (the X-Client-ID header, when the caller sets one). cmd/isingd wraps the
+// public mux with it; the debug listener stays unwrapped.
+func RequestLog(logger *slog.Logger, next http.Handler) http.Handler {
+	if logger == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		attrs := []any{
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"duration_ms", float64(time.Since(start)) / float64(time.Millisecond),
+		}
+		if c := r.Header.Get("X-Client-ID"); c != "" {
+			attrs = append(attrs, "client", c)
+		}
+		logger.Info("http request", attrs...)
+	})
+}

@@ -3,13 +3,19 @@ package service
 import (
 	"fmt"
 	"net/http"
+	"runtime"
+	"strconv"
 	"strings"
+
+	"tpuising/internal/hist"
 )
 
-// promMetric is one exposed metric: its Prometheus name, type and help text,
-// plus how to read it from a Stats snapshot. The exposition is hand-rolled
-// (no client library dependency): every metric is an unlabelled counter or
-// gauge, which is exactly the subset the text format makes trivial.
+// promMetric is one exposed scalar metric: its Prometheus name, type and help
+// text, plus how to read it from a Stats snapshot. The exposition is
+// hand-rolled (no client library dependency): unlabelled counters and gauges
+// come from this catalogue, and the stage-latency histograms and the labelled
+// build-info gauge are rendered by renderMetrics directly — still nothing but
+// fmt over the text format.
 type promMetric struct {
 	name  string
 	kind  string // "counter" or "gauge"
@@ -48,22 +54,75 @@ var promMetrics = []promMetric{
 	{"isingd_workers", "gauge", "Worker-pool size.", func(s Stats) int64 { return int64(s.Workers) }},
 }
 
-// writeMetrics renders the Prometheus text exposition of a Stats snapshot.
-func writeMetrics(w *strings.Builder, st Stats) {
-	for _, m := range promMetrics {
-		fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help)
-		fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.kind)
-		fmt.Fprintf(w, "%s %d\n", m.name, m.value(st))
-	}
+// promHistogram names one exposed stage-latency histogram and where it lives
+// on the server.
+type promHistogram struct {
+	name string
+	help string
+	h    func(*Server) *hist.Histogram
 }
 
-// handleMetrics serves GET /metrics: the server counters in the Prometheus
-// text exposition format (version 0.0.4), scrape-ready for any Prometheus
-// and parsed by isingload's threshold gate.
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+// promHistograms is the /metrics histogram catalogue: the four stages a job's
+// server-side time goes to. Each renders as a real Prometheus histogram type
+// (_bucket series over hist.DefaultBuckets plus +Inf, _sum, _count), which
+// isingload reconstructs into interval quantiles by differencing two scrapes.
+var promHistograms = []promHistogram{
+	{"isingd_queue_wait_seconds", "Time jobs spent queued before a worker admitted them.", func(s *Server) *hist.Histogram { return s.queueWaitH }},
+	{"isingd_run_seconds", "Worker occupancy per job, admission to terminal state.", func(s *Server) *hist.Histogram { return s.runH }},
+	{"isingd_checkpoint_write_seconds", "Checkpoint file writes (intent records and snapshots), encode through fsync and rename.", func(s *Server) *hist.Histogram { return s.checkpointWriteH }},
+	{"isingd_stream_write_seconds", "NDJSON stream write batches, encode through flush.", func(s *Server) *hist.Histogram { return s.streamWriteH }},
+}
+
+// renderMetrics renders the full Prometheus text exposition: the scalar
+// catalogue, the build-info and uptime gauges, then the stage-latency
+// histograms.
+func (s *Server) renderMetrics() string {
 	var b strings.Builder
-	writeMetrics(&b, s.Stats())
+	st := s.Stats()
+	for _, m := range promMetrics {
+		fmt.Fprintf(&b, "# HELP %s %s\n", m.name, m.help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", m.name, m.kind)
+		fmt.Fprintf(&b, "%s %d\n", m.name, m.value(st))
+	}
+	fmt.Fprintf(&b, "# HELP isingd_build_info Build metadata; the value is always 1.\n")
+	fmt.Fprintf(&b, "# TYPE isingd_build_info gauge\n")
+	fmt.Fprintf(&b, "isingd_build_info{version=%q,goversion=%q} 1\n", s.cfg.Version, runtime.Version())
+	fmt.Fprintf(&b, "# HELP isingd_uptime_seconds Server age on its own clock.\n")
+	fmt.Fprintf(&b, "# TYPE isingd_uptime_seconds gauge\n")
+	fmt.Fprintf(&b, "isingd_uptime_seconds %s\n", formatFloat(st.UptimeSeconds))
+	for _, m := range promHistograms {
+		counts, count, sum := m.h(s).Cumulative(hist.DefaultBuckets)
+		fmt.Fprintf(&b, "# HELP %s %s\n", m.name, m.help)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", m.name)
+		for i, bound := range hist.DefaultBuckets {
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", m.name, formatFloat(bound), counts[i])
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", m.name, count)
+		fmt.Fprintf(&b, "%s_sum %s\n", m.name, formatFloat(sum))
+		fmt.Fprintf(&b, "%s_count %d\n", m.name, count)
+	}
+	return b.String()
+}
+
+// formatFloat renders a float sample value the shortest way that round-trips,
+// matching how Prometheus clients print bounds (0.25, not 0.250000).
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// handleMetrics serves GET (and HEAD) /metrics: the server counters, gauges
+// and stage-latency histograms in the Prometheus text exposition format
+// (version 0.0.4), scrape-ready for any Prometheus and parsed by isingload's
+// threshold gate. The body is rendered up front so Content-Length is always
+// set — strict scrapers and `curl -I` probes see the real size — and a HEAD
+// request gets the headers alone.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	body := s.renderMetrics()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
 	w.WriteHeader(http.StatusOK)
-	_, _ = fmt.Fprint(w, b.String())
+	if r.Method == http.MethodHead {
+		return
+	}
+	_, _ = fmt.Fprint(w, body)
 }

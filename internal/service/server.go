@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"strconv"
 	"strings"
@@ -11,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tpuising/internal/hist"
 	"tpuising/internal/ising"
 	"tpuising/internal/ising/backend"
 	"tpuising/internal/service/encode"
@@ -86,6 +88,13 @@ type Config struct {
 	// it monotonic: if Now jumps backwards, server time holds still until
 	// the wall clock catches up, so TTLs pause rather than rewind.
 	Now func() time.Time
+	// Logger receives the server's structured log (nil = discard). The
+	// scheduler logs through job-scoped children carrying the job ID, client,
+	// backend and priority attrs.
+	Logger *slog.Logger
+	// Version is the daemon build version reported by the isingd_build_info
+	// metric ("" = "dev").
+	Version string
 }
 
 func (c Config) withDefaults() Config {
@@ -113,6 +122,12 @@ func (c Config) withDefaults() Config {
 	}
 	if out.Now == nil {
 		out.Now = time.Now
+	}
+	if out.Logger == nil {
+		out.Logger = nopLogger()
+	}
+	if out.Version == "" {
+		out.Version = "dev"
 	}
 	return out
 }
@@ -157,7 +172,21 @@ const maxChunk = 256
 // resume interrupted jobs bit-identically. cmd/isingd serves its Handler
 // over HTTP; tests and examples drive it in-process.
 type Server struct {
-	cfg Config
+	cfg    Config
+	logger *slog.Logger
+
+	// started is the server-clock construction stamp behind
+	// isingd_uptime_seconds.
+	started time.Time
+
+	// The server-side stage latency histograms, exposed as Prometheus
+	// histogram types on /metrics and summarized in /v1/stats: where a job's
+	// wall-clock time goes — waiting for a worker, sweeping, fsyncing
+	// checkpoints, or writing stream lines.
+	queueWaitH       *hist.Histogram
+	runH             *hist.Histogram
+	checkpointWriteH *hist.Histogram
+	streamWriteH     *hist.Histogram
 
 	mu     sync.Mutex
 	closed bool
@@ -292,6 +321,22 @@ type Stats struct {
 	Queued              int   `json:"queued"`
 	Running             int   `json:"running"`
 	Workers             int   `json:"workers"`
+	// UptimeSeconds is the server-clock age of this Server.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Latency is the aggregate stage-duration summary: the same four
+	// histograms /metrics exposes, rendered as quantiles.
+	Latency StageLatencies `json:"latency"`
+}
+
+// StageLatencies summarizes the server-side stage histograms for /v1/stats:
+// queue wait (enqueue → worker admission), run (worker occupancy per job),
+// checkpoint write (intent records and snapshots, through fsync+rename), and
+// stream write (one NDJSON flush batch per observation).
+type StageLatencies struct {
+	QueueWait       hist.LatencySummary `json:"queue_wait"`
+	Run             hist.LatencySummary `json:"run"`
+	CheckpointWrite hist.LatencySummary `json:"checkpoint_write"`
+	StreamWrite     hist.LatencySummary `json:"stream_write"`
 }
 
 // New starts a server: Workers goroutines draining the queue. If the
@@ -302,14 +347,20 @@ type Stats struct {
 func New(cfg Config) (*Server, []error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:           cfg,
-		jobs:          make(map[string]*Job),
-		cache:         newResultCache(cfg.CacheSize, cfg.CacheBytes, cfg.CacheTTL),
-		clientQueued:  make(map[string]int),
-		clientRunning: make(map[string]int),
-		corruptJobs:   make(map[string]bool),
-		closing:       make(chan struct{}),
+		cfg:              cfg,
+		logger:           cfg.Logger,
+		queueWaitH:       hist.New(),
+		runH:             hist.New(),
+		checkpointWriteH: hist.New(),
+		streamWriteH:     hist.New(),
+		jobs:             make(map[string]*Job),
+		cache:            newResultCache(cfg.CacheSize, cfg.CacheBytes, cfg.CacheTTL),
+		clientQueued:     make(map[string]int),
+		clientRunning:    make(map[string]int),
+		corruptJobs:      make(map[string]bool),
+		closing:          make(chan struct{}),
 	}
+	s.started = s.now()
 	s.queueCond = sync.NewCond(&s.mu)
 	var states []*checkpointState
 	var skipped []error
@@ -382,12 +433,15 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		return nil, ErrClosed
 	}
 	j := newJob(s.newIDLocked(), norm, s.cfg.SampleHistory, s.now)
+	j.addEvent(EventSubmitted, 0)
 	if cached, ok := s.cache.get(j.key, s.now()); ok {
+		j.addEvent(EventCached, 0)
 		s.addJobLocked(j)
 		s.mu.Unlock()
 		s.jobsSubmitted.Add(1)
 		s.jobsCached.Add(1)
 		j.finish(cached, true)
+		s.jobLogger(j).Debug("cache hit")
 		s.pruneJobs()
 		return j, nil
 	}
@@ -410,12 +464,14 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	// its intent record is on disk. Without the hold a fast job could run,
 	// even finish, before it was ever durable.
 	j.held = s.cfg.CheckpointDir != ""
+	j.addEvent(EventQueued, 0)
 	s.queue = append(s.queue, j)
 	s.clientQueued[norm.Client]++
 	s.addJobLocked(j)
 	s.queueCond.Signal()
 	s.mu.Unlock()
 	s.jobsSubmitted.Add(1)
+	s.jobLogger(j).Debug("job submitted")
 	if s.cfg.CheckpointDir != "" {
 		// A failure is loud — the job the daemon cannot make durable fails
 		// immediately instead of silently losing upgrade coverage — and the
@@ -455,6 +511,14 @@ func (s *Server) resume(cs *checkpointState) error {
 		j.resume = cs
 		j.sweepsDone = cs.DoneSweeps
 	}
+	// The resumed timeline opens with the ORIGINAL admission stamp: the trace
+	// shows when the job first entered the system, then that this daemon
+	// picked it back up at its checkpointed progress.
+	j.mu.Lock()
+	j.addEventAtLocked(EventSubmitted, j.admittedAt, 0)
+	j.addEventLocked(EventResumed, cs.DoneSweeps)
+	j.addEventLocked(EventQueued, 0)
+	j.mu.Unlock()
 	s.queue = append(s.queue, j)
 	s.clientQueued[cs.Spec.Client]++
 	s.addJobLocked(j)
@@ -462,6 +526,7 @@ func (s *Server) resume(cs *checkpointState) error {
 	s.queueCond.Signal()
 	s.mu.Unlock()
 	s.jobsResumed.Add(1)
+	s.jobLogger(j).Info("job resumed from checkpoint", "done_sweeps", cs.DoneSweeps)
 	return nil
 }
 
@@ -484,6 +549,13 @@ func (s *Server) nextQueued() (*Job, bool) {
 			s.queue = append(s.queue[:i], s.queue[i+1:]...)
 			s.dropClientQueuedLocked(j.spec.Client)
 			s.clientRunning[j.spec.Client]++
+			at := s.now()
+			j.mu.Lock()
+			j.addEventAtLocked(EventAdmitted, at, 0)
+			wait := at.Sub(j.enqueuedAt)
+			j.mu.Unlock()
+			s.queueWaitH.Observe(wait)
+			s.jobLogger(j).Debug("job admitted", "queue_wait_ms", float64(wait)/float64(time.Millisecond))
 			return j, true
 		}
 		s.queueCond.Wait()
@@ -594,6 +666,7 @@ func (s *Server) Cancel(id string) (*Job, error) {
 	if j.setState(StateCanceled, errCanceled) {
 		s.jobsCanceled.Add(1)
 		s.removeCheckpoint(j)
+		s.jobLogger(j).Info("job canceled")
 		s.pruneJobs()
 	}
 	return j, nil
@@ -620,6 +693,13 @@ func (s *Server) Stats() Stats {
 		QueueFullRejections: s.queueFullRejections.Load(),
 		WorkerPanics:        s.workerPanics.Load(),
 		Workers:             s.cfg.Workers,
+		UptimeSeconds:       s.now().Sub(s.started).Seconds(),
+		Latency: StageLatencies{
+			QueueWait:       s.queueWaitH.Summary(),
+			Run:             s.runH.Summary(),
+			CheckpointWrite: s.checkpointWriteH.Summary(),
+			StreamWrite:     s.streamWriteH.Summary(),
+		},
 	}
 	s.mu.Lock()
 	st.CacheEntries = s.cache.len()
@@ -758,6 +838,7 @@ func (s *Server) runProtected(j *Job) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.workerPanics.Add(1)
+			s.jobLogger(j).Error("worker panic", "panic", fmt.Sprint(r))
 			s.fail(j, fmt.Errorf("service: job %s panicked: %v", j.id, r))
 		}
 	}()
@@ -789,11 +870,26 @@ func (s *Server) run(j *Job) {
 	s.runSingle(j)
 }
 
+// observeRun folds the job's worker occupancy into the run-duration
+// histogram (a job that never reached a worker observes nothing) and returns
+// it for the log line.
+func (s *Server) observeRun(j *Job) time.Duration {
+	started := j.runStarted()
+	if started.IsZero() {
+		return 0
+	}
+	d := s.now().Sub(started)
+	s.runH.Observe(d)
+	return d
+}
+
 // fail marks the job failed.
 func (s *Server) fail(j *Job, err error) {
 	s.removeCheckpoint(j)
 	if j.setState(StateFailed, err) {
 		s.jobsFailed.Add(1)
+		d := s.observeRun(j)
+		s.jobLogger(j).Warn("job failed", "error", err, "run_ms", float64(d)/float64(time.Millisecond))
 	}
 	s.pruneJobs()
 }
@@ -806,6 +902,9 @@ func (s *Server) complete(j *Job, r *encode.Result) {
 	s.removeCheckpoint(j)
 	if j.finish(r, false) {
 		s.jobsCompleted.Add(1)
+		d := s.observeRun(j)
+		s.jobLogger(j).Info("job completed", "run_ms", float64(d)/float64(time.Millisecond),
+			"sweeps", j.spec.totalSweeps())
 	}
 	s.pruneJobs()
 }

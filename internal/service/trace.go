@@ -1,0 +1,142 @@
+package service
+
+import "time"
+
+// Trace event names: the stages of a job's lifecycle, in the order a
+// well-behaved job visits them. A fresh job records submitted → queued →
+// admitted → running → checkpointed×N → completed (or failed/canceled); a
+// job resumed from a checkpoint opens with submitted (its original admission
+// stamp) → resumed → queued instead, and a job parked at shutdown for the
+// next daemon records a second queued. A cache hit records submitted →
+// cached → completed without ever touching the queue. Every timestamp comes
+// from the server's injectable clock (Config.Now, monotonic-clamped), so
+// fake-clock tests assert exact stage durations.
+const (
+	EventSubmitted    = "submitted"    // Submit accepted the spec
+	EventQueued       = "queued"       // the job entered (or re-entered) the queue
+	EventAdmitted     = "admitted"     // a worker claimed the job off the queue
+	EventRunning      = "running"      // the worker started sweeping
+	EventCheckpointed = "checkpointed" // an engine snapshot reached disk (Sweep = progress)
+	EventResumed      = "resumed"      // a restarted daemon re-queued the job (Sweep = resumed progress)
+	EventCached       = "cached"       // the submission was served from the result cache
+	EventCompleted    = "completed"    // terminal: result available
+	EventFailed       = "failed"       // terminal: stopped with an error
+	EventCanceled     = "canceled"     // terminal: canceled by a client or lost to shutdown
+)
+
+// stateEvent maps a state transition onto its trace event name.
+var stateEvent = map[JobState]string{
+	StateQueued:   EventQueued,
+	StateRunning:  EventRunning,
+	StateDone:     EventCompleted,
+	StateFailed:   EventFailed,
+	StateCanceled: EventCanceled,
+}
+
+// maxTraceEvents bounds one job's timeline. Lifecycle transitions are O(1)
+// per job; only checkpointed events repeat, so the bound is effectively "the
+// first ~250 checkpoints are recorded, the rest are counted". The set of
+// retained timelines is bounded alongside the jobs themselves by the
+// JobHistory/JobTTL retention — an evicted job's trace goes with it (410).
+const maxTraceEvents = 256
+
+// TraceEvent is one entry in a job's lifecycle timeline.
+type TraceEvent struct {
+	// Event is one of the Event* names.
+	Event string `json:"event"`
+	// At is the server-clock timestamp of the event.
+	At time.Time `json:"at"`
+	// Sweep carries the job's sweep progress for checkpointed and resumed
+	// events (0 otherwise).
+	Sweep int `json:"sweep,omitempty"`
+}
+
+// JobTrace is the JSON answer of GET /v1/jobs/{id}/trace: the recorded
+// timeline plus the stage durations derived from it. Durations are computed
+// from the event timestamps, so on a fake clock they are exact.
+type JobTrace struct {
+	ID     string       `json:"id"`
+	State  JobState     `json:"state"`
+	Events []TraceEvent `json:"events"`
+	// DroppedEvents counts events beyond the maxTraceEvents bound (0 in any
+	// sane run: only checkpoint storms get there).
+	DroppedEvents int `json:"dropped_events,omitempty"`
+	// QueueWaitMs is the span from the job's first queued event to its
+	// admission; RunMs from running to the terminal event; TotalMs from the
+	// first event to the last. Each is 0 until its closing event exists.
+	QueueWaitMs float64 `json:"queue_wait_ms,omitempty"`
+	RunMs       float64 `json:"run_ms,omitempty"`
+	TotalMs     float64 `json:"total_ms,omitempty"`
+}
+
+// addEventLocked appends a trace event at the job clock's current time; the
+// caller holds j.mu.
+func (j *Job) addEventLocked(event string, sweep int) {
+	j.addEventAtLocked(event, j.now(), sweep)
+}
+
+// addEventAtLocked appends a trace event with an explicit timestamp (resume
+// backdates the submitted event to the original admission); the caller holds
+// j.mu.
+func (j *Job) addEventAtLocked(event string, at time.Time, sweep int) {
+	if len(j.trace) >= maxTraceEvents {
+		j.traceDropped++
+		return
+	}
+	j.trace = append(j.trace, TraceEvent{Event: event, At: at, Sweep: sweep})
+}
+
+// addEvent appends a trace event, taking the job lock.
+func (j *Job) addEvent(event string, sweep int) {
+	j.mu.Lock()
+	j.addEventLocked(event, sweep)
+	j.mu.Unlock()
+}
+
+// Trace snapshots the job's timeline and derives the stage durations.
+func (j *Job) Trace() JobTrace {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	tr := JobTrace{
+		ID:            j.id,
+		State:         j.state,
+		Events:        append([]TraceEvent(nil), j.trace...),
+		DroppedEvents: j.traceDropped,
+	}
+	var queuedAt, runningAt time.Time
+	for _, ev := range tr.Events {
+		switch ev.Event {
+		case EventQueued:
+			if queuedAt.IsZero() {
+				queuedAt = ev.At
+			}
+		case EventAdmitted:
+			if !queuedAt.IsZero() && tr.QueueWaitMs == 0 {
+				tr.QueueWaitMs = msBetween(queuedAt, ev.At)
+			}
+		case EventRunning:
+			if runningAt.IsZero() {
+				runningAt = ev.At
+			}
+		case EventCompleted, EventFailed, EventCanceled:
+			if !runningAt.IsZero() {
+				tr.RunMs = msBetween(runningAt, ev.At)
+			}
+		}
+	}
+	if n := len(tr.Events); n > 1 {
+		tr.TotalMs = msBetween(tr.Events[0].At, tr.Events[n-1].At)
+	}
+	return tr
+}
+
+// msBetween is the span between two event stamps in float milliseconds,
+// clamped at zero (the monotonic server clock never runs backwards, but a
+// backdated submitted stamp could precede the floor).
+func msBetween(from, to time.Time) float64 {
+	d := to.Sub(from)
+	if d < 0 {
+		return 0
+	}
+	return float64(d) / float64(time.Millisecond)
+}

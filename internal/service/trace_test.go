@@ -1,0 +1,259 @@
+package service
+
+// The trace timeline under a fake clock: every event stamp comes from
+// Config.Now, and checkpoint I/O is the only thing that moves time (one
+// second per write, via a CheckpointFS wrapper), so the full timeline of a
+// job — and every derived stage duration — is asserted EXACTLY, not within
+// tolerances. This is the determinism contract of the trace subsystem: what
+// the injectable clock records is what /v1/jobs/{id}/trace replays.
+
+import (
+	"testing"
+	"time"
+)
+
+// advanceFS delegates to the real filesystem but advances the fake clock one
+// second per checkpoint write, turning checkpoint I/O into deterministic
+// simulated time.
+type advanceFS struct {
+	clock *fakeClock
+}
+
+func (f advanceFS) WriteFile(path string, data []byte) error {
+	f.clock.Advance(time.Second)
+	return osFS{}.WriteFile(path, data)
+}
+func (f advanceFS) ReadFile(path string) ([]byte, error) { return osFS{}.ReadFile(path) }
+func (f advanceFS) Rename(o, n string) error             { return osFS{}.Rename(o, n) }
+func (f advanceFS) ReadDir(dir string) ([]string, error) { return osFS{}.ReadDir(dir) }
+func (f advanceFS) MkdirAll(dir string) error            { return osFS{}.MkdirAll(dir) }
+func (f advanceFS) Remove(path string) error             { return osFS{}.Remove(path) }
+func (f advanceFS) SyncDir(dir string) error             { return osFS{}.SyncDir(dir) }
+
+// wantEvent is one expected timeline entry: the event, its exact fake-clock
+// offset from t0 in seconds, and the sweep annotation.
+type wantEvent struct {
+	event string
+	atSec int
+	sweep int
+}
+
+func assertTrace(t *testing.T, tr JobTrace, t0 time.Time, want []wantEvent) {
+	t.Helper()
+	if len(tr.Events) != len(want) {
+		t.Fatalf("job %s: %d events, want %d: %+v", tr.ID, len(tr.Events), len(want), tr.Events)
+	}
+	for i, w := range want {
+		got := tr.Events[i]
+		at := t0.Add(time.Duration(w.atSec) * time.Second)
+		if got.Event != w.event || !got.At.Equal(at) || got.Sweep != w.sweep {
+			t.Fatalf("job %s event %d: got {%s at=+%ds sweep=%d}, want {%s at=+%ds sweep=%d}",
+				tr.ID, i, got.Event, int(got.At.Sub(t0)/time.Second), got.Sweep,
+				w.event, w.atSec, w.sweep)
+		}
+	}
+	if tr.DroppedEvents != 0 {
+		t.Fatalf("job %s: %d dropped events", tr.ID, tr.DroppedEvents)
+	}
+}
+
+// TestTraceTimelineFakeClock runs two jobs through a one-worker server on a
+// fake clock and asserts both full timelines and the aggregate stage-latency
+// summary to the millisecond.
+//
+// Choreography (t0 = fake epoch; every checkpoint write advances 1s):
+//
+//	t0  job A submitted+queued; its intent record write moves the clock to t1
+//	t1  the worker admits A and parks in the test hook (queue wait: 1s)
+//	t1  job B submitted+queued; its intent write moves the clock to t2
+//	t7  the test advances the clock 5s and releases the hook
+//	t7  A runs and completes instantly (no checkpoints; run: 0s)
+//	t7  the worker admits B (queue wait: 6s); B checkpoints at sweeps 2 and 4,
+//	    each write advancing 1s, and completes at t9 (run: 2s)
+func TestTraceTimelineFakeClock(t *testing.T) {
+	clock := newFakeClock()
+	t0 := clock.Now()
+	dir := t.TempDir()
+	srv, errs := New(Config{
+		Workers:       1,
+		CheckpointDir: dir,
+		CheckpointFS:  advanceFS{clock: clock},
+		Now:           clock.Now,
+	})
+	if len(errs) > 0 {
+		t.Fatal(errs)
+	}
+	defer srv.Close()
+
+	entered := make(chan string, 8)
+	gate := make(chan struct{})
+	srv.testHookRun = func(j *Job) {
+		entered <- j.ID()
+		<-gate
+	}
+
+	a, err := srv.Submit(tinySpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := <-entered; got != a.ID() {
+		t.Fatalf("worker picked %s first, want %s", got, a.ID())
+	}
+
+	specB := JobSpec{Backend: "checkerboard", Rows: 4, Sweeps: 6, Seed: 2, CheckpointInterval: 2}
+	b, err := srv.Submit(specB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clock.Advance(5 * time.Second)
+	close(gate)
+	waitDone(t, a)
+	waitDone(t, b)
+	<-entered // B's hook entry
+
+	trA := a.Trace()
+	assertTrace(t, trA, t0, []wantEvent{
+		{EventSubmitted, 0, 0},
+		{EventQueued, 0, 0},
+		{EventAdmitted, 1, 0},
+		{EventRunning, 7, 0},
+		{EventCompleted, 7, 0},
+	})
+	if trA.QueueWaitMs != 1000 || trA.RunMs != 0 || trA.TotalMs != 7000 {
+		t.Fatalf("job A durations: queue_wait=%v run=%v total=%v, want 1000/0/7000",
+			trA.QueueWaitMs, trA.RunMs, trA.TotalMs)
+	}
+
+	trB := b.Trace()
+	assertTrace(t, trB, t0, []wantEvent{
+		{EventSubmitted, 1, 0},
+		{EventQueued, 1, 0},
+		{EventAdmitted, 7, 0},
+		{EventRunning, 7, 0},
+		{EventCheckpointed, 8, 2},
+		{EventCheckpointed, 9, 4},
+		{EventCompleted, 9, 0},
+	})
+	if trB.QueueWaitMs != 6000 || trB.RunMs != 2000 || trB.TotalMs != 8000 {
+		t.Fatalf("job B durations: queue_wait=%v run=%v total=%v, want 6000/2000/8000",
+			trB.QueueWaitMs, trB.RunMs, trB.TotalMs)
+	}
+
+	// The aggregate stage summary in Stats agrees: two queue waits (1s and
+	// 6s), two runs (0s and 2s), four checkpoint writes (two intent records,
+	// two snapshots) of exactly one fake second each.
+	lat := srv.Stats().Latency
+	if lat.QueueWait.Count != 2 || lat.QueueWait.MaxMs != 6000 {
+		t.Fatalf("queue-wait summary %+v, want count 2 max 6000ms", lat.QueueWait)
+	}
+	if lat.Run.Count != 2 || lat.Run.MaxMs != 2000 {
+		t.Fatalf("run summary %+v, want count 2 max 2000ms", lat.Run)
+	}
+	if lat.CheckpointWrite.Count != 4 || lat.CheckpointWrite.MaxMs != 1000 {
+		t.Fatalf("checkpoint-write summary %+v, want count 4 max 1000ms", lat.CheckpointWrite)
+	}
+}
+
+// TestTraceCachedAndResumed covers the two non-linear timelines: a cache-hit
+// submission records submitted → cached → completed without ever queuing, and
+// a job resumed from a checkpoint opens its trace with the ORIGINAL admission
+// stamp followed by a resumed event carrying the checkpointed progress.
+func TestTraceCachedAndResumed(t *testing.T) {
+	clock := newFakeClock()
+	t0 := clock.Now()
+	srv, _ := New(Config{Workers: 1, Now: clock.Now})
+	j, err := srv.Submit(tinySpec(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	clock.Advance(3 * time.Second)
+	hit, err := srv.Submit(tinySpec(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, hit)
+	tr := hit.Trace()
+	assertTrace(t, tr, t0, []wantEvent{
+		{EventSubmitted, 3, 0},
+		{EventCached, 3, 0},
+		{EventCompleted, 3, 0},
+	})
+	if tr.QueueWaitMs != 0 || tr.RunMs != 0 {
+		t.Fatalf("cache hit recorded stage durations: %+v", tr)
+	}
+	srv.Close()
+
+	// Resume: shut a daemon down with a job parked on a worker (the hook
+	// blocks on the job context, so Close interrupts it before a single
+	// sweep), then restart over the same checkpoint directory an hour of
+	// fake time later. The resumed trace must open with the ORIGINAL
+	// admission stamp, then record resumed (at the intent record's zero
+	// progress) and a fresh queued — every stamp exact.
+	dir := t.TempDir()
+	clock2 := newFakeClock()
+	srv1, _ := New(Config{Workers: 1, CheckpointDir: dir, Now: clock2.Now})
+	entered := make(chan string, 2)
+	srv1.testHookRun = func(j *Job) { entered <- j.ID(); <-j.ctx.Done() }
+	long, err := srv1.Submit(tinySpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+	srv1.Close()
+
+	clock3 := newFakeClock()
+	clock3.Advance(time.Hour)
+	t1h := clock3.Now()
+	srv2, errs := New(Config{Workers: 1, CheckpointDir: dir, Now: clock3.Now})
+	if len(errs) > 0 {
+		t.Fatal(errs)
+	}
+	defer srv2.Close()
+	resumed, err := srv2.Get(long.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, resumed)
+	tr = resumed.Trace()
+	want := []struct {
+		event string
+		at    time.Time
+	}{
+		{EventSubmitted, t0}, // the original admission, an hour before this daemon
+		{EventResumed, t1h},
+		{EventQueued, t1h},
+		{EventAdmitted, t1h},
+		{EventRunning, t1h},
+		{EventCompleted, t1h},
+	}
+	if len(tr.Events) != len(want) {
+		t.Fatalf("resumed trace has %d events, want %d: %+v", len(tr.Events), len(want), tr.Events)
+	}
+	for i, w := range want {
+		got := tr.Events[i]
+		if got.Event != w.event || !got.At.Equal(w.at) {
+			t.Fatalf("resumed trace event %d = {%s %v}, want {%s %v}", i, got.Event, got.At, w.event, w.at)
+		}
+	}
+	if tr.TotalMs != 3600_000 {
+		t.Fatalf("resumed trace total %vms, want the hour across the restart", tr.TotalMs)
+	}
+}
+
+// TestTraceBound floods one job's timeline past maxTraceEvents and asserts
+// the bound holds with the overflow counted, not silently dropped.
+func TestTraceBound(t *testing.T) {
+	j := newJob("job-000001", JobSpec{Backend: "checkerboard", Rows: 4, Sweeps: 2, Seed: 1}, 0, nil)
+	for i := 0; i < maxTraceEvents+44; i++ {
+		j.addEvent(EventCheckpointed, i)
+	}
+	tr := j.Trace()
+	if len(tr.Events) != maxTraceEvents {
+		t.Fatalf("trace grew to %d events, bound is %d", len(tr.Events), maxTraceEvents)
+	}
+	if tr.DroppedEvents != 44 {
+		t.Fatalf("dropped %d events, want 44", tr.DroppedEvents)
+	}
+}
