@@ -332,6 +332,33 @@ func BenchmarkSharded4x4_4096(b *testing.B) { benchSharded(b, 4096, 4, 4) }
 // A 16k lattice where halo traffic is tiny relative to shard compute.
 func BenchmarkSharded4x4_16384(b *testing.B) { benchSharded(b, 16384, 4, 4) }
 
+// benchShardedEnsemble times the composed batched×sharded engine through the
+// batch factory: `lanes` lane-packed chains advance on every shard of a
+// gridR x gridC pod grid, halo words carrying all lanes at once. The reported
+// host_flips/ns is the aggregate over all lanes — the paper's actual per-core
+// workload (a full replica batch between halo exchanges), directly comparable
+// with BenchmarkEnsemble64_256 (same lanes, no shards) and
+// BenchmarkSharded* (same shards, one chain).
+func benchShardedEnsemble(b *testing.B, size, lanes, gridR, gridC int) {
+	batch, err := backend.NewBatch("sharded-ensemble", backend.Config{
+		Rows: size, Cols: size, Temperature: 2.5, Seed: 1, GridR: gridR, GridC: gridC,
+	}, lanes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch.Sweep()
+	}
+	b.StopTimer()
+	spins := float64(size) * float64(size) * float64(lanes) * float64(b.N)
+	b.ReportMetric(spins/float64(b.Elapsed().Nanoseconds()), "host_flips/ns")
+}
+
+func BenchmarkShardedEnsemble64_1x1_256(b *testing.B) { benchShardedEnsemble(b, 256, 64, 1, 1) }
+func BenchmarkShardedEnsemble64_2x2_256(b *testing.B) { benchShardedEnsemble(b, 256, 64, 2, 2) }
+func BenchmarkShardedEnsemble64_2x4_512(b *testing.B) { benchShardedEnsemble(b, 512, 64, 2, 4) }
+
 // benchTempering times one round (5 sweeps per replica + one swap phase) of
 // a parallel-tempering ensemble of multispin replicas across the default
 // critical window. Aggregate host_flips/ns across all replicas: comparing

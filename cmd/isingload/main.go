@@ -25,7 +25,9 @@
 // (flags -workers and -queue shape it) and load-tests that — the same
 // service code cmd/isingd serves, so a laptop run needs no separate daemon.
 // With -host, the snapshot also carries the measured `benchtables -host`
-// flips/ns of every CPU engine and the lane-packed ensemble aggregate.
+// flips/ns of every CPU engine, the row-kernel reference/optimized delta
+// (with the binary's AVX2 status), the lane-packed ensemble aggregate and
+// the composed sharded-ensemble aggregate.
 //
 // The exit status is the threshold verdict: 0 when every declared check
 // passes, 1 otherwise — CI gates on it, k6 style.
@@ -47,6 +49,7 @@ import (
 
 	"tpuising/internal/harness"
 	"tpuising/internal/load"
+	"tpuising/internal/rng"
 	"tpuising/internal/service"
 )
 
@@ -219,6 +222,11 @@ func run(args []string, out *os.File) error {
 		}
 		hb.EnsembleLanes = 64
 		hb.EnsembleAggregate = harness.MeasureEnsembleAggregate(*hostSize, hb.EnsembleLanes, *hostSweeps, true)
+		hb.AVX2 = rng.HasAVX2()
+		hb.KernelRef, hb.KernelOpt = harness.MeasureKernelDelta(*hostSize, *hostSweeps)
+		hb.ShardedEnsembleGrid = "2x2"
+		hb.ShardedEnsembleAggregate = harness.MeasureShardedEnsembleAggregate(
+			*hostSize, hb.EnsembleLanes, 2, 2, *hostSweeps, false)
 		snap.Host = hb
 	}
 	if *outPath != "" {

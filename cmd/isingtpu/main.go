@@ -51,7 +51,7 @@ func main() {
 			" (aliases: serial/cpu = checkerboard, parallel/gpu = gpusim); see the backend-choice table in README.md")
 	workers := flag.Int("workers", 0, "worker goroutines of the host backends (0 = GOMAXPROCS)")
 	shards := flag.String("shards", "",
-		"shard grid of the sharded backend as RxC (R shards along rows x C along columns); the other registry backends ("+
+		"shard grid of the sharded and sharded-ensemble backends as RxC (R shards along rows x C along columns); the other registry backends ("+
 			backend.List()+") reject it — see the backend-choice table in README.md")
 	temper := flag.String("temper", "",
 		"replica exchange: N temperature replicas of the selected -backend, as N or N:Tmin,Tmax (default window sized for healthy swap acceptance)")
@@ -98,8 +98,8 @@ func main() {
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 
-	if set["shards"] && name != "sharded" {
-		log.Fatalf("-shards selects the shard grid of the sharded backend; it does not apply to the %s backend (valid backends: %s)",
+	if set["shards"] && name != "sharded" && name != "sharded-ensemble" {
+		log.Fatalf("-shards selects the shard grid of the sharded backends; it does not apply to the %s backend (valid backends: %s)",
 			name, backend.List())
 	}
 	// The TPU kernel options only make sense when the engine is the tpu
@@ -144,8 +144,8 @@ func main() {
 	if set["swapint"] {
 		log.Fatal("-swapint sets the replica-exchange swap interval; it only applies with -temper")
 	}
-	if set["workers"] && name == "sharded" {
-		log.Fatal("-workers controls the band parallelism of the other host backends; the sharded backend's parallelism is its shard grid (use -shards RxC)")
+	if set["workers"] && (name == "sharded" || name == "sharded-ensemble") {
+		log.Fatal("-workers controls the band parallelism of the other host backends; the sharded backends' parallelism is their shard grid (use -shards RxC)")
 	}
 	if *replicas > 1 {
 		if *estimate || podX*podY > 1 {
@@ -228,9 +228,16 @@ func runBackend(name string, rows, cols, gridR, gridC int, temp float64, seed ui
 	}
 	if profile {
 		fmt.Printf("work counters: %v\n", eng.Counts())
-		if name == "sharded" {
+		switch name {
+		case "sharded":
 			rep := perf.ShardTraffic(perf.ShardSpec{Rows: rows, Cols: cols, GridR: gridR, GridC: gridC},
 				interconnect.DefaultLinkParams())
+			fmt.Printf("modelled interconnect: %d B/link/sweep (rows), %d B/link/sweep (cols), permute %.2f us/sweep\n",
+				rep.RowLinkBytes, rep.ColLinkBytes, rep.PermuteSec*1e6)
+		case "sharded-ensemble":
+			rep := perf.ShardedEnsembleTraffic(perf.ShardedEnsembleSpec{
+				Rows: rows, Cols: cols, GridR: gridR, GridC: gridC, Lanes: 1,
+			}, interconnect.DefaultLinkParams())
 			fmt.Printf("modelled interconnect: %d B/link/sweep (rows), %d B/link/sweep (cols), permute %.2f us/sweep\n",
 				rep.RowLinkBytes, rep.ColLinkBytes, rep.PermuteSec*1e6)
 		}

@@ -1,0 +1,239 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"tpuising/internal/interconnect"
+	"tpuising/internal/ising/ensemble"
+	"tpuising/internal/ising/multispin"
+	"tpuising/internal/ising/shardedensemble"
+	"tpuising/internal/perf"
+	"tpuising/internal/rng"
+)
+
+// HostKernelVariants measures the before/after rows of the hot-loop kernel
+// work: for each bit-packed row kernel — multispin per-site and shared, the
+// lane-packed ensemble in per-lane and shared mode — it times the retained
+// naive reference (UpdateRowRef, word-at-a-time with inline Philox draws)
+// against the optimized loop the engines run (batched Philox rows into a
+// reusable scratch, tiled column blocking, hoisted word-boundary handling,
+// and the AVX2 rng batch kernel when this binary was built with the avx2
+// tag). Both variants are bit-identical by construction — the golden
+// equivalence property tests pin that — so the speedup column is pure
+// throughput, no physics change.
+func HostKernelVariants(size, sweeps int) *Table {
+	t := &Table{
+		ID: "host_kernel_variants",
+		Title: fmt.Sprintf(
+			"Measured row-kernel throughput on a %dx%d lattice: naive reference vs optimized loop", size, size),
+		Columns: []string{"kernel", "reference flips/ns", "optimized flips/ns", "speedup"},
+	}
+	const lanes = ensemble.MaxLanes
+	rows := []struct {
+		name     string
+		ref, opt func() float64
+	}{
+		{"multispin per-site",
+			func() float64 { return measureMultispinKernel(size, sweeps, false, true) },
+			func() float64 { return measureMultispinKernel(size, sweeps, false, false) }},
+		{"multispin shared",
+			func() float64 { return measureMultispinKernel(size, sweeps, true, true) },
+			func() float64 { return measureMultispinKernel(size, sweeps, true, false) }},
+		{fmt.Sprintf("ensemble per-lane (%d lanes)", lanes),
+			func() float64 { return measureEnsembleKernel(size, lanes, sweeps, false, true) },
+			func() float64 { return measureEnsembleKernel(size, lanes, sweeps, false, false) }},
+		{fmt.Sprintf("ensemble shared (%d lanes)", lanes),
+			func() float64 { return measureEnsembleKernel(size, lanes, sweeps, true, true) },
+			func() float64 { return measureEnsembleKernel(size, lanes, sweeps, true, false) }},
+	}
+	for _, r := range rows {
+		ref, opt := r.ref(), r.opt()
+		t.AddRow(r.name,
+			fmt.Sprintf("%.4f", ref),
+			fmt.Sprintf("%.4f", opt),
+			fmt.Sprintf("%.2fx", ratio(opt, ref)))
+	}
+	t.Notes = append(t.Notes,
+		"reference = retained naive UpdateRowRef; optimized = the engines' batched+tiled loop; both bit-identical (golden equivalence tests)",
+		fmt.Sprintf("avx2 batch rng active in this binary: %v (build with -tags avx2 on amd64 to enable)", rng.HasAVX2()),
+		fmt.Sprintf("%d timed sweeps per cell after 2 warm-up sweeps", sweeps),
+	)
+	return t
+}
+
+// MeasureKernelDelta measures the per-site multispin row kernel before/after
+// pair (reference, optimized flips/ns) — the single-row version of the
+// HostKernelVariants table, exported so cmd/isingload can embed the kernel
+// delta in its BENCH_*.json snapshots.
+func MeasureKernelDelta(size, sweeps int) (ref, opt float64) {
+	return measureMultispinKernel(size, sweeps, false, true),
+		measureMultispinKernel(size, sweeps, false, false)
+}
+
+// measureMultispinKernel times whole-lattice passes driven straight through
+// the multispin row kernel (no engine around it) and returns flips/ns.
+func measureMultispinKernel(size, sweeps int, shared, ref bool) float64 {
+	W := size / multispin.WordBits
+	if W < 1 {
+		W = 1
+	}
+	k := multispin.NewKernel(2.5, 1, shared)
+	rows := randomWords(size, W)
+	var sc multispin.Scratch
+	var step uint64
+	pass := func(n int) {
+		for s := 0; s < n; s++ {
+			for parity := 0; parity < 2; parity++ {
+				for r := 0; r < size; r++ {
+					row := rows[r]
+					north := rows[(r+size-1)%size]
+					south := rows[(r+1)%size]
+					west, east := row[W-1], row[0]
+					if ref {
+						k.UpdateRowRef(row, north, south, west, east, r, 0, parity, step)
+					} else {
+						k.UpdateRowScratch(row, north, south, west, east, r, 0, parity, step, &sc)
+					}
+				}
+				step++
+			}
+		}
+	}
+	pass(2) // warm up caches and the scratch buffer
+	start := time.Now()
+	pass(sweeps)
+	elapsed := time.Since(start)
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(size) * float64(W*multispin.WordBits) * float64(sweeps) / float64(elapsed.Nanoseconds())
+}
+
+// measureEnsembleKernel is the lane-packed analogue: one word per site
+// carrying all lanes, aggregate flips/ns over the lanes.
+func measureEnsembleKernel(size, lanes, sweeps int, shared, ref bool) float64 {
+	temps := make([]float64, lanes)
+	for i := range temps {
+		temps[i] = 2.5
+	}
+	k, err := ensemble.NewKernel(1, temps, shared)
+	if err != nil {
+		panic(fmt.Sprintf("harness: %v", err))
+	}
+	rows := randomWords(size, size)
+	var sc ensemble.Scratch
+	var step uint64
+	pass := func(n int) {
+		for s := 0; s < n; s++ {
+			for parity := 0; parity < 2; parity++ {
+				for r := 0; r < size; r++ {
+					row := rows[r]
+					north := rows[(r+size-1)%size]
+					south := rows[(r+1)%size]
+					west, east := row[size-1], row[0]
+					if ref {
+						k.UpdateRowRef(row, north, south, west, east, r, 0, parity, step)
+					} else {
+						k.UpdateRow(row, north, south, west, east, r, 0, parity, step, &sc)
+					}
+				}
+				step++
+			}
+		}
+	}
+	pass(2)
+	start := time.Now()
+	pass(sweeps)
+	elapsed := time.Since(start)
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(size) * float64(size) * float64(lanes) * float64(sweeps) / float64(elapsed.Nanoseconds())
+}
+
+// randomWords builds a rows x words packed lattice with random content, so
+// the kernels see realistic acceptance-class mixes rather than the all-equal
+// cold start.
+func randomWords(rows, words int) [][]uint64 {
+	g := rng.New(1)
+	out := make([][]uint64, rows)
+	for r := range out {
+		out[r] = make([]uint64, words)
+		for w := range out[r] {
+			out[r][w] = g.Uint64()
+		}
+	}
+	return out
+}
+
+// HostShardedEnsembleScaling measures the composed batched×sharded engine on
+// one lattice size across shard grids, pairing every measured aggregate
+// host_flips/ns cell (all lanes of all shards) with the modelled interconnect
+// traffic of its lane-packed halo exchanges (perf.ShardedEnsembleTraffic) —
+// whose byte counts the engine's comm counters reproduce exactly. This is the
+// paper's actual per-core workload: every mesh core advances a full batch of
+// lane-packed replicas between halo exchanges.
+func HostShardedEnsembleScaling(size, lanes int, grids [][2]int, sweeps int) *Table {
+	t := &Table{
+		ID: "host_sharded_ensemble_scaling",
+		Title: fmt.Sprintf(
+			"Measured sharded-ensemble throughput (%d lanes, %dx%d) vs modelled interconnect traffic", lanes, size, size),
+		Columns: []string{
+			"shards", "aggregate flips/ns", "speedup", "row link B/sweep", "col link B/sweep", "model permute us/sweep",
+		},
+	}
+	link := interconnect.DefaultLinkParams()
+	var base float64
+	for _, g := range grids {
+		tput := measureShardedEnsemble(size, lanes, g[0], g[1], sweeps, false)
+		if base == 0 {
+			base = tput
+		}
+		rep := perf.ShardedEnsembleTraffic(perf.ShardedEnsembleSpec{
+			Rows: size, Cols: size, GridR: g[0], GridC: g[1], Lanes: lanes,
+		}, link)
+		t.AddRow(
+			fmt.Sprintf("%dx%d", g[0], g[1]),
+			fmt.Sprintf("%.4f", tput),
+			fmt.Sprintf("%.2fx", ratio(tput, base)),
+			fmt.Sprintf("%d", rep.RowLinkBytes),
+			fmt.Sprintf("%d", rep.ColLinkBytes),
+			fmt.Sprintf("%.2f", rep.PermuteSec*1e6),
+		)
+	}
+	t.Notes = append(t.Notes,
+		"aggregate measured wall clock on this machine: lattice spins x lanes x sweeps / elapsed ns",
+		"halo words are lane-packed (64 chains per word), so the traffic is independent of the lane count — per replica it shrinks by the lanes",
+		fmt.Sprintf("%d timed sweeps per cell after 2 warm-up sweeps; speedup is relative to the first grid", sweeps),
+	)
+	return t
+}
+
+// MeasureShardedEnsembleAggregate measures the composed engine's aggregate
+// host throughput (flips/ns over all lanes of all shards) — the single-cell
+// version of the HostShardedEnsembleScaling table, exported so cmd/isingload
+// can embed the composed number in its BENCH_*.json snapshots.
+func MeasureShardedEnsembleAggregate(size, lanes, gridR, gridC, sweeps int, shared bool) float64 {
+	return measureShardedEnsemble(size, lanes, gridR, gridC, sweeps, shared)
+}
+
+// measureShardedEnsemble times sweeps of one composed engine and returns
+// aggregate flips/ns over all lanes.
+func measureShardedEnsemble(size, lanes, gridR, gridC, sweeps int, shared bool) float64 {
+	e, err := shardedensemble.New(shardedensemble.Config{
+		Rows: size, Cols: size, GridR: gridR, GridC: gridC,
+		Lanes: lanes, Temperature: 2.5, Seed: 1, SharedRandom: shared,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("harness: %v", err))
+	}
+	e.Run(2) // warm up caches and the pod goroutines
+	start := time.Now()
+	e.Run(sweeps)
+	elapsed := time.Since(start)
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(size) * float64(size) * float64(lanes) * float64(sweeps) / float64(elapsed.Nanoseconds())
+}

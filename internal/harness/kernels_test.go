@@ -1,0 +1,63 @@
+package harness
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestHostKernelVariantsShape: the before/after kernel table at smoke scale
+// has one row per kernel, positive throughputs, and the optimized column must
+// not fall behind the reference by more than measurement noise allows — the
+// point of the restructuring is that the optimized loop wins.
+func TestHostKernelVariantsShape(t *testing.T) {
+	tab := HostKernelVariants(64, 2)
+	if len(tab.Rows) != 4 {
+		t.Fatalf("table has %d rows, want 4", len(tab.Rows))
+	}
+	for i := range tab.Rows {
+		for col := 1; col <= 2; col++ {
+			v, err := strconv.ParseFloat(tab.Cell(i, col), 64)
+			if err != nil || v <= 0 {
+				t.Fatalf("row %d col %d: %q is not a positive throughput (%v)", i, col, tab.Cell(i, col), err)
+			}
+		}
+		if !strings.HasSuffix(tab.Cell(i, 3), "x") {
+			t.Fatalf("row %d speedup %q is not a ratio", i, tab.Cell(i, 3))
+		}
+	}
+}
+
+// TestMeasureKernelDeltaPositive: the exported single-pair measurement that
+// feeds BENCH snapshots returns positive numbers for both variants.
+func TestMeasureKernelDeltaPositive(t *testing.T) {
+	ref, opt := MeasureKernelDelta(64, 2)
+	if ref <= 0 || opt <= 0 {
+		t.Fatalf("kernel delta (%g, %g) not positive", ref, opt)
+	}
+}
+
+// TestHostShardedEnsembleScalingShape: the composed-engine table has one row
+// per grid, positive aggregate throughput and positive modelled traffic.
+func TestHostShardedEnsembleScalingShape(t *testing.T) {
+	grids := [][2]int{{1, 1}, {2, 2}}
+	tab := HostShardedEnsembleScaling(64, 16, grids, 2)
+	if len(tab.Rows) != len(grids) {
+		t.Fatalf("table has %d rows, want %d", len(tab.Rows), len(grids))
+	}
+	for i, g := range grids {
+		if got, want := tab.Cell(i, 0), strconv.Itoa(g[0])+"x"+strconv.Itoa(g[1]); got != want {
+			t.Fatalf("row %d grid = %s, want %s", i, got, want)
+		}
+		v, err := strconv.ParseFloat(tab.Cell(i, 1), 64)
+		if err != nil || v <= 0 {
+			t.Fatalf("row %d aggregate %q is not positive (%v)", i, tab.Cell(i, 1), err)
+		}
+		for col := 3; col <= 4; col++ {
+			b, err := strconv.Atoi(tab.Cell(i, col))
+			if err != nil || b <= 0 {
+				t.Fatalf("row %d col %d: %q is not positive traffic (%v)", i, col, tab.Cell(i, col), err)
+			}
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"tpuising/internal/ising/gpusim"
 	"tpuising/internal/ising/multispin"
 	"tpuising/internal/ising/sharded"
+	"tpuising/internal/ising/shardedensemble"
 	"tpuising/internal/ising/tpu"
 	"tpuising/internal/rng"
 	"tpuising/internal/tensor"
@@ -59,6 +60,7 @@ var builders = map[string]func(Config) (ising.Backend, error){
 	"multispin":        newMultispin(false),
 	"multispin-shared": newMultispin(true),
 	"sharded":          newSharded,
+	"sharded-ensemble": newShardedEnsemble,
 	"tpu":              newTPU,
 }
 
@@ -150,6 +152,12 @@ func NewBatchLadder(name string, cfg Config, temps []float64) (ising.BatchBacken
 			Workers: cfg.Workers, Hot: cfg.Hot,
 		})
 	}
+	if shardedBatchEligible(n, cfg, len(temps)) {
+		return shardedensemble.New(shardedensemble.Config{
+			Rows: cfg.Rows, Cols: cfg.Cols, GridR: cfg.GridR, GridC: cfg.GridC,
+			Lanes: len(temps), Temperatures: temps, Seed: cfg.Seed, Hot: cfg.Hot,
+		})
+	}
 	backends := make([]ising.Backend, len(temps))
 	for i, temp := range temps {
 		c := cfg
@@ -172,6 +180,25 @@ func packedBatchEligible(name string, cfg Config, lanes int) bool {
 		cfg.Rows >= 2 && cfg.Rows%2 == 0 &&
 		cfg.Cols > 0 && cfg.Cols%multispin.WordBits == 0 &&
 		cfg.GridR <= 1 && cfg.GridC <= 1
+}
+
+// shardedBatchEligible reports whether a batch of the sharded-ensemble
+// backend can run as one composed engine — all lanes lane-packed across the
+// whole pod grid at once instead of one grid per lane. The constraints are
+// the engine's own (divisible grid, whole random groups per shard); a batch
+// that violates them falls back to the generic adapter, one pod per lane.
+func shardedBatchEligible(name string, cfg Config, lanes int) bool {
+	gridR, gridC := cfg.GridR, cfg.GridC
+	if gridR <= 0 {
+		gridR = 1
+	}
+	if gridC <= 0 {
+		gridC = 1
+	}
+	return name == "sharded-ensemble" &&
+		lanes <= shardedensemble.MaxLanes &&
+		cfg.Rows >= 2 && cfg.Rows%2 == 0 && cfg.Rows%gridR == 0 &&
+		cfg.Cols > 0 && cfg.Cols%multispin.WordBits == 0 && cfg.Cols%(8*gridC) == 0
 }
 
 // hostLattice builds the starting configuration of the host engines.
@@ -219,6 +246,13 @@ func newSharded(cfg Config) (ising.Backend, error) {
 		sc.Initial = hostLattice(cfg)
 	}
 	return sharded.New(sc)
+}
+
+func newShardedEnsemble(cfg Config) (ising.Backend, error) {
+	return shardedensemble.NewSingle(shardedensemble.Config{
+		Rows: cfg.Rows, Cols: cfg.Cols, GridR: cfg.GridR, GridC: cfg.GridC,
+		Temperature: cfg.Temperature, Seed: cfg.Seed, Hot: cfg.Hot,
+	})
 }
 
 func newTPU(cfg Config) (ising.Backend, error) {

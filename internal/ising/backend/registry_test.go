@@ -19,6 +19,7 @@ var registryClaims = map[string]struct{ snapshotter bool }{
 	"multispin":        {snapshotter: true},
 	"multispin-shared": {snapshotter: true},
 	"sharded":          {snapshotter: true},
+	"sharded-ensemble": {snapshotter: true},
 	"tpu":              {snapshotter: false},
 }
 

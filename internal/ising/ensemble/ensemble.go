@@ -87,15 +87,12 @@ type Engine struct {
 	lanes      int
 	laneMask   uint64 // bits 0..lanes-1
 	words      []uint64
-	kerns      []multispin.Kernel // per-lane key + thresholds
-	temps      []float64
-	sharedKey  rng.Key
-	shared     bool
-	uniform    bool // all lanes share one threshold pair (fast shared path)
+	kern       *Kernel // per-lane keys, temperatures, thresholds + row update
 	step       uint64
 	workers    int
 	seed       uint64
 	halo       []uint64
+	scratches  []Scratch // per-band random scratch buffers
 
 	// Observable cache: Magnetizations/Energies are O(lanes * N) passes, so
 	// consumers that read several observables per step (tempering, the
@@ -130,26 +127,20 @@ func New(cfg Config) (*Engine, error) {
 	if len(temps) != cfg.Lanes {
 		return nil, fmt.Errorf("ensemble: %d temperatures for %d lanes", len(temps), cfg.Lanes)
 	}
+	kern, err := NewKernel(cfg.Seed, temps, cfg.SharedRandom)
+	if err != nil {
+		return nil, err
+	}
 	e := &Engine{
 		rows: cfg.Rows, cols: cfg.Cols, lanes: cfg.Lanes,
-		laneMask:  laneMask(cfg.Lanes),
-		words:     make([]uint64, cfg.Rows*cfg.Cols),
-		kerns:     make([]multispin.Kernel, cfg.Lanes),
-		temps:     append([]float64(nil), temps...),
-		sharedKey: multispin.NewKernel(ising.CriticalTemperature(), cfg.Seed, true).Key,
-		shared:    cfg.SharedRandom,
-		workers:   cfg.Workers,
-		seed:      cfg.Seed,
-		magsStep:  ^uint64(0),
-		esStep:    ^uint64(0),
+		laneMask: laneMask(cfg.Lanes),
+		words:    make([]uint64, cfg.Rows*cfg.Cols),
+		kern:     kern,
+		workers:  cfg.Workers,
+		seed:     cfg.Seed,
+		magsStep: ^uint64(0),
+		esStep:   ^uint64(0),
 	}
-	for l := range e.kerns {
-		if temps[l] <= 0 {
-			return nil, fmt.Errorf("ensemble: lane %d temperature %g must be positive", l, temps[l])
-		}
-		e.kerns[l] = multispin.NewKernel(temps[l], ising.LaneSeed(cfg.Seed, l), false)
-	}
-	e.refreshUniform()
 	for i := range e.words {
 		e.words[i] = ^uint64(0) // cold start: all lanes all spins +1
 	}
@@ -172,20 +163,9 @@ func laneMask(lanes int) uint64 {
 	return (uint64(1) << uint(lanes)) - 1
 }
 
-// refreshUniform recomputes whether every lane shares one threshold pair.
-func (e *Engine) refreshUniform() {
-	e.uniform = true
-	for l := 1; l < e.lanes; l++ {
-		if e.kerns[l].T4 != e.kerns[0].T4 || e.kerns[l].T8 != e.kerns[0].T8 {
-			e.uniform = false
-			return
-		}
-	}
-}
-
 // Name identifies the engine ("ensemble" or "ensemble-shared").
 func (e *Engine) Name() string {
-	if e.shared {
+	if e.kern.shared {
 		return "ensemble-shared"
 	}
 	return "ensemble"
@@ -210,17 +190,14 @@ func (e *Engine) Step() uint64 { return e.step }
 func (e *Engine) Seed() uint64 { return e.seed }
 
 // LaneTemperature returns one lane's current temperature.
-func (e *Engine) LaneTemperature(lane int) float64 { return e.temps[lane] }
+func (e *Engine) LaneTemperature(lane int) float64 { return e.kern.LaneTemperature(lane) }
 
 // SetLaneTemperature changes one lane's temperature; the lane's chain
-// continues from its current configuration.
+// continues from its current configuration. The kernel memoizes the
+// acceptance thresholds per rung, so the tempering swap path pays no
+// math.Exp after a rung's first visit.
 func (e *Engine) SetLaneTemperature(lane int, t float64) {
-	if t <= 0 {
-		panic("ensemble: temperature must be positive")
-	}
-	e.kerns[lane].SetTemperature(t)
-	e.temps[lane] = t
-	e.refreshUniform()
+	e.kern.SetLaneTemperature(lane, t)
 }
 
 // Footprint returns the bytes of packed lattice state (one 64-lane word per
@@ -270,7 +247,10 @@ func (e *Engine) updateColor(parity int, step uint64) {
 		workers = e.rows
 	}
 	if workers <= 1 {
-		e.updateRows(parity, step, 0, e.rows, nil, nil)
+		if len(e.scratches) == 0 {
+			e.scratches = make([]Scratch, 1)
+		}
+		e.updateRows(parity, step, 0, e.rows, nil, nil, &e.scratches[0])
 		return
 	}
 	W := e.cols
@@ -296,21 +276,27 @@ func (e *Engine) updateColor(parity int, step uint64) {
 		copy(south, e.rowWords(r1%e.rows))
 		plan = append(plan, band{r0: r0, r1: r1, north: north, south: south})
 	}
+	if len(e.scratches) < len(plan) {
+		e.scratches = make([]Scratch, len(plan))
+	}
 	var wg sync.WaitGroup
-	for _, b := range plan {
+	for i, b := range plan {
 		wg.Add(1)
-		go func(b band) {
+		go func(b band, sc *Scratch) {
 			defer wg.Done()
-			e.updateRows(parity, step, b.r0, b.r1, b.north, b.south)
-		}(b)
+			e.updateRows(parity, step, b.r0, b.r1, b.north, b.south, sc)
+		}(b, &e.scratches[i])
 	}
 	wg.Wait()
 }
 
 // updateRows updates the active sites of rows [r0, r1), substituting the
 // pre-update halo snapshots at the band boundaries (every neighbour bit
-// consumed belongs to the inactive colour, so snapshots and live reads agree).
-func (e *Engine) updateRows(parity int, step uint64, r0, r1 int, northHalo, southHalo []uint64) {
+// consumed belongs to the inactive colour, so snapshots and live reads
+// agree). The wrap words row[cols-1] and row[0] are snapshotted per row for
+// the same reason: whichever of the two the active colour consumes is
+// inactive and never written within the call.
+func (e *Engine) updateRows(parity int, step uint64, r0, r1 int, northHalo, southHalo []uint64, sc *Scratch) {
 	for r := r0; r < r1; r++ {
 		row := e.rowWords(r)
 		north := e.rowWords((r - 1 + e.rows) % e.rows)
@@ -321,98 +307,7 @@ func (e *Engine) updateRows(parity int, step uint64, r0, r1 int, northHalo, sout
 		if r == r1-1 && southHalo != nil {
 			south = southHalo
 		}
-		e.updateRow(row, north, south, r, parity, step)
-	}
-}
-
-// updateRow performs the colour update of the active sites of one row across
-// all lanes. Active sites in row r have column parity p = (parity + r) & 1;
-// their east/west neighbours are same-row words of the opposite colour (never
-// written by this update), so all neighbour reads are plain word loads — the
-// lane-sliced layout needs none of multispin's cross-column shifts.
-//
-// The site randoms reproduce multispin's mapping exactly: the site with
-// same-colour ordinal j (= column/2) in row r draws component j&3 of the
-// Philox block keyed by (step, r, j>>2) under the lane's key, which is the
-// pure function multispin.Engine.siteRand evaluates — the root of the
-// lane-equivalence contract.
-func (e *Engine) updateRow(row, north, south []uint64, r, parity int, step uint64) {
-	p := (parity + r) & 1
-	s0, s1 := uint32(step), uint32(step>>32)
-	rr := uint32(int64(r))
-	half := e.cols / 2
-	var a4, a8 [4]uint64
-	for g := 0; g < half/4; g++ {
-		// Accept masks of the group's four active sites: bit L of a4[k] (a8[k])
-		// decides lane L's flip at the k-th site when it has one (zero)
-		// disagreeing neighbours.
-		if e.shared {
-			// One draw per ΔE class per site, shared by every lane.
-			ba, bb := rng.BlockPair(
-				rng.Counter{s0, s1, rr, uint32(2 * g)},
-				rng.Counter{s0, s1, rr, uint32(2*g + 1)},
-				e.sharedKey)
-			if e.uniform {
-				t4, t8 := e.kerns[0].T4, e.kerns[0].T8
-				for k := 0; k < 4; k++ {
-					a4[k] = ^uint64(0) * ((uint64(ba[k]) - t4) >> 63)
-					a8[k] = ^uint64(0) * ((uint64(bb[k]) - t8) >> 63)
-				}
-			} else {
-				for k := 0; k < 4; k++ {
-					a4[k], a8[k] = 0, 0
-				}
-				for l := 0; l < e.lanes; l++ {
-					t4, t8 := e.kerns[l].T4, e.kerns[l].T8
-					for k := 0; k < 4; k++ {
-						a4[k] |= ((uint64(ba[k]) - t4) >> 63) << uint(l)
-						a8[k] |= ((uint64(bb[k]) - t8) >> 63) << uint(l)
-					}
-				}
-			}
-		} else {
-			// One draw per lane per site, through the lane's own key; two lanes
-			// share each interleaved Philox evaluation.
-			ctr := rng.Counter{s0, s1, rr, uint32(g)}
-			for k := 0; k < 4; k++ {
-				a4[k], a8[k] = 0, 0
-			}
-			l := 0
-			for ; l+1 < e.lanes; l += 2 {
-				ba, bb := rng.BlockPairKeys(ctr, e.kerns[l].Key, e.kerns[l+1].Key)
-				t4a, t8a := e.kerns[l].T4, e.kerns[l].T8
-				t4b, t8b := e.kerns[l+1].T4, e.kerns[l+1].T8
-				for k := 0; k < 4; k++ {
-					a4[k] |= ((uint64(ba[k]) - t4a) >> 63) << uint(l)
-					a8[k] |= ((uint64(ba[k]) - t8a) >> 63) << uint(l)
-					a4[k] |= ((uint64(bb[k]) - t4b) >> 63) << uint(l+1)
-					a8[k] |= ((uint64(bb[k]) - t8b) >> 63) << uint(l+1)
-				}
-			}
-			if l < e.lanes {
-				blk := rng.Block(ctr, e.kerns[l].Key)
-				t4, t8 := e.kerns[l].T4, e.kerns[l].T8
-				for k := 0; k < 4; k++ {
-					a4[k] |= ((uint64(blk[k]) - t4) >> 63) << uint(l)
-					a8[k] |= ((uint64(blk[k]) - t8) >> 63) << uint(l)
-				}
-			}
-		}
-		for k := 0; k < 4; k++ {
-			c := 2*(4*g+k) + p
-			cur := row[c]
-			ce := c + 1
-			if ce == e.cols {
-				ce = 0
-			}
-			cw := c - 1
-			if cw < 0 {
-				cw = e.cols - 1
-			}
-			ge2, one, zero := multispin.DisagreeClasses(
-				cur^north[c], cur^south[c], cur^row[ce], cur^row[cw])
-			row[c] = cur ^ ((ge2 | one&a4[k] | zero&a8[k]) & e.laneMask)
-		}
+		e.kern.UpdateRow(row, north, south, row[e.cols-1], row[0], r, 0, parity, step, sc)
 	}
 }
 

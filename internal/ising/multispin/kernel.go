@@ -36,15 +36,67 @@ func NewKernel(temperature float64, seed uint64, shared bool) Kernel {
 	return k
 }
 
-// SetTemperature recomputes the acceptance thresholds for a new temperature,
-// leaving the key and the sharing mode untouched.
-func (k *Kernel) SetTemperature(temperature float64) {
+// Thresholds is the precomputed integer acceptance pair of one temperature:
+// the only temperature-dependent state of a kernel, and the only place the
+// engine ever touches math.Exp. Consumers that change temperatures often —
+// the replica-exchange swap loop flips two lanes per accepted swap — derive
+// one Thresholds per ladder rung through a ThresholdCache and install it with
+// SetThresholds, paying the two exponentials once per distinct temperature
+// instead of twice per swap.
+type Thresholds struct {
+	T4, T8 uint64
+}
+
+// ThresholdsFor computes the acceptance pair of a temperature (two math.Exp
+// calls). It panics if temperature is not positive.
+func ThresholdsFor(temperature float64) Thresholds {
 	if temperature <= 0 {
 		panic("multispin: temperature must be positive")
 	}
 	beta := ising.Beta(temperature)
-	k.T4 = acceptThreshold(math.Exp(-4 * beta * ising.J))
-	k.T8 = acceptThreshold(math.Exp(-8 * beta * ising.J))
+	return Thresholds{
+		T4: acceptThreshold(math.Exp(-4 * beta * ising.J)),
+		T8: acceptThreshold(math.Exp(-8 * beta * ising.J)),
+	}
+}
+
+// ThresholdCache memoizes ThresholdsFor by exact temperature value. A
+// tempering ladder revisits the same few rungs for the whole run, so after
+// the first visit every SetTemperature on the swap path is one map lookup and
+// no floating point. The cache is not safe for concurrent mutation; engines
+// own one each and mutate it only from their (single-threaded) control path.
+type ThresholdCache struct {
+	m map[float64]Thresholds
+}
+
+// thresholdCacheLimit bounds the memo so a pathological caller sweeping
+// millions of distinct temperatures cannot grow it without limit; on overflow
+// the cache resets rather than evicting (ladders are tiny, resets are free).
+const thresholdCacheLimit = 1024
+
+// For returns the memoized acceptance pair of a temperature, computing and
+// caching it on first sight.
+func (c *ThresholdCache) For(temperature float64) Thresholds {
+	if th, ok := c.m[temperature]; ok {
+		return th
+	}
+	th := ThresholdsFor(temperature)
+	if c.m == nil || len(c.m) >= thresholdCacheLimit {
+		c.m = make(map[float64]Thresholds, 8)
+	}
+	c.m[temperature] = th
+	return th
+}
+
+// SetTemperature recomputes the acceptance thresholds for a new temperature,
+// leaving the key and the sharing mode untouched.
+func (k *Kernel) SetTemperature(temperature float64) {
+	k.SetThresholds(ThresholdsFor(temperature))
+}
+
+// SetThresholds installs a precomputed acceptance pair (see ThresholdCache).
+func (k *Kernel) SetThresholds(th Thresholds) {
+	k.T4, k.T8 = th.T4, th.T8
 }
 
 // DisagreeClasses bit-slices the four neighbour-disagreement masks of 64
@@ -69,6 +121,29 @@ func DisagreeClasses(d1, d2, d3, d4 uint64) (ge2, one, zero uint64) {
 	return ge2, one, zero
 }
 
+// tileWords is the column-blocking width of the optimized row kernel: randoms
+// are generated tileWords words at a time, so the per-site scratch is
+// tileWords*32 uint32s (8 KiB) — small enough that the tile's randoms, the
+// row band and the neighbour rows stay cache-resident while the word loop
+// consumes them.
+const tileWords = 64
+
+// Scratch is the reusable random buffer of the optimized row kernel. Engines
+// keep one per worker goroutine and pass it to every UpdateRowScratch call;
+// the zero value is ready to use and grows on first use. It carries no
+// kernel state — only scratch memory — so any kernel may use any scratch.
+type Scratch struct {
+	rand []uint32
+}
+
+// buf returns an n-word view of the scratch, growing it if needed.
+func (s *Scratch) buf(n int) []uint32 {
+	if cap(s.rand) < n {
+		s.rand = make([]uint32, n)
+	}
+	return s.rand[:n]
+}
+
 // UpdateRow performs the colour update of the active sites of one packed
 // lattice row, in place. row holds the W words of the row; north and south
 // are the rows above and below (pre-update snapshots are fine: every
@@ -82,7 +157,142 @@ func DisagreeClasses(d1, d2, d3, d4 uint64) (ge2, one, zero uint64) {
 // index of row[0]: they key the site randoms and select the active-colour
 // parity, so a shard updating a window of a larger lattice draws exactly the
 // randoms the whole-lattice engine would.
+//
+// UpdateRow is the convenience form that brings its own scratch; the engines'
+// hot loops call UpdateRowScratch with a persistent per-worker Scratch
+// instead. Both run the optimized kernel — batched Philox rows, tiled column
+// blocking, hoisted word-boundary handling — and are bit-identical to
+// UpdateRowRef, the retained naive reference (pinned by the golden
+// equivalence tests in kernel_equiv_test.go).
 func (k Kernel) UpdateRow(row, north, south []uint64, westWrap, eastWrap uint64, globalRow, wordOff, parity int, step uint64) {
+	var sc Scratch
+	k.UpdateRowScratch(row, north, south, westWrap, eastWrap, globalRow, wordOff, parity, step, &sc)
+}
+
+// UpdateRowScratch is UpdateRow with a caller-owned scratch buffer, the form
+// the engines' hot loops use. The randoms of a whole tile of words are
+// generated into the scratch with one batched Philox call (rng.BlockRow — the
+// AVX2 kernel when built with the avx2 tag, the 4-way portable loop
+// otherwise), then the word loop consumes them with the wrap/select branches
+// hoisted into explicit first/middle/last-word handling.
+//
+// Within one colour update the kernel writes only active-colour bits and
+// consumes only inactive-colour neighbour bits, so the word loop may read
+// row[w-1] after updating it: the one west bit it consumes (bit 63, an
+// odd-parity column) is consumed only by even-parity updates and written only
+// by odd-parity ones. That is what lets the loop roll the west neighbour
+// through a local instead of re-selecting westWrap/row[w-1] per word, and it
+// is the same invariant that makes the engines' pre-update halo snapshots
+// exact.
+func (k Kernel) UpdateRowScratch(row, north, south []uint64, westWrap, eastWrap uint64, globalRow, wordOff, parity int, step uint64, sc *Scratch) {
+	W := len(row)
+	if W == 0 {
+		return
+	}
+	s0, s1 := uint32(step), uint32(step>>32)
+	rr := uint32(int64(globalRow))
+	p := uint((parity + globalRow) & 1)
+	cmask := uint64(evenMask)
+	if p == 1 {
+		cmask = ^cmask
+	}
+	t4, t8 := k.T4, k.T8
+	for w0 := 0; w0 < W; w0 += tileWords {
+		w1 := w0 + tileWords
+		if w1 > W {
+			w1 = W
+		}
+		// Batch the tile's randoms: per-site mode consumes 8 blocks (32
+		// uint32s) per word at consecutive counters starting at (wordOff+w0)*8;
+		// shared mode one block per word starting at wordOff+w0. Both match
+		// the reference's per-word counters exactly (mod-2^32 arithmetic
+		// included), so the words drawn are Block-for-Block the same.
+		var rnd []uint32
+		if k.Shared {
+			rnd = sc.buf(tileWords * 4)[:(w1-w0)*4]
+			rng.BlockRow(rnd, rng.Counter{s0, s1, rr, uint32(wordOff + w0)}, k.Key)
+		} else {
+			rnd = sc.buf(tileWords * 32)[:(w1-w0)*32]
+			rng.BlockRow(rnd, rng.Counter{s0, s1, rr, uint32((wordOff + w0) * 8)}, k.Key)
+		}
+		// Hoisted boundary handling: the west neighbour rolls through a
+		// local (see above), the east select happens once, for the tile's
+		// last word, instead of once per word.
+		westSrc := westWrap
+		if w0 > 0 {
+			westSrc = row[w0-1]
+		}
+		last := w1 - 1
+		if k.Shared {
+			for w := w0; w < last; w++ {
+				row[w] = sharedUpdateWord(row[w], north[w], south[w], row[w+1], westSrc,
+					uint64(rnd[(w-w0)*4]), t4, t8, cmask)
+				westSrc = row[w]
+			}
+			eastSrc := eastWrap
+			if w1 < W {
+				eastSrc = row[w1]
+			}
+			row[last] = sharedUpdateWord(row[last], north[last], south[last], eastSrc, westSrc,
+				uint64(rnd[(last-w0)*4]), t4, t8, cmask)
+		} else {
+			for w := w0; w < last; w++ {
+				row[w] = siteUpdateWord(row[w], north[w], south[w], row[w+1], westSrc,
+					rnd[(w-w0)*32:(w-w0)*32+32], t4, t8, p, cmask)
+				westSrc = row[w]
+			}
+			eastSrc := eastWrap
+			if w1 < W {
+				eastSrc = row[w1]
+			}
+			row[last] = siteUpdateWord(row[last], north[last], south[last], eastSrc, westSrc,
+				rnd[(last-w0)*32:(last-w0)*32+32], t4, t8, p, cmask)
+		}
+	}
+}
+
+// siteUpdateWord updates one 64-column word in per-site mode: the 32 active
+// sites consume rnd[0..31] (site with in-word same-colour ordinal j reads
+// rnd[j], which the batched row generation laid out as component j&3 of block
+// j>>2 — exactly the reference's draw).
+func siteUpdateWord(cur, north, south, eastSrc, westSrc uint64, rnd []uint32, t4, t8 uint64, p uint, cmask uint64) uint64 {
+	east := (cur >> 1) | (eastSrc << 63)
+	west := (cur << 1) | (westSrc >> 63)
+	ge2, one, zero := DisagreeClasses(cur^north, cur^south, cur^east, cur^west)
+	var a4, a8 uint64
+	rnd = rnd[:32]
+	for j := 0; j < 32; j += 4 {
+		pos := uint(2*j) + p
+		a4 |= ((uint64(rnd[j]) - t4) >> 63) << pos
+		a8 |= ((uint64(rnd[j]) - t8) >> 63) << pos
+		a4 |= ((uint64(rnd[j+1]) - t4) >> 63) << (pos + 2)
+		a8 |= ((uint64(rnd[j+1]) - t8) >> 63) << (pos + 2)
+		a4 |= ((uint64(rnd[j+2]) - t4) >> 63) << (pos + 4)
+		a8 |= ((uint64(rnd[j+2]) - t8) >> 63) << (pos + 4)
+		a4 |= ((uint64(rnd[j+3]) - t4) >> 63) << (pos + 6)
+		a8 |= ((uint64(rnd[j+3]) - t8) >> 63) << (pos + 6)
+	}
+	return cur ^ ((ge2 | one&a4 | zero&a8) & cmask)
+}
+
+// sharedUpdateWord updates one 64-column word in shared mode: one random u
+// decides the whole word's class acceptances.
+func sharedUpdateWord(cur, north, south, eastSrc, westSrc, u uint64, t4, t8, cmask uint64) uint64 {
+	east := (cur >> 1) | (eastSrc << 63)
+	west := (cur << 1) | (westSrc >> 63)
+	ge2, one, zero := DisagreeClasses(cur^north, cur^south, cur^east, cur^west)
+	a4 := ^uint64(0) * ((u - t4) >> 63)
+	a8 := ^uint64(0) * ((u - t8) >> 63)
+	return cur ^ ((ge2 | one&a4 | zero&a8) & cmask)
+}
+
+// UpdateRowRef is the retained naive reference implementation of UpdateRow:
+// word-at-a-time, branching wrap selection, randoms drawn two blocks at a
+// time inline. It is never called by the engines — it exists so the golden
+// equivalence property test can pin every optimized variant (portable tiled,
+// AVX2 when built) to the exact spins this loop produces at any
+// (seed, step, geometry).
+func (k Kernel) UpdateRowRef(row, north, south []uint64, westWrap, eastWrap uint64, globalRow, wordOff, parity int, step uint64) {
 	W := len(row)
 	s0, s1 := uint32(step), uint32(step>>32)
 	t4, t8 := k.T4, k.T8

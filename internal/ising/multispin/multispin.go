@@ -70,7 +70,9 @@ type Engine struct {
 	kern              Kernel // thresholds, Philox key and random-sharing mode
 	step              uint64
 	workers           int
-	halo              []uint64 // scratch for the per-band boundary-row snapshots
+	halo              []uint64       // scratch for the per-band boundary-row snapshots
+	scratches         []Scratch      // per-band random scratch buffers for the batched kernel
+	thresholds        ThresholdCache // memoized acceptance pairs for SetTemperature
 }
 
 // New builds an engine from the config.
@@ -116,7 +118,9 @@ func (e *Engine) SetTemperature(t float64) {
 		panic("multispin: temperature must be positive")
 	}
 	e.temperature = t
-	e.kern.SetTemperature(t)
+	// Memoized: a tempering ladder toggles a replica between the same few
+	// rungs for the whole run, so the swap path pays math.Exp once per rung.
+	e.kern.SetThresholds(e.thresholds.For(t))
 }
 
 // acceptThreshold maps an acceptance probability to the 33-bit integer
@@ -186,7 +190,10 @@ func (e *Engine) updateColor(parity int, step uint64) {
 		workers = e.rows
 	}
 	if workers <= 1 {
-		e.updateColorRows(parity, step, 0, e.rows, nil, nil)
+		if len(e.scratches) == 0 {
+			e.scratches = make([]Scratch, 1)
+		}
+		e.updateColorRows(parity, step, 0, e.rows, nil, nil, &e.scratches[0])
 		return
 	}
 
@@ -220,13 +227,19 @@ func (e *Engine) updateColor(parity int, step uint64) {
 		copy(south, e.rowWords(r1%e.rows))
 		plan = append(plan, band{r0: r0, r1: r1, north: north, south: south})
 	}
+	// One persistent random scratch per band: the batched kernel reuses its
+	// buffer across rows and sweeps, and bands never share one (they run
+	// concurrently).
+	if len(e.scratches) < len(plan) {
+		e.scratches = make([]Scratch, len(plan))
+	}
 	var wg sync.WaitGroup
-	for _, b := range plan {
+	for i, b := range plan {
 		wg.Add(1)
-		go func(b band) {
+		go func(b band, sc *Scratch) {
 			defer wg.Done()
-			e.updateColorRows(parity, step, b.r0, b.r1, b.north, b.south)
-		}(b)
+			e.updateColorRows(parity, step, b.r0, b.r1, b.north, b.south, sc)
+		}(b, &e.scratches[i])
 	}
 	wg.Wait()
 }
@@ -242,7 +255,7 @@ func (e *Engine) rowWords(r int) []uint64 {
 // boundary. All neighbour bits consumed by the update belong to the other
 // colour, so live interior reads and snapshot boundary reads see the same
 // values and the result is independent of the banding.
-func (e *Engine) updateColorRows(parity int, step uint64, r0, r1 int, northHalo, southHalo []uint64) {
+func (e *Engine) updateColorRows(parity int, step uint64, r0, r1 int, northHalo, southHalo []uint64, sc *Scratch) {
 	W := e.words
 	for r := r0; r < r1; r++ {
 		row := e.rowWords(r)
@@ -257,7 +270,7 @@ func (e *Engine) updateColorRows(parity int, step uint64, r0, r1 int, northHalo,
 		// The torus wraps east of the last word onto the row's first word and
 		// west of the first word onto its last (only one bit of each is
 		// consumed, and it always belongs to the inactive colour).
-		e.kern.UpdateRow(row, north, south, row[W-1], row[0], r, 0, parity, step)
+		e.kern.UpdateRowScratch(row, north, south, row[W-1], row[0], r, 0, parity, step, sc)
 	}
 }
 

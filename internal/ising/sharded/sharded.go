@@ -44,7 +44,8 @@ type shard struct {
 	// columns (bit r = the boundary spin of local row r).
 	north, south       []uint64
 	eastBits, westBits []uint64
-	edge               []uint64 // scratch for building this shard's outgoing bit columns
+	edge               []uint64          // scratch for building this shard's outgoing bit columns
+	scratch            multispin.Scratch // per-shard random scratch for the batched kernel
 }
 
 // Engine is the mesh-sharded bit-packed sampler. It satisfies ising.Backend.
@@ -59,7 +60,8 @@ type Engine struct {
 	kern         multispin.Kernel
 	temperature  float64
 	step         uint64
-	hostOps      int64 // attempted spin updates (host work, not device-modelled)
+	hostOps      int64                    // attempted spin updates (host work, not device-modelled)
+	thresholds   multispin.ThresholdCache // memoized acceptance pairs for SetTemperature
 }
 
 // New builds an engine from the config.
@@ -165,7 +167,7 @@ func (e *Engine) SetTemperature(t float64) {
 	if t <= 0 {
 		panic("sharded: temperature must be positive")
 	}
-	e.kern.SetTemperature(t)
+	e.kern.SetThresholds(e.thresholds.For(t))
 	e.temperature = t
 }
 
@@ -232,8 +234,8 @@ func (e *Engine) updateColor(sh *shard, parity int, step uint64) {
 		// them as the wrap words' bit 0 (east) and bit 63 (west).
 		eastWrap := (sh.eastBits[lr/WordBits] >> (uint(lr) % WordBits)) & 1
 		westWrap := ((sh.westBits[lr/WordBits] >> (uint(lr) % WordBits)) & 1) << 63
-		e.kern.UpdateRow(row, north, south, westWrap, eastWrap,
-			sh.rowOff+lr, sh.wordOff, parity, step)
+		e.kern.UpdateRowScratch(row, north, south, westWrap, eastWrap,
+			sh.rowOff+lr, sh.wordOff, parity, step, &sh.scratch)
 	}
 }
 

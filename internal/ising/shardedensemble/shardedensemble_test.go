@@ -1,0 +1,265 @@
+package shardedensemble
+
+import (
+	"testing"
+
+	"tpuising/internal/ising"
+	"tpuising/internal/ising/ensemble"
+	"tpuising/internal/perf"
+)
+
+// TestLaneBitIdenticalToStandaloneEnsemble is the composition's central
+// contract: every lane of a sharded ensemble is bit-identical to the same
+// lane of a standalone ensemble with the same seed, for non-trivial grids
+// including non-square ones and both random modes. The comparison is on the
+// full packed configuration (Hash covers every lane bit of every site), plus
+// the per-lane observables.
+func TestLaneBitIdenticalToStandaloneEnsemble(t *testing.T) {
+	cases := []struct {
+		rows, cols   int
+		gridR, gridC int
+		lanes        int
+		shared       bool
+		ladder       bool
+	}{
+		{rows: 8, cols: 64, gridR: 2, gridC: 2, lanes: 5, shared: false, ladder: false},
+		{rows: 12, cols: 128, gridR: 3, gridC: 4, lanes: 64, shared: false, ladder: true},
+		{rows: 6, cols: 192, gridR: 2, gridC: 8, lanes: 17, shared: true, ladder: false},
+		{rows: 16, cols: 64, gridR: 4, gridC: 1, lanes: 3, shared: true, ladder: true},
+		{rows: 4, cols: 128, gridR: 1, gridC: 16, lanes: 33, shared: false, ladder: false},
+	}
+	for _, tc := range cases {
+		var temps []float64
+		if tc.ladder {
+			temps = make([]float64, tc.lanes)
+			for i := range temps {
+				temps[i] = 1.8 + 0.05*float64(i)
+			}
+		}
+		sharded, err := New(Config{
+			Rows: tc.rows, Cols: tc.cols, GridR: tc.gridR, GridC: tc.gridC,
+			Lanes: tc.lanes, Temperature: 2.3, Temperatures: temps,
+			Seed: 77, SharedRandom: tc.shared, Hot: true,
+		})
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		plain, err := ensemble.New(ensemble.Config{
+			Rows: tc.rows, Cols: tc.cols, Lanes: tc.lanes,
+			Temperature: 2.3, Temperatures: temps,
+			Seed: 77, SharedRandom: tc.shared, Hot: true, Workers: 1,
+		})
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		if sharded.Hash() != plain.Hash() {
+			t.Fatalf("%+v: initial configurations differ", tc)
+		}
+		for sweep := 0; sweep < 4; sweep++ {
+			// Mid-run lane re-temperatures must stay identical too (the
+			// tempering swap path).
+			if sweep == 2 {
+				sharded.SetLaneTemperature(0, 2.9)
+				plain.SetLaneTemperature(0, 2.9)
+			}
+			sharded.Sweep()
+			plain.Sweep()
+			if sharded.Hash() != plain.Hash() {
+				t.Fatalf("%+v: configurations diverged at sweep %d", tc, sweep)
+			}
+		}
+		sm, pm := sharded.Magnetizations(), plain.Magnetizations()
+		se, pe := sharded.Energies(), plain.Energies()
+		for l := 0; l < tc.lanes; l++ {
+			if sm[l] != pm[l] || se[l] != pe[l] {
+				t.Fatalf("%+v lane %d: observables (m=%v e=%v) differ from standalone (m=%v e=%v)",
+					tc, l, sm[l], se[l], pm[l], pe[l])
+			}
+		}
+		if sharded.Step() != plain.Step() {
+			t.Fatalf("%+v: steps diverged", tc)
+		}
+	}
+}
+
+// TestGridInvariance: the same run over different shard grids (including
+// 1x1) is one chain — the decomposition is invisible in the configuration.
+func TestGridInvariance(t *testing.T) {
+	var ref *Engine
+	for _, grid := range [][2]int{{1, 1}, {2, 2}, {4, 2}, {1, 8}} {
+		e, err := New(Config{
+			Rows: 8, Cols: 128, GridR: grid[0], GridC: grid[1],
+			Lanes: 9, Temperature: 2.2, Seed: 5, Hot: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Run(3)
+		if ref == nil {
+			ref = e
+			continue
+		}
+		if e.Hash() != ref.Hash() {
+			t.Fatalf("grid %v configuration differs from grid 1x1", grid)
+		}
+	}
+}
+
+// TestConfigValidation: the documented constraints reject with errors, not
+// panics.
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Rows: 7, Cols: 64, Lanes: 1},                              // odd rows
+		{Rows: 8, Cols: 60, Lanes: 1},                              // cols not a multiple of 64
+		{Rows: 8, Cols: 64, Lanes: 0},                              // no lanes
+		{Rows: 8, Cols: 64, Lanes: 65},                             // too many lanes
+		{Rows: 8, Cols: 64, Lanes: 1, GridR: 3},                    // rows do not divide
+		{Rows: 8, Cols: 64, Lanes: 1, GridC: 16},                   // shard narrower than a group
+		{Rows: 8, Cols: 64, Lanes: 2, Temperatures: []float64{2}},  // ladder length mismatch
+		{Rows: 8, Cols: 64, Lanes: 1, Temperatures: []float64{-1}}, // non-positive rung
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %+v accepted, want error", cfg)
+		}
+	}
+	if _, err := New(Config{Rows: 8, Cols: 64, Lanes: 1, GridC: 8}); err != nil {
+		t.Errorf("8-column shards rejected: %v", err)
+	}
+}
+
+// TestSingleMatchesMultispin: the registry-facing single-chain wrapper is
+// bit-identical to a standalone multispin chain with the same seed (lane 0's
+// contract riding through the whole composition).
+func TestSingleMatchesMultispin(t *testing.T) {
+	s, err := NewSingle(Config{Rows: 8, Cols: 128, GridR: 2, GridC: 4, Temperature: 2.4, Seed: 11, Hot: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "sharded-ensemble" {
+		t.Fatalf("single wrapper name %q", s.Name())
+	}
+	plain, err := ensemble.New(ensemble.Config{Rows: 8, Cols: 128, Lanes: 1, Temperature: 2.4, Seed: 11, Hot: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		s.Sweep()
+		plain.Sweep()
+	}
+	if s.Magnetization() != plain.Magnetizations()[0] || s.Energy() != plain.Energies()[0] {
+		t.Fatalf("single wrapper (m=%v e=%v) differs from standalone lane (m=%v e=%v)",
+			s.Magnetization(), s.Energy(), plain.Magnetizations()[0], plain.Energies()[0])
+	}
+}
+
+// TestSingleSnapshotRoundTrip: snapshot, restore into a *different* shard
+// grid, and the resumed chain matches the uninterrupted one sweep for sweep.
+func TestSingleSnapshotRoundTrip(t *testing.T) {
+	cfg := Config{Rows: 8, Cols: 128, GridR: 2, GridC: 4, Temperature: 2.1, Seed: 23, Hot: true}
+	orig, err := NewSingle(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		orig.Sweep()
+	}
+	snap, err := orig.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := ising.EncodeSnapshot(snap)
+	decoded, err := ising.DecodeSnapshot(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := NewSingle(Config{Rows: 8, Cols: 128, GridR: 4, GridC: 2, Temperature: 2.1, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.Restore(decoded); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Step() != orig.Step() {
+		t.Fatalf("restored step %d, want %d", resumed.Step(), orig.Step())
+	}
+	for i := 0; i < 4; i++ {
+		orig.Sweep()
+		resumed.Sweep()
+		if orig.Engine().Hash() != resumed.Engine().Hash() {
+			t.Fatalf("resumed chain diverged %d sweeps after restore", i+1)
+		}
+	}
+	// Restores must be validated.
+	wrong := *decoded
+	wrong.Backend = "multispin"
+	if err := resumed.Restore(&wrong); err == nil {
+		t.Fatal("snapshot from another backend accepted")
+	}
+}
+
+// TestCommCountsMatchShardedEnsembleTraffic: the engine's measured
+// interconnect counters must reproduce the perf model's analytic per-sweep
+// traffic exactly — the property that lets the harness print modelled traffic
+// next to measured aggregate throughput.
+func TestCommCountsMatchShardedEnsembleTraffic(t *testing.T) {
+	for _, grid := range [][2]int{{1, 1}, {2, 2}, {3, 4}, {4, 1}} {
+		e, err := New(Config{
+			Rows: 24, Cols: 64 * grid[1], GridR: grid[0], GridC: grid[1],
+			Lanes: 48, Temperature: 2.5, Seed: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const sweeps = 5
+		e.Run(sweeps)
+		rep := perf.ShardedEnsembleTraffic(perf.ShardedEnsembleSpec{
+			Rows: e.Rows(), Cols: e.Cols(), GridR: grid[0], GridC: grid[1], Lanes: e.Lanes(),
+		}, e.Pod().Mesh().Link)
+		c := e.Counts()
+		if c.CommBytes != sweeps*rep.TotalBytes {
+			t.Errorf("grid %v: measured CommBytes %d != modelled %d", grid, c.CommBytes, sweeps*rep.TotalBytes)
+		}
+		if c.CommEvents != sweeps*rep.Events {
+			t.Errorf("grid %v: measured CommEvents %d != modelled %d", grid, c.CommEvents, sweeps*rep.Events)
+		}
+		if c.Ops != sweeps*int64(e.N())*int64(e.Lanes()) {
+			t.Errorf("grid %v: Ops = %d, want %d", grid, c.Ops, sweeps*int64(e.N())*int64(e.Lanes()))
+		}
+		if rep.PermuteSec <= 0 {
+			t.Errorf("grid %v: modelled permute time should be positive", grid)
+		}
+	}
+}
+
+// BenchmarkShardedEnsembleSweep measures the composed engine: a 2x2 pod grid,
+// each shard advancing 64 lane-packed lattices (per-lane randoms).
+func BenchmarkShardedEnsembleSweep(b *testing.B) {
+	benchSweep(b, 2, 2, false)
+}
+
+// BenchmarkShardedEnsembleSweepShared is the class-shared random mode.
+func BenchmarkShardedEnsembleSweepShared(b *testing.B) {
+	benchSweep(b, 2, 2, true)
+}
+
+// BenchmarkShardedEnsembleSweep1x1 is the no-decomposition baseline: the same
+// ensemble through one shard, isolating the halo-exchange overhead.
+func BenchmarkShardedEnsembleSweep1x1(b *testing.B) {
+	benchSweep(b, 1, 1, false)
+}
+
+func benchSweep(b *testing.B, gridR, gridC int, shared bool) {
+	e, err := New(Config{
+		Rows: 64, Cols: 64, GridR: gridR, GridC: gridC,
+		Lanes: 64, Temperature: 2.4, Seed: 1, SharedRandom: shared,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(e.N()) * int64(e.Lanes()) / 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Sweep()
+	}
+}

@@ -1,0 +1,90 @@
+package load
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCommittedBenchSnapshotsParse is the BENCH_*.json schema check: every
+// perf snapshot committed at the repository root must parse with ReadSnapshot
+// and satisfy the schema invariants the trajectory tooling relies on — the
+// bench index matches the filename, the timestamp is RFC3339, the threshold
+// verdict is recorded coherently, and any host section carries positive
+// measurements. A snapshot this test rejects would silently corrupt every
+// future before/after diff, so the schema is pinned here rather than trusted.
+func TestCommittedBenchSnapshotsParse(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "BENCH_*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no committed BENCH_*.json found at the repository root")
+	}
+	nameRE := regexp.MustCompile(`^BENCH_(.+)\.json$`)
+	for _, path := range paths {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			snap, err := ReadSnapshot(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := nameRE.FindStringSubmatch(filepath.Base(path))
+			if m == nil {
+				t.Fatalf("unexpected snapshot filename %q", path)
+			}
+			if snap.Bench != m[1] {
+				t.Errorf("bench index %q does not match filename index %q", snap.Bench, m[1])
+			}
+			if snap.CreatedAt != "" {
+				if _, err := time.Parse(time.RFC3339, snap.CreatedAt); err != nil {
+					t.Errorf("created_at %q is not RFC3339: %v", snap.CreatedAt, err)
+				}
+			}
+			if snap.GoVersion != "" && !strings.HasPrefix(snap.GoVersion, "go") {
+				t.Errorf("go_version %q does not look like a Go version", snap.GoVersion)
+			}
+			// The verdict must be coherent with the recorded checks: passed
+			// means every check ok.
+			allOK := true
+			for _, c := range snap.Checks {
+				if !c.OK {
+					allOK = false
+				}
+			}
+			if len(snap.Checks) > 0 && snap.Passed != allOK {
+				t.Errorf("passed=%v contradicts the %d recorded checks", snap.Passed, len(snap.Checks))
+			}
+			if s := snap.Service; s != nil {
+				if s.Requests <= 0 {
+					t.Error("service section with no requests")
+				}
+				if s.ElapsedSec <= 0 {
+					t.Error("service section with non-positive elapsed time")
+				}
+			}
+			if h := snap.Host; h != nil {
+				if h.Lattice <= 0 || h.Sweeps <= 0 {
+					t.Errorf("host section with lattice=%d sweeps=%d", h.Lattice, h.Sweeps)
+				}
+				if len(h.FlipsPerNs) == 0 {
+					t.Error("host section with no per-backend measurements")
+				}
+				for name, v := range h.FlipsPerNs {
+					if v <= 0 {
+						t.Errorf("host backend %s measured %g flips/ns", name, v)
+					}
+				}
+				if h.EnsembleAggregate < 0 || h.ShardedEnsembleAggregate < 0 ||
+					h.KernelRef < 0 || h.KernelOpt < 0 {
+					t.Error("negative aggregate measurement in host section")
+				}
+				// The kernel delta is recorded as a pair or not at all.
+				if (h.KernelRef == 0) != (h.KernelOpt == 0) {
+					t.Error("kernel delta recorded with only one side of the pair")
+				}
+			}
+		})
+	}
+}

@@ -50,6 +50,22 @@ type HostBench struct {
 	// engine: aggregate flips/ns over all lanes in shared-random mode.
 	EnsembleLanes     int     `json:"ensemble_lanes,omitempty"`
 	EnsembleAggregate float64 `json:"ensemble_aggregate_flips_per_ns,omitempty"`
+	// AVX2 records whether this measuring binary ran the AVX2 rng batch
+	// kernels (built with -tags avx2 on a CPU with OS-enabled AVX2). The
+	// kernel-variant numbers below are only comparable across snapshots with
+	// the same setting.
+	AVX2 bool `json:"avx2,omitempty"`
+	// KernelRef and KernelOpt are the per-site multispin row kernel measured
+	// directly (no engine around it): the retained naive reference vs the
+	// optimized batched+tiled loop — the kernel delta of the harness
+	// host_kernel_variants table.
+	KernelRef float64 `json:"kernel_ref_flips_per_ns,omitempty"`
+	KernelOpt float64 `json:"kernel_opt_flips_per_ns,omitempty"`
+	// ShardedEnsembleGrid and ShardedEnsembleAggregate record the composed
+	// batched×sharded engine: aggregate flips/ns over all lanes of all shards
+	// (per-lane random mode) on the recorded shard grid.
+	ShardedEnsembleGrid      string  `json:"sharded_ensemble_grid,omitempty"`
+	ShardedEnsembleAggregate float64 `json:"sharded_ensemble_aggregate_flips_per_ns,omitempty"`
 }
 
 // Write atomically writes the snapshot as indented JSON (temp file +

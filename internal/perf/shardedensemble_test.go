@@ -1,0 +1,63 @@
+package perf
+
+import (
+	"testing"
+
+	"tpuising/internal/interconnect"
+)
+
+// TestShardedEnsembleTrafficBytes checks the analytic counts on a grid whose
+// numbers verify by hand: a 64x64 per-lane lattice on 2x2 shards has 32x32
+// shards, so a boundary row is 32 lane-packed words (256 bytes) and a
+// boundary column 32 words too.
+func TestShardedEnsembleTrafficBytes(t *testing.T) {
+	rep := ShardedEnsembleTraffic(ShardedEnsembleSpec{
+		Rows: 64, Cols: 64, GridR: 2, GridC: 2, Lanes: 64,
+	}, interconnect.DefaultLinkParams())
+	if rep.RowHaloBytes != 256 || rep.ColHaloBytes != 256 {
+		t.Fatalf("halo bytes = %d/%d, want 256/256", rep.RowHaloBytes, rep.ColHaloBytes)
+	}
+	if want := int64(4 * (4*256 + 4*256)); rep.TotalBytes != want {
+		t.Fatalf("TotalBytes = %d, want %d", rep.TotalBytes, want)
+	}
+	if rep.Events != 32 {
+		t.Fatalf("Events = %d, want 32", rep.Events)
+	}
+	if want := float64(rep.TotalBytes) / 64; rep.BytesPerLaneSweep != want {
+		t.Fatalf("BytesPerLaneSweep = %g, want %g", rep.BytesPerLaneSweep, want)
+	}
+	if rep.PackedBytes != 64*64*8 {
+		t.Fatalf("PackedBytes = %d, want %d", rep.PackedBytes, 64*64*8)
+	}
+	if rep.PermuteSec <= 0 {
+		t.Fatal("PermuteSec should be positive")
+	}
+}
+
+// TestShardedEnsembleLaneAmortisation: the traffic is independent of the lane
+// count (halo words carry all lanes), so the per-lane cost falls linearly —
+// the composition's reason to exist.
+func TestShardedEnsembleLaneAmortisation(t *testing.T) {
+	link := interconnect.DefaultLinkParams()
+	one := ShardedEnsembleTraffic(ShardedEnsembleSpec{Rows: 128, Cols: 128, GridR: 2, GridC: 2, Lanes: 1}, link)
+	full := ShardedEnsembleTraffic(ShardedEnsembleSpec{Rows: 128, Cols: 128, GridR: 2, GridC: 2, Lanes: 64}, link)
+	if one.TotalBytes != full.TotalBytes {
+		t.Fatalf("total traffic should not depend on lanes: %d vs %d", one.TotalBytes, full.TotalBytes)
+	}
+	if full.BytesPerLaneSweep*64 != one.BytesPerLaneSweep {
+		t.Fatalf("per-lane traffic should fall 64x: %g vs %g", full.BytesPerLaneSweep, one.BytesPerLaneSweep)
+	}
+}
+
+// TestShardedEnsembleTrafficRejectsIndivisible: a shard narrower than one
+// 8-column random group must panic (the engine reports the same condition as
+// an error).
+func TestShardedEnsembleTrafficRejectsIndivisible(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for indivisible decomposition")
+		}
+	}()
+	ShardedEnsembleTraffic(ShardedEnsembleSpec{Rows: 64, Cols: 64, GridR: 1, GridC: 16, Lanes: 8},
+		interconnect.DefaultLinkParams())
+}

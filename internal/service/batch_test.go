@@ -161,3 +161,44 @@ func TestBatchJobAdapterBackend(t *testing.T) {
 		t.Fatal("both lanes report identical observables — lane seeds did not diverge")
 	}
 }
+
+// TestBatchJobShardedEnsemble: a batched sharded-ensemble job runs all lanes
+// through one composed (lane-packed × mesh-sharded) engine, and each lane row
+// still equals a standalone single-chain job with the lane's derived seed —
+// the batch and shard axes compose without changing any chain.
+func TestBatchJobShardedEnsemble(t *testing.T) {
+	srv, _ := New(Config{Workers: 1})
+	defer srv.Close()
+	spec := JobSpec{
+		Backend: "sharded-ensemble", Rows: 8, Cols: 128, GridR: 2, GridC: 2,
+		Temperature: 2.4, Sweeps: 6, Seed: 11, Replicas: 3, Hot: true,
+	}
+	j, err := srv.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitDone(t, j)
+	if st.State != StateDone {
+		t.Fatalf("sharded-ensemble batch job ended %s (%s)", st.State, st.Error)
+	}
+	if len(st.Result.Lanes) != spec.Replicas {
+		t.Fatalf("result has %d lane rows, want %d", len(st.Result.Lanes), spec.Replicas)
+	}
+	for lane, row := range st.Result.Lanes {
+		single := spec
+		single.Replicas = 1
+		single.Seed = ising.LaneSeed(spec.Seed, lane)
+		sj, err := srv.Submit(single)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sst := waitDone(t, sj)
+		if sst.State != StateDone {
+			t.Fatalf("lane-reference job ended %s (%s)", sst.State, sst.Error)
+		}
+		if row.Magnetization != sst.Result.Magnetization || row.Energy != sst.Result.Energy {
+			t.Fatalf("lane %d final state (m=%v, e=%v) differs from standalone job (m=%v, e=%v)",
+				lane, row.Magnetization, row.Energy, sst.Result.Magnetization, sst.Result.Energy)
+		}
+	}
+}

@@ -249,7 +249,7 @@ func TestCacheEviction(t *testing.T) {
 }
 
 // TestCheckpointResumeByteIdentical is the checkpoint/resume acceptance
-// test, run for checkerboard, multispin and the mesh-sharded engine: a job
+// test, run for checkerboard, multispin and both mesh-sharded engines: a job
 // interrupted by a daemon shutdown and resumed by a fresh server over the
 // same checkpoint directory produces a result and a sample stream
 // byte-identical to an uninterrupted run of the same spec.
@@ -261,6 +261,8 @@ func TestCheckpointResumeByteIdentical(t *testing.T) {
 			BurnIn: 500, Temperature: 2.3, Seed: 42, SampleInterval: 500, Workers: 1},
 		"sharded": {Backend: "sharded", Rows: 64, Cols: 128, GridR: 2, GridC: 2, Sweeps: 8000,
 			BurnIn: 200, Temperature: 2.3, Seed: 42, SampleInterval: 200},
+		"sharded-ensemble": {Backend: "sharded-ensemble", Rows: 64, Cols: 128, GridR: 2, GridC: 2,
+			Sweeps: 8000, BurnIn: 200, Temperature: 2.3, Seed: 42, SampleInterval: 200},
 	}
 	for name, spec := range specs {
 		t.Run(name, func(t *testing.T) {
